@@ -1,0 +1,111 @@
+// Experiment E7 (ablation) — where does Table 7's discrepancy come from?
+//
+// The analysis treats operations as a global sequence of independent
+// trials executed atomically.  The paper's simulator (and ours) lets
+// operations from different nodes overlap.  This bench measures the same
+// workload three ways:
+//   1. analytic (exact),
+//   2. lockstep simulation (one sampled operation at a time -> only
+//      sampling noise),
+//   3. concurrent simulation at increasing concurrency (shorter think
+//      times -> more overlap -> larger deviation).
+#include <cmath>
+#include <cstdio>
+
+#include "analytic/solver.h"
+#include "bench_util.h"
+#include "sim/event_sim.h"
+#include "sim/sequential.h"
+#include "stats/summary.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace drsm;
+using protocols::ProtocolKind;
+
+constexpr std::size_t kN = 3;
+constexpr std::size_t kA = 2;
+
+sim::SystemConfig make_config() {
+  sim::SystemConfig config;
+  config.num_clients = kN;
+  config.costs.s = 100.0;
+  config.costs.p = 30.0;
+  return config;
+}
+
+double lockstep_acc(ProtocolKind kind, const workload::WorkloadSpec& spec,
+                    std::size_t ops, std::uint64_t seed) {
+  sim::SequentialRuntime runtime(kind, make_config(), spec.roster());
+  workload::GlobalSequenceGenerator gen(spec, seed);
+  std::uint64_t value = 0;
+  Cost cost = 0.0;
+  for (std::size_t i = 0; i < 500; ++i) {
+    const auto op = gen.next();
+    runtime.execute(op.node, op.op, ++value);
+  }
+  for (std::size_t i = 0; i < ops; ++i) {
+    const auto op = gen.next();
+    cost += runtime.execute(op.node, op.op, ++value).cost;
+  }
+  return cost / static_cast<double>(ops);
+}
+
+double concurrent_acc(ProtocolKind kind, const workload::WorkloadSpec& spec,
+                      double mean_think_time, std::uint64_t seed) {
+  sim::SimOptions options;
+  options.max_ops = 40000;
+  options.warmup_ops = 1000;
+  options.seed = seed;
+  options.latency.min_latency = 1;
+  options.latency.max_latency = 4;
+  sim::EventSimulator simulator(kind, make_config(), options);
+  workload::ConcurrentDriver driver(spec, seed ^ 0x5EED, 1,
+                                    mean_think_time);
+  return simulator.run(driver).acc();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation: operation overlap vs analytic accuracy "
+      "(N=%zu, a=%zu, S=100, P=30, read disturbance p=0.4, sigma=0.2)\n\n",
+      kN, kA);
+
+  const auto spec = workload::read_disturbance(0.4, 0.2, kA);
+  analytic::AccSolver solver(make_config());
+
+  std::vector<std::vector<std::string>> rows;
+  for (ProtocolKind kind :
+       {ProtocolKind::kWriteOnce, ProtocolKind::kWriteThroughV,
+        ProtocolKind::kBerkeley}) {
+    const double exact = solver.acc(kind, spec);
+    const double lockstep = lockstep_acc(kind, spec, 40000, 9);
+    std::vector<std::string> row = {bench::short_name(kind),
+                                    strfmt("%.2f", exact),
+                                    strfmt("%+.1f%%",
+                                           stats::relative_discrepancy_percent(
+                                               exact, lockstep))};
+    for (double think : {512.0, 64.0, 8.0}) {
+      const double concurrent = concurrent_acc(kind, spec, think, 10);
+      row.push_back(strfmt("%+.1f%%", stats::relative_discrepancy_percent(
+                                          exact, concurrent)));
+    }
+    rows.push_back(std::move(row));
+  }
+  std::printf(
+      "%s\n",
+      render_table({"protocol", "analytic acc", "lockstep", "think=512",
+                    "think=64", "think=8"},
+                   rows)
+          .c_str());
+  std::printf(
+      "Columns show the relative discrepancy vs the analytic value.  The\n"
+      "lockstep driver (no overlap) agrees to sampling noise; shrinking\n"
+      "think times increase operation overlap and move the measurement\n"
+      "away from the independent-trials assumption — this is the source of\n"
+      "the paper's +-8%% band, not model error.\n");
+  return 0;
+}

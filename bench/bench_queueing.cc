@@ -1,0 +1,88 @@
+// Extension bench — the sequencer as a queueing bottleneck.
+//
+// The paper's metric counts messages; it is blind to *where* they are
+// processed.  With a per-message processing time, the fixed-sequencer
+// protocols funnel every coherence action through node N, whose
+// utilization — and with it operation latency — explodes as load rises.
+// Berkeley migrates the sequencer role with ownership and sidesteps the
+// funnel.  This bench sweeps the offered load (shrinking think times) and
+// reports sequencer utilization and mean operation latency.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/event_sim.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace drsm;
+using protocols::ProtocolKind;
+
+constexpr std::size_t kN = 16;
+constexpr NodeId kHome = kN;
+
+sim::SimStats run(ProtocolKind kind, double mean_think_time,
+                  const workload::WorkloadSpec& spec) {
+  sim::SystemConfig config;
+  config.num_clients = kN;
+  config.costs.s = 100.0;
+  config.costs.p = 30.0;
+
+  sim::SimOptions options;
+  options.max_ops = 20000;
+  options.warmup_ops = 1000;
+  options.seed = 31;
+  options.latency.min_latency = 2;
+  options.latency.max_latency = 2;
+  options.latency.processing_time = 4;  // the sequencer is a real server
+  sim::EventSimulator simulator(kind, config, options);
+  workload::ConcurrentDriver driver(spec, 32, 1, mean_think_time);
+  return simulator.run(driver);
+}
+
+}  // namespace
+
+void sweep(const char* title, const workload::WorkloadSpec& spec) {
+  std::printf("%s\n", title);
+  std::vector<std::vector<std::string>> rows;
+  for (double think : {1024.0, 64.0, 16.0}) {
+    for (ProtocolKind kind :
+         {ProtocolKind::kWriteThrough, ProtocolKind::kBerkeley}) {
+      const sim::SimStats stats = run(kind, think, spec);
+      double peak = 0.0;
+      for (NodeId node = 0; node <= kN; ++node)
+        peak = std::max(peak, stats.utilization(node, 4));
+      rows.push_back({strfmt("%.0f", think), bench::short_name(kind),
+                      strfmt("%.2f", stats.acc()),
+                      strfmt("%.1f", stats.mean_latency()),
+                      strfmt("%.0f%%", 100.0 * stats.utilization(kHome, 4)),
+                      strfmt("%.0f%%", 100.0 * peak)});
+    }
+  }
+  std::printf(
+      "%s\n",
+      render_table({"mean think", "protocol", "acc", "mean latency",
+                    "sequencer util", "peak node util"},
+                   rows)
+          .c_str());
+}
+
+int main() {
+  std::printf(
+      "Sequencer queueing: N=%zu clients, S=100, P=30, processing time = 4 "
+      "per message\n\n",
+      kN);
+  sweep("read disturbance (p=0.2, sigma=0.05, a=15) — Berkeley's home turf:",
+        workload::read_disturbance(0.2, 0.05, kN - 1));
+  sweep("write disturbance (p=0.2, xi=0.05, a=15) — ownership ping-pong:",
+        workload::write_disturbance(0.2, 0.05, kN - 1));
+  std::printf(
+      "Observations the paper's cost metric cannot show: (1) acc is flat\n"
+      "in offered load, but utilization and queueing latency are not;\n"
+      "(2) the fixed sequencer is the hotspot for WT, while Berkeley\n"
+      "moves the hotspot to the current owner — decentralization shifts\n"
+      "the serialization point rather than removing it; (3) under write\n"
+      "disturbance Berkeley pays twice: its migrations block the writer\n"
+      "(high latency) while WT's fire-and-forget writes hide theirs.\n");
+  return 0;
+}

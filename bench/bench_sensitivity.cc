@@ -1,0 +1,109 @@
+// Ablation bench: how the cost-model parameters S (object transfer) and
+// P (write parameters) re-rank the protocols — the design-choice study
+// behind the paper's Fig. 5 panels using S=100 vs S=5000, plus parameter
+// sensitivities/elasticities at a representative operating point.
+#include <cstdio>
+
+#include "analytic/sensitivity.h"
+#include "analytic/solver.h"
+#include "bench_util.h"
+#include "workload/spec.h"
+
+namespace {
+
+using namespace drsm;
+using protocols::ProtocolKind;
+
+constexpr std::size_t kN = 16;
+constexpr std::size_t kA = 3;
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Parameter ablation (N=%zu, a=%zu, read disturbance p=0.3, "
+      "sigma=0.05)\n\n",
+      kN, kA);
+  const auto spec = workload::read_disturbance(0.3, 0.05, kA);
+
+  // -- acc and winner as S sweeps (P fixed) --------------------------------
+  {
+    std::printf("Sweep S (P=30): acc per protocol and the winner\n");
+    std::vector<std::vector<std::string>> rows;
+    for (double s : {10.0, 50.0, 100.0, 500.0, 2000.0, 10000.0}) {
+      analytic::AccSolver solver({kN, {s, 30.0}, 1});
+      std::vector<std::string> row = {strfmt("%.0f", s)};
+      double best = -1.0;
+      ProtocolKind winner = ProtocolKind::kWriteThrough;
+      for (ProtocolKind kind : protocols::kAllProtocols) {
+        const double acc = solver.acc(kind, spec);
+        row.push_back(strfmt("%.0f", acc));
+        if (best < 0 || acc < best) {
+          best = acc;
+          winner = kind;
+        }
+      }
+      row.push_back(bench::short_name(winner));
+      rows.push_back(std::move(row));
+    }
+    std::vector<std::string> header = {"S"};
+    for (ProtocolKind kind : protocols::kAllProtocols)
+      header.push_back(bench::short_name(kind));
+    header.push_back("winner");
+    std::printf("%s\n", render_table(header, rows).c_str());
+  }
+
+  // -- acc and winner as P sweeps (S fixed) --------------------------------
+  {
+    std::printf("Sweep P (S=500): acc per protocol and the winner\n");
+    std::vector<std::vector<std::string>> rows;
+    for (double p_cost : {1.0, 10.0, 30.0, 100.0, 400.0}) {
+      analytic::AccSolver solver({kN, {500.0, p_cost}, 1});
+      std::vector<std::string> row = {strfmt("%.0f", p_cost)};
+      double best = -1.0;
+      ProtocolKind winner = ProtocolKind::kWriteThrough;
+      for (ProtocolKind kind : protocols::kAllProtocols) {
+        const double acc = solver.acc(kind, spec);
+        row.push_back(strfmt("%.0f", acc));
+        if (best < 0 || acc < best) {
+          best = acc;
+          winner = kind;
+        }
+      }
+      row.push_back(bench::short_name(winner));
+      rows.push_back(std::move(row));
+    }
+    std::vector<std::string> header = {"P"};
+    for (ProtocolKind kind : protocols::kAllProtocols)
+      header.push_back(bench::short_name(kind));
+    header.push_back("winner");
+    std::printf("%s\n", render_table(header, rows).c_str());
+  }
+
+  // -- elasticities at the operating point ----------------------------------
+  {
+    std::printf(
+        "Elasticities at (p=0.3, sigma=0.05, S=500, P=30): relative acc "
+        "change per relative parameter change\n");
+    analytic::OperatingPoint point{analytic::Deviation::kReadDisturbance,
+                                   0.3, 0.05, kA};
+    std::vector<std::vector<std::string>> rows;
+    for (ProtocolKind kind : protocols::kAllProtocols) {
+      const auto el = analytic::acc_elasticity(
+          kind, {kN, {500.0, 30.0}, 1}, point);
+      rows.push_back({bench::short_name(kind), strfmt("%.2f", el.wrt_p),
+                      strfmt("%.2f", el.wrt_disturbance),
+                      strfmt("%.2f", el.wrt_s),
+                      strfmt("%.2f", el.wrt_p_cost)});
+    }
+    std::printf("%s", render_table({"protocol", "e(p)", "e(sigma)", "e(S)",
+                                    "e(P)"},
+                                   rows)
+                         .c_str());
+    std::printf(
+        "reading: e(S)~1 means acc is dominated by object transfers "
+        "(invalidate protocols); e(P)~1 means it is dominated by parameter "
+        "broadcasts (update protocols).\n");
+  }
+  return 0;
+}

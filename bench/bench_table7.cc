@@ -1,0 +1,113 @@
+// Experiment E2 — the paper's Table 7: "a comparison of analytical and
+// simulation results for Write-Once and Write-Through-V protocol",
+// N=3, a=2, P=30, S=100, M=20 shared objects.
+//
+// The paper's Ada simulator generated operations per node "in concordance
+// to specified stochastic steady-state workload parameters", neglected the
+// first 500 operations and measured ~1500 steady-state operations per
+// parameter pair, observing a maximum discrepancy below +-8 %.  We
+// reproduce the setup with the discrete-event simulator and the concurrent
+// closed-loop driver, and also report a 20x longer run to show the
+// discrepancy is sampling noise, not model error.
+#include <cmath>
+#include <cstdio>
+
+#include "analytic/solver.h"
+#include "bench_util.h"
+#include "sim/event_sim.h"
+#include "stats/summary.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace drsm;
+using protocols::ProtocolKind;
+
+constexpr std::size_t kN = 3;
+constexpr std::size_t kA = 2;
+constexpr double kPcost = 30.0;
+constexpr double kScost = 100.0;
+constexpr std::size_t kM = 20;
+
+sim::SystemConfig make_config() {
+  sim::SystemConfig config;
+  config.num_clients = kN;
+  config.costs.s = kScost;
+  config.costs.p = kPcost;
+  config.num_objects = kM;
+  return config;
+}
+
+double simulate(ProtocolKind kind, const workload::WorkloadSpec& spec,
+                std::size_t warmup_ops, std::size_t measured_ops,
+                std::uint64_t seed) {
+  sim::SimOptions options;
+  options.warmup_ops = warmup_ops;
+  options.max_ops = warmup_ops + measured_ops;
+  options.seed = seed;
+  sim::EventSimulator simulator(kind, make_config(), options);
+  workload::ConcurrentDriver driver(spec, seed ^ 0xBEEF, kM);
+  return simulator.run(driver).acc();
+}
+
+void run_table(ProtocolKind kind, std::size_t warmup_ops,
+               std::size_t measured_ops, const char* label) {
+  std::printf(
+      "%s protocol — %s (%zu warmup + %zu measured operations)\n",
+      protocols::to_string(kind), label, warmup_ops, measured_ops);
+
+  analytic::AccSolver solver({kN, {kScost, kPcost}, 1});
+  const std::vector<double> grid = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+
+  std::vector<std::string> header = {"p \\ sigma"};
+  for (double sigma : grid) header.push_back(strfmt("%.1f", sigma));
+  std::vector<std::vector<std::string>> rows;
+  double max_abs_disc = 0.0;
+
+  for (double p : grid) {
+    std::vector<std::string> row = {strfmt("%.1f", p)};
+    for (double sigma : grid) {
+      if (p + static_cast<double>(kA) * sigma > 1.0 + 1e-12) {
+        row.push_back("-");
+        continue;
+      }
+      const auto spec = workload::read_disturbance(p, sigma, kA);
+      const double analytic_acc = solver.acc(kind, spec);
+      const double sim_acc = simulate(kind, spec, warmup_ops, measured_ops,
+                                      static_cast<std::uint64_t>(
+                                          1000 * p + 10 * sigma + 17));
+      if (analytic_acc <= 1e-9) {
+        // Zero-cost steady state; any simulated residue is transient cost
+        // that leaked past the warmup cut, not a model discrepancy.
+        row.push_back(strfmt("0.0/%.1f (n/a)", sim_acc));
+        continue;
+      }
+      const double disc =
+          stats::relative_discrepancy_percent(analytic_acc, sim_acc);
+      max_abs_disc = std::max(max_abs_disc, std::fabs(disc));
+      row.push_back(strfmt("%.1f/%.1f (%+.1f%%)", analytic_acc, sim_acc,
+                           disc));
+    }
+    rows.push_back(std::move(row));
+  }
+  std::printf("%s", render_table(header, rows).c_str());
+  std::printf("cells: analytic/simulated (discrepancy %%)\n");
+  std::printf("max |discrepancy| over non-trivial cells: %.1f %% "
+              "(paper reports < 8 %%)\n\n",
+              max_abs_disc);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Table 7: analytical vs simulation, N=%zu, a=%zu, P=%.0f, S=%.0f, "
+      "M=%zu\n\n",
+      kN, kA, kPcost, kScost, kM);
+  for (ProtocolKind kind :
+       {ProtocolKind::kWriteOnce, ProtocolKind::kWriteThroughV}) {
+    run_table(kind, 500, 1500, "paper-sized run");
+    run_table(kind, 5000, 60000, "40x longer run");
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared helpers for the experiment benches: short protocol names and
+// paper-style grid/table printing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "protocols/protocol.h"
+#include "support/text.h"
+
+namespace drsm::bench {
+
+inline const char* short_name(protocols::ProtocolKind kind) {
+  using protocols::ProtocolKind;
+  switch (kind) {
+    case ProtocolKind::kWriteThrough: return "WT";
+    case ProtocolKind::kWriteThroughV: return "WT-V";
+    case ProtocolKind::kWriteOnce: return "WO";
+    case ProtocolKind::kSynapse: return "SYN";
+    case ProtocolKind::kIllinois: return "ILL";
+    case ProtocolKind::kBerkeley: return "BER";
+    case ProtocolKind::kDragon: return "DRG";
+    case ProtocolKind::kFirefly: return "FF";
+  }
+  return "?";
+}
+
+inline std::string fmt(double v) { return strfmt("%.2f", v); }
+
+/// Prints one surface (rows = p values, columns = second-parameter values).
+inline void print_surface(const std::string& title,
+                          const char* col_param_name,
+                          const std::vector<double>& p_values,
+                          const std::vector<double>& col_values,
+                          const std::vector<std::vector<std::string>>& cells) {
+  std::printf("%s\n", title.c_str());
+  std::vector<std::string> header = {std::string("p \\ ") + col_param_name};
+  for (double c : col_values) header.push_back(strfmt("%.3g", c));
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t r = 0; r < p_values.size(); ++r) {
+    std::vector<std::string> row = {strfmt("%.2f", p_values[r])};
+    row.insert(row.end(), cells[r].begin(), cells[r].end());
+    rows.push_back(std::move(row));
+  }
+  std::printf("%s\n", render_table(header, rows).c_str());
+}
+
+}  // namespace drsm::bench

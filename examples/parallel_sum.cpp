@@ -1,0 +1,103 @@
+// parallel_sum — a small parallel program written against the DSM API:
+// N worker nodes accumulate partial sums into per-worker shared objects
+// (good locality) and then a coordinator reduces them through a shared
+// result object (true sharing).  The example shows how the data layout
+// maps onto the paper's workload model: the partial-sum objects behave
+// like ideal-workload objects (one activity center each), the result
+// object like a read-disturbed one — and the protocol choice matters
+// accordingly.
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "dsm/dsm.h"
+#include "support/text.h"
+
+using namespace drsm;
+
+namespace {
+
+constexpr std::size_t kWorkers = 4;           // client nodes
+constexpr std::size_t kItemsPerWorker = 250;  // work items per node
+constexpr std::size_t kRounds = 8;            // reduction rounds
+
+// Object layout: objects 0..kWorkers-1 are per-worker accumulators,
+// object kWorkers is the shared result.
+constexpr ObjectId result_object() { return kWorkers; }
+
+double run(protocols::ProtocolKind kind, bool print_layout) {
+  dsm::SharedMemory::Options options;
+  options.protocol = kind;
+  options.num_clients = kWorkers;
+  options.num_objects = kWorkers + 1;
+  options.costs.s = 200.0;
+  options.costs.p = 10.0;
+  dsm::SharedMemory memory(options);
+
+  std::uint64_t expected = 0;
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    // Each worker accumulates locally into its own shared object.
+    for (NodeId worker = 0; worker < kWorkers; ++worker) {
+      std::uint64_t acc = 0;
+      for (std::size_t item = 0; item < kItemsPerWorker; ++item) {
+        acc += worker + item + round;  // the "computation"
+        memory.write(worker, worker, acc);
+      }
+    }
+    // Worker 0 acts as the coordinator: reads every partial sum and
+    // publishes the total; the others read the shared result.
+    std::uint64_t total = 0;
+    for (NodeId worker = 0; worker < kWorkers; ++worker)
+      total += memory.read(0, worker);
+    memory.write(0, result_object(), total);
+    for (NodeId worker = 1; worker < kWorkers; ++worker) {
+      const std::uint64_t seen = memory.read(worker, result_object());
+      if (seen != total) {
+        std::fprintf(stderr, "coherence violation: %llu != %llu\n",
+                     static_cast<unsigned long long>(seen),
+                     static_cast<unsigned long long>(total));
+        std::exit(1);
+      }
+    }
+    expected = total;
+  }
+
+  if (print_layout) {
+    std::printf("final total: %llu (verified at every worker)\n",
+                static_cast<unsigned long long>(expected));
+    std::printf("per-object communication cost under %s:\n",
+                protocols::to_string(kind));
+    for (ObjectId obj = 0; obj <= kWorkers; ++obj)
+      std::printf("  object %u (%s): %10.0f\n", obj,
+                  obj == result_object() ? "shared result"
+                                         : "worker-private accumulator",
+                  memory.object_cost(obj));
+    std::printf("\n");
+  }
+  return memory.total_cost();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "parallel sum on drsm: %zu workers x %zu items x %zu rounds\n\n",
+      kWorkers, kItemsPerWorker, kRounds);
+
+  // Show the cost anatomy once, under Berkeley (ownership follows the
+  // single writer of each accumulator, so private objects are free).
+  run(protocols::ProtocolKind::kBerkeley, /*print_layout=*/true);
+
+  std::printf("total communication cost by protocol:\n");
+  std::vector<std::vector<std::string>> rows;
+  for (auto kind : protocols::kAllProtocols)
+    rows.push_back({protocols::to_string(kind),
+                    strfmt("%.0f", run(kind, false))});
+  std::printf("%s", render_table({"protocol", "total cost"}, rows).c_str());
+  std::printf(
+      "\nThe ownership protocols win: every accumulator has exactly one\n"
+      "writer (an ideal-workload object), which they serve for free, while\n"
+      "write-through pays per write and the update protocols broadcast\n"
+      "every accumulation to all nodes.\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, run the full test suite, and regenerate
+# every table/figure of the paper's evaluation plus the extension
+# experiments.  Outputs land in test_output.txt and bench_output.txt at
+# the repository root (the files EXPERIMENTS.md refers to).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    if [ -x "$b" ] && [ -f "$b" ]; then
+      echo "===== $(basename "$b") ====="
+      "$b"
+      echo
+    fi
+  done
+} 2>&1 | tee bench_output.txt

@@ -1,0 +1,128 @@
+#include "adaptive/selector.h"
+
+#include <array>
+
+#include "support/error.h"
+
+namespace drsm::adaptive {
+
+using fsm::OpKind;
+using protocols::ProtocolKind;
+
+WorkloadEstimator::WorkloadEstimator(std::size_t num_clients,
+                                     std::size_t window)
+    : num_clients_(num_clients), window_(window), counts_(num_clients) {
+  DRSM_CHECK(window_ >= 1, "estimator window must be positive");
+  DRSM_CHECK(num_clients_ >= 1, "need at least one client");
+}
+
+void WorkloadEstimator::observe(NodeId node, OpKind op) {
+  DRSM_CHECK(node < num_clients_, "estimator observes client operations");
+  DRSM_CHECK(op == OpKind::kRead || op == OpKind::kWrite,
+             "estimator tracks reads and writes");
+  window_contents_.emplace_back(node, op);
+  ++counts_[node][op == OpKind::kWrite ? 1 : 0];
+  if (window_contents_.size() > window_) {
+    auto [old_node, old_op] = window_contents_.front();
+    window_contents_.pop_front();
+    --counts_[old_node][old_op == OpKind::kWrite ? 1 : 0];
+  }
+}
+
+workload::WorkloadSpec WorkloadEstimator::empirical_spec() const {
+  DRSM_CHECK(!window_contents_.empty(), "no observations yet");
+  const double total = static_cast<double>(window_contents_.size());
+  workload::WorkloadSpec spec;
+  spec.name = "empirical";
+  for (NodeId node = 0; node < num_clients_; ++node) {
+    const double reads = static_cast<double>(counts_[node][0]);
+    const double writes = static_cast<double>(counts_[node][1]);
+    if (reads == 0.0 && writes == 0.0) continue;
+    // Keep both event kinds for any active node so the cached chain
+    // structure stays stable while the mix drifts within an epoch.
+    spec.events.push_back({node, OpKind::kRead, reads / total});
+    spec.events.push_back({node, OpKind::kWrite, writes / total});
+  }
+  spec.validate();
+  return spec;
+}
+
+AdaptiveSelector::AdaptiveSelector(
+    const sim::SystemConfig& config,
+    std::vector<ProtocolKind> candidates)
+    : solver_(config), candidates_(std::move(candidates)) {
+  if (candidates_.empty())
+    candidates_.assign(protocols::kAllProtocols.begin(),
+                       protocols::kAllProtocols.end());
+}
+
+AdaptiveSelector::Classification AdaptiveSelector::classify(
+    const workload::WorkloadSpec& spec) {
+  Classification best{candidates_.front(),
+                      solver_.acc(candidates_.front(), spec)};
+  for (std::size_t i = 1; i < candidates_.size(); ++i) {
+    const double acc = solver_.acc(candidates_[i], spec);
+    if (acc < best.predicted_acc) best = {candidates_[i], acc};
+  }
+  return best;
+}
+
+AdaptiveSharedMemory::AdaptiveSharedMemory(const Options& options)
+    : options_(options),
+      memory_(options.memory),
+      selector_(
+          sim::SystemConfig{options.memory.num_clients, options.memory.costs,
+                            1},
+          options.candidates) {
+  const std::size_t estimator_count =
+      options_.per_object ? options_.memory.num_objects : 1;
+  estimators_.reserve(estimator_count);
+  for (std::size_t i = 0; i < estimator_count; ++i)
+    estimators_.emplace_back(options_.memory.num_clients, options_.window);
+}
+
+std::uint64_t AdaptiveSharedMemory::read(NodeId node, ObjectId object) {
+  const std::uint64_t value = memory_.read(node, object);
+  observe(node, object, OpKind::kRead);
+  return value;
+}
+
+void AdaptiveSharedMemory::write(NodeId node, ObjectId object,
+                                 std::uint64_t value) {
+  memory_.write(node, object, value);
+  observe(node, object, OpKind::kWrite);
+}
+
+void AdaptiveSharedMemory::observe(NodeId node, ObjectId object,
+                                   OpKind op) {
+  if (node >= options_.memory.num_clients) return;
+  estimators_[options_.per_object ? object : 0].observe(node, op);
+  maybe_reclassify();
+}
+
+void AdaptiveSharedMemory::maybe_reclassify() {
+  if (++ops_in_epoch_ < options_.epoch_ops) return;
+  ops_in_epoch_ = 0;
+  ++epochs_;
+  if (!options_.per_object) {
+    if (estimators_[0].observations() < options_.min_observations) return;
+    const auto decision =
+        selector_.classify(estimators_[0].empirical_spec());
+    if (decision.protocol != memory_.protocol()) {
+      memory_.switch_protocol(decision.protocol);
+      ++switches_;
+    }
+    return;
+  }
+  for (ObjectId j = 0; j < options_.memory.num_objects; ++j) {
+    if (estimators_[j].observations() < options_.min_observations) continue;
+    const auto decision =
+        selector_.classify(estimators_[j].empirical_spec());
+    if (decision.protocol != memory_.object_protocol(j)) {
+      memory_.switch_protocol(j, decision.protocol);
+      ++switches_;
+    }
+  }
+}
+
+}  // namespace drsm::adaptive

@@ -1,0 +1,109 @@
+// Self-tuning protocol selection — the extension the paper's conclusion
+// proposes: "the model can be applied to implement a classifier for the
+// development of adaptive data replication coherence protocols with
+// self-tuning capability based on run-time information".
+//
+// WorkloadEstimator turns a window of observed operations into an empirical
+// sample space (the paper notes the five parameters "may be obtained by
+// estimating the relative frequencies of events in some real distributed
+// computation"); AdaptiveSelector classifies it with the analytic model;
+// AdaptiveSharedMemory closes the loop by switching a live SharedMemory to
+// the predicted-cheapest protocol at epoch boundaries.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "analytic/solver.h"
+#include "dsm/dsm.h"
+#include "workload/spec.h"
+
+namespace drsm::adaptive {
+
+/// Sliding-window estimator of the per-operation sample space.
+class WorkloadEstimator {
+ public:
+  explicit WorkloadEstimator(std::size_t num_clients,
+                             std::size_t window = 512);
+
+  void observe(NodeId node, fsm::OpKind op);
+
+  std::size_t observations() const { return window_contents_.size(); }
+
+  /// Empirical sample space over the client nodes seen in the window.
+  /// Requires at least one observation.
+  workload::WorkloadSpec empirical_spec() const;
+
+ private:
+  std::size_t num_clients_;
+  std::size_t window_;
+  std::deque<std::pair<NodeId, fsm::OpKind>> window_contents_;
+  // counts[node][0] = reads, counts[node][1] = writes, within the window
+  std::vector<std::array<std::size_t, 2>> counts_;
+};
+
+/// Classifier: picks the acc-minimizing protocol for a workload.
+class AdaptiveSelector {
+ public:
+  AdaptiveSelector(const sim::SystemConfig& config,
+                   std::vector<protocols::ProtocolKind> candidates = {});
+
+  struct Classification {
+    protocols::ProtocolKind protocol;
+    double predicted_acc = 0.0;
+  };
+  Classification classify(const workload::WorkloadSpec& spec);
+
+  analytic::AccSolver& solver() { return solver_; }
+
+ private:
+  analytic::AccSolver solver_;
+  std::vector<protocols::ProtocolKind> candidates_;
+};
+
+/// A SharedMemory that re-selects its protocol every `epoch_ops`
+/// operations based on the estimated workload — either one protocol for
+/// the whole memory, or (per_object mode) one per shared object, since
+/// the paper's analysis treats objects independently.
+class AdaptiveSharedMemory {
+ public:
+  struct Options {
+    dsm::SharedMemory::Options memory;
+    std::size_t epoch_ops = 512;       // re-classify this often
+    std::size_t min_observations = 64; // do not switch before this many ops
+    std::size_t window = 1024;         // estimator window
+    std::vector<protocols::ProtocolKind> candidates;  // empty = all eight
+    /// Estimate and select per object instead of globally.
+    bool per_object = false;
+  };
+
+  explicit AdaptiveSharedMemory(const Options& options);
+
+  std::uint64_t read(NodeId node, ObjectId object);
+  void write(NodeId node, ObjectId object, std::uint64_t value);
+
+  dsm::SharedMemory& memory() { return memory_; }
+  protocols::ProtocolKind current_protocol() const {
+    return memory_.protocol();
+  }
+  protocols::ProtocolKind object_protocol(ObjectId object) const {
+    return memory_.object_protocol(object);
+  }
+  std::size_t switches() const { return switches_; }
+  std::size_t epochs() const { return epochs_; }
+
+ private:
+  void observe(NodeId node, ObjectId object, fsm::OpKind op);
+  void maybe_reclassify();
+
+  Options options_;
+  dsm::SharedMemory memory_;
+  std::vector<WorkloadEstimator> estimators_;  // one, or one per object
+  AdaptiveSelector selector_;
+  std::size_t ops_in_epoch_ = 0;
+  std::size_t switches_ = 0;
+  std::size_t epochs_ = 0;
+};
+
+}  // namespace drsm::adaptive

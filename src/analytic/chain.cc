@@ -1,0 +1,253 @@
+#include "analytic/chain.h"
+
+#include <cmath>
+#include <deque>
+
+#include "support/error.h"
+
+namespace drsm::analytic {
+
+using sim::SequentialRuntime;
+
+ProtocolChain::ProtocolChain(protocols::ProtocolKind kind,
+                             const sim::SystemConfig& config,
+                             const workload::WorkloadSpec& spec)
+    : events_(spec.events) {
+  DRSM_CHECK(!events_.empty(), "chain needs a non-empty sample space");
+  // Both clients and the sequencer (node N) may issue operations; the
+  // sequencer's traces are the paper's tr5/tr6.
+  for (const auto& e : events_)
+    DRSM_CHECK(e.node <= config.num_clients,
+               "chain event node out of range");
+
+  std::vector<NodeId> roster;
+  for (NodeId node : spec.roster())
+    if (node < config.num_clients) roster.push_back(node);
+  SequentialRuntime initial(kind, config, std::move(roster));
+
+  std::map<std::vector<std::uint8_t>, std::uint32_t> index;
+  std::vector<SequentialRuntime> states;
+  std::deque<std::uint32_t> frontier;
+
+  index.emplace(initial.encode_state(), 0);
+  keys_.push_back(initial.encode_state());
+  states.push_back(initial);
+  frontier.push_back(0);
+
+  std::uint64_t value_counter = 0;
+  while (!frontier.empty()) {
+    const std::uint32_t s = frontier.front();
+    frontier.pop_front();
+    if (transitions_.size() <= s) transitions_.resize(s + 1);
+    transitions_[s].resize(events_.size());
+    for (std::size_t e = 0; e < events_.size(); ++e) {
+      SequentialRuntime next = states[s];
+      const sim::OpResult result =
+          next.execute(events_[e].node, events_[e].op, ++value_counter);
+      const auto key = next.encode_state();
+      auto [it, inserted] =
+          index.emplace(key, static_cast<std::uint32_t>(states.size()));
+      if (inserted) {
+        frontier.push_back(it->second);
+        keys_.push_back(key);
+        states.push_back(std::move(next));
+      }
+      transitions_[s][e] = Transition{it->second, result.cost};
+    }
+  }
+  transitions_.resize(states.size());
+  for (auto& row : transitions_)
+    if (row.size() != events_.size()) row.resize(events_.size());
+}
+
+const std::vector<std::uint8_t>& ProtocolChain::state_key(
+    std::size_t state) const {
+  DRSM_CHECK(state < keys_.size(), "state out of range");
+  return keys_[state];
+}
+
+const ProtocolChain::Transition& ProtocolChain::transition(
+    std::size_t state, std::size_t event) const {
+  DRSM_CHECK(state < transitions_.size(), "state out of range");
+  DRSM_CHECK(event < events_.size(), "event out of range");
+  return transitions_[state][event];
+}
+
+ProtocolChain::SolveResult ProtocolChain::solve(
+    const std::vector<double>& probs) const {
+  DRSM_CHECK(probs.size() == events_.size(),
+             "probability vector does not match the sample space");
+  double sum = 0.0;
+  for (double p : probs) {
+    DRSM_CHECK(p >= -1e-12, "negative event probability");
+    sum += p;
+  }
+  DRSM_CHECK(std::fabs(sum - 1.0) < 1e-9, "probabilities must sum to 1");
+
+  // Restrict to states reachable through positive-probability events; the
+  // full enumeration may contain states only reachable via events that are
+  // switched off in this assignment.
+  std::vector<std::uint32_t> reach;
+  std::vector<std::uint32_t> local(transitions_.size(), UINT32_MAX);
+  std::deque<std::uint32_t> frontier;
+  reach.push_back(0);
+  local[0] = 0;
+  frontier.push_back(0);
+  while (!frontier.empty()) {
+    const std::uint32_t s = frontier.front();
+    frontier.pop_front();
+    for (std::size_t e = 0; e < events_.size(); ++e) {
+      if (probs[e] <= 0.0) continue;
+      const std::uint32_t t = transitions_[s][e].next;
+      if (local[t] == UINT32_MAX) {
+        local[t] = static_cast<std::uint32_t>(reach.size());
+        reach.push_back(t);
+        frontier.push_back(t);
+      }
+    }
+  }
+
+  const std::size_t n = reach.size();
+  std::vector<linalg::Triplet> trip;
+  trip.reserve(n * events_.size());
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::uint32_t s = reach[r];
+    for (std::size_t e = 0; e < events_.size(); ++e) {
+      if (probs[e] <= 0.0) continue;
+      trip.push_back({r, local[transitions_[s][e].next], probs[e]});
+    }
+  }
+  linalg::CsrMatrix p_matrix(n, n, std::move(trip));
+  linalg::check_stochastic(p_matrix);
+
+  SolveResult out;
+  out.reachable = std::move(reach);
+  out.pi = linalg::stationary_distribution(p_matrix);
+  return out;
+}
+
+double ProtocolChain::average_cost(const std::vector<double>& probs) const {
+  const SolveResult sol = solve(probs);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < sol.reachable.size(); ++r) {
+    const std::uint32_t s = sol.reachable[r];
+    double expected = 0.0;
+    for (std::size_t e = 0; e < events_.size(); ++e) {
+      if (probs[e] <= 0.0) continue;
+      expected += probs[e] * transitions_[s][e].cost;
+    }
+    acc += sol.pi[r] * expected;
+  }
+  return acc;
+}
+
+double ProtocolChain::average_cost() const {
+  std::vector<double> probs;
+  probs.reserve(events_.size());
+  for (const auto& e : events_) probs.push_back(e.probability);
+  return average_cost(probs);
+}
+
+double ProtocolChain::cost_variance(
+    const std::vector<double>& probs) const {
+  const SolveResult sol = solve(probs);
+  double mean = 0.0, second = 0.0;
+  for (std::size_t r = 0; r < sol.reachable.size(); ++r) {
+    const std::uint32_t s = sol.reachable[r];
+    for (std::size_t e = 0; e < events_.size(); ++e) {
+      if (probs[e] <= 0.0) continue;
+      const double w = sol.pi[r] * probs[e];
+      const double c = transitions_[s][e].cost;
+      mean += w * c;
+      second += w * c * c;
+    }
+  }
+  return std::max(0.0, second - mean * mean);
+}
+
+std::vector<double> ProtocolChain::event_cost_shares(
+    const std::vector<double>& probs) const {
+  const SolveResult sol = solve(probs);
+  std::vector<double> shares(events_.size(), 0.0);
+  for (std::size_t r = 0; r < sol.reachable.size(); ++r) {
+    const std::uint32_t s = sol.reachable[r];
+    for (std::size_t e = 0; e < events_.size(); ++e) {
+      if (probs[e] <= 0.0) continue;
+      shares[e] += sol.pi[r] * probs[e] * transitions_[s][e].cost;
+    }
+  }
+  return shares;
+}
+
+std::vector<double> ProtocolChain::transient_costs(
+    const std::vector<double>& probs, std::size_t ops) const {
+  DRSM_CHECK(probs.size() == events_.size(),
+             "probability vector does not match the sample space");
+  // Expected cost of one operation from each state.
+  std::vector<double> step_cost(transitions_.size(), 0.0);
+  for (std::size_t s = 0; s < transitions_.size(); ++s)
+    for (std::size_t e = 0; e < events_.size(); ++e)
+      if (probs[e] > 0.0) step_cost[s] += probs[e] * transitions_[s][e].cost;
+
+  std::vector<double> distribution(transitions_.size(), 0.0);
+  distribution[0] = 1.0;  // the cold initial state
+  std::vector<double> out;
+  out.reserve(ops);
+  for (std::size_t k = 0; k < ops; ++k) {
+    double expected = 0.0;
+    for (std::size_t s = 0; s < transitions_.size(); ++s)
+      if (distribution[s] > 0.0) expected += distribution[s] * step_cost[s];
+    out.push_back(expected);
+    // distribution <- distribution * P.
+    std::vector<double> next(transitions_.size(), 0.0);
+    for (std::size_t s = 0; s < transitions_.size(); ++s) {
+      if (distribution[s] <= 0.0) continue;
+      for (std::size_t e = 0; e < events_.size(); ++e)
+        if (probs[e] > 0.0)
+          next[transitions_[s][e].next] += distribution[s] * probs[e];
+    }
+    distribution = std::move(next);
+  }
+  return out;
+}
+
+std::size_t ProtocolChain::warmup_length(const std::vector<double>& probs,
+                                         double tolerance,
+                                         std::size_t max_ops) const {
+  const double steady = average_cost(probs);
+  const double band = std::max(tolerance * std::fabs(steady), 1e-12);
+
+  std::vector<double> step_cost(transitions_.size(), 0.0);
+  for (std::size_t s = 0; s < transitions_.size(); ++s)
+    for (std::size_t e = 0; e < events_.size(); ++e)
+      if (probs[e] > 0.0) step_cost[s] += probs[e] * transitions_[s][e].cost;
+
+  std::vector<double> distribution(transitions_.size(), 0.0);
+  distribution[0] = 1.0;
+  for (std::size_t k = 0; k < max_ops; ++k) {
+    double expected = 0.0;
+    for (std::size_t s = 0; s < transitions_.size(); ++s)
+      if (distribution[s] > 0.0) expected += distribution[s] * step_cost[s];
+    if (std::fabs(expected - steady) <= band) return k;
+    std::vector<double> next(transitions_.size(), 0.0);
+    for (std::size_t s = 0; s < transitions_.size(); ++s) {
+      if (distribution[s] <= 0.0) continue;
+      for (std::size_t e = 0; e < events_.size(); ++e)
+        if (probs[e] > 0.0)
+          next[transitions_[s][e].next] += distribution[s] * probs[e];
+    }
+    distribution = std::move(next);
+  }
+  return max_ops;
+}
+
+linalg::Vector ProtocolChain::stationary(
+    const std::vector<double>& probs) const {
+  const SolveResult sol = solve(probs);
+  linalg::Vector pi(transitions_.size(), 0.0);
+  for (std::size_t r = 0; r < sol.reachable.size(); ++r)
+    pi[sol.reachable[r]] = sol.pi[r];
+  return pi;
+}
+
+}  // namespace drsm::analytic

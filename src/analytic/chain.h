@@ -1,0 +1,111 @@
+// Exact steady-state analysis of a (protocol, workload) pair — the paper's
+// methodology (Section 4.3) automated.
+//
+// The paper derives, by hand, the steady-state probability pi_h of each
+// trace tr_h of a coherence protocol under a parameterized workload and
+// forms acc = sum_h pi_h * cc_h.  ProtocolChain performs the same
+// derivation mechanically and exactly:
+//
+//  * the interacting Mealy machines are executed atomically per operation
+//    (SequentialRuntime), which is precisely the "repeated independent
+//    trials" regime of the analysis;
+//  * the protocol-relevant global state (all copy states + ownership) is
+//    finite; breadth-first exploration over the workload's sample space
+//    enumerates every reachable state and the exact trace cost of every
+//    (state, event) pair;
+//  * the stationary distribution of the induced Markov chain gives the
+//    trace probabilities, and acc follows.
+//
+// For the Write-Through protocol the result matches the paper's closed
+// forms (eqns 3-5) to machine precision; for the other seven protocols it
+// plays the role of the (unreadable) Table 6 expressions.
+//
+// The chain is built once per (protocol, system, sample-space *structure*)
+// and can be re-solved for any probability assignment — grid sweeps for the
+// figure benchmarks reuse one chain per surface.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "linalg/stationary.h"
+#include "protocols/protocol.h"
+#include "sim/sequential.h"
+#include "workload/spec.h"
+
+namespace drsm::analytic {
+
+class ProtocolChain {
+ public:
+  /// Enumerates the reachable protocol state space under the sample space
+  /// of `spec` (all listed events, regardless of their probability).
+  ProtocolChain(protocols::ProtocolKind kind, const sim::SystemConfig& config,
+                const workload::WorkloadSpec& spec);
+
+  /// Steady-state average communication cost per operation for the given
+  /// event probabilities (aligned with spec.events; must sum to 1).
+  double average_cost(const std::vector<double>& probabilities) const;
+
+  /// Convenience overload using the probabilities stored in the spec.
+  double average_cost() const;
+
+  /// Steady-state variance of the per-operation cost (second central
+  /// moment over states and events).  Together with acc this sizes the
+  /// confidence intervals a simulation of given length can achieve.
+  double cost_variance(const std::vector<double>& probabilities) const;
+
+  /// Expected steady-state cost contributed by each event of the sample
+  /// space (sums to average_cost).
+  std::vector<double> event_cost_shares(
+      const std::vector<double>& probabilities) const;
+
+  /// Steady-state probability of being in each enumerated state (states
+  /// unreachable under the given probabilities get 0).
+  linalg::Vector stationary(const std::vector<double>& probabilities) const;
+
+  /// Transient analysis: expected cost of each of the first `ops`
+  /// operations starting cold (all client copies INVALID) — the cost
+  /// profile the paper's simulation discards by "neglecting the first 500
+  /// operations".  Element k is the expected cost of operation k+1; the
+  /// sequence converges to average_cost().
+  std::vector<double> transient_costs(
+      const std::vector<double>& probabilities, std::size_t ops) const;
+
+  /// Number of operations until the expected per-operation cost stays
+  /// within `tolerance` (relative) of the steady-state acc — an analytic
+  /// warm-up length.  Returns `max_ops` if not reached.
+  std::size_t warmup_length(const std::vector<double>& probabilities,
+                            double tolerance = 0.01,
+                            std::size_t max_ops = 100000) const;
+
+  std::size_t num_states() const { return transitions_.size(); }
+  std::size_t num_events() const { return events_.size(); }
+
+  /// Deterministic transition: cost and successor of event `e` in state
+  /// `s` (exposed for tests).
+  struct Transition {
+    std::uint32_t next = 0;
+    Cost cost = 0.0;
+  };
+  const Transition& transition(std::size_t state, std::size_t event) const;
+
+  /// The protocol-relevant encoding of state `s` (concatenated machine
+  /// encodings in roster order, clients ascending then the sequencer) —
+  /// lets callers classify states, e.g. by the activity center's copy
+  /// state, to extract the paper's per-trace probabilities.
+  const std::vector<std::uint8_t>& state_key(std::size_t state) const;
+
+ private:
+  struct SolveResult {
+    std::vector<std::uint32_t> reachable;  // chain-state indices
+    linalg::Vector pi;                     // aligned with `reachable`
+  };
+  SolveResult solve(const std::vector<double>& probabilities) const;
+
+  std::vector<workload::EventSpec> events_;
+  std::vector<std::vector<Transition>> transitions_;  // [state][event]
+  std::vector<std::vector<std::uint8_t>> keys_;       // [state]
+};
+
+}  // namespace drsm::analytic

@@ -1,0 +1,259 @@
+#include "analytic/closed_form.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace drsm::analytic::closed_form {
+
+using protocols::ProtocolKind;
+
+namespace {
+
+void check_probability(double value, const char* what) {
+  DRSM_CHECK(value >= -1e-12 && value <= 1.0 + 1e-12,
+             std::string(what) + " out of [0,1]");
+}
+
+/// 0/0 guards: returns num/den, or `fallback` when den vanishes.
+double ratio(double num, double den, double fallback = 0.0) {
+  return std::fabs(den) < 1e-300 ? fallback : num / den;
+}
+
+}  // namespace
+
+WtTraceProbabilities wt_trace_probabilities_read_disturbance(double p,
+                                                             double sigma,
+                                                             std::size_t a) {
+  check_probability(p, "p");
+  check_probability(sigma, "sigma");
+  const double as = static_cast<double>(a) * sigma;
+  const double ar = 1.0 - p - as;  // activity-center read probability
+  DRSM_CHECK(ar >= -1e-12, "p + a*sigma exceeds 1");
+
+  WtTraceProbabilities out;
+  out.pi1 = ratio(ar * ar, 1.0 - as) +
+            static_cast<double>(a) * ratio(sigma * sigma, p + sigma);
+  out.pi2 = ratio(p * ar, 1.0 - as) +
+            static_cast<double>(a) * ratio(sigma * p, p + sigma);
+  out.pi3 = ratio(p * ar, 1.0 - as);
+  out.pi4 = ratio(p * p, 1.0 - as);
+  return out;
+}
+
+WtTraceProbabilities wt_trace_probabilities_write_disturbance(double p,
+                                                              double xi,
+                                                              std::size_t a) {
+  check_probability(p, "p");
+  check_probability(xi, "xi");
+  const double ax = static_cast<double>(a) * xi;
+  const double ar = 1.0 - p - ax;
+  DRSM_CHECK(ar >= -1e-12, "p + a*xi exceeds 1");
+
+  WtTraceProbabilities out;
+  out.pi1 = ar * ar;
+  out.pi2 = (p + ax) * ar;
+  out.pi3 = p * ar;
+  out.pi4 = p * (p + ax) + ax;
+  return out;
+}
+
+WtTraceProbabilities wt_trace_probabilities_multiple_ac(double p,
+                                                        std::size_t beta) {
+  check_probability(p, "p");
+  DRSM_CHECK(beta >= 1, "beta must be >= 1");
+  const double b = static_cast<double>(beta);
+  const double d = 1.0 + (b - 1.0) * p;
+
+  WtTraceProbabilities out;
+  out.pi1 = (1.0 - p) * (1.0 - p) / d;
+  out.pi2 = b * p * (1.0 - p) / d;
+  out.pi3 = p * (1.0 - p) / d;
+  out.pi4 = b * p * p / d;
+  return out;
+}
+
+double wt_read_disturbance(double p, double sigma, std::size_t a,
+                           std::size_t n, double s_cost, double p_cost) {
+  const WtTraceProbabilities pi =
+      wt_trace_probabilities_read_disturbance(p, sigma, a);
+  const double nn = static_cast<double>(n);
+  return pi.pi2 * (s_cost + 2.0) + (pi.pi3 + pi.pi4) * (p_cost + nn);
+}
+
+double wt_read_disturbance_heterogeneous(double p,
+                                         const std::vector<double>& sigmas,
+                                         std::size_t n, double s_cost,
+                                         double p_cost) {
+  check_probability(p, "p");
+  double total = 0.0;
+  for (double sigma : sigmas) {
+    check_probability(sigma, "sigma_k");
+    total += sigma;
+  }
+  const double ar = 1.0 - p - total;
+  DRSM_CHECK(ar >= -1e-12, "p + sum(sigma) exceeds 1");
+  double pi2 = ratio(p * ar, 1.0 - total);
+  for (double sigma : sigmas) pi2 += ratio(sigma * p, p + sigma);
+  return pi2 * (s_cost + 2.0) +
+         p * (p_cost + static_cast<double>(n));
+}
+
+double wt_write_disturbance(double p, double xi, std::size_t a,
+                            std::size_t n, double s_cost, double p_cost) {
+  const WtTraceProbabilities pi =
+      wt_trace_probabilities_write_disturbance(p, xi, a);
+  const double nn = static_cast<double>(n);
+  // pi3 + pi4 = p + a*xi: every write (center or disturber) costs P+N.
+  return pi.pi2 * (s_cost + 2.0) + (pi.pi3 + pi.pi4) * (p_cost + nn);
+}
+
+double wt_multiple_ac(double p, std::size_t beta, std::size_t n,
+                      double s_cost, double p_cost) {
+  const WtTraceProbabilities pi = wt_trace_probabilities_multiple_ac(p, beta);
+  const double nn = static_cast<double>(n);
+  return pi.pi2 * (s_cost + 2.0) + (pi.pi3 + pi.pi4) * (p_cost + nn);
+}
+
+double ideal_acc(ProtocolKind kind, double p, std::size_t n, double s_cost,
+                 double p_cost) {
+  check_probability(p, "p");
+  const double nn = static_cast<double>(n);
+  switch (kind) {
+    case ProtocolKind::kWriteThrough:
+      return p * ((1.0 - p) * (s_cost + 2.0) + p_cost + nn);
+    case ProtocolKind::kWriteThroughV:
+      return p * (p_cost + nn + 2.0);
+    case ProtocolKind::kWriteOnce:
+    case ProtocolKind::kSynapse:
+    case ProtocolKind::kIllinois:
+    case ProtocolKind::kBerkeley:
+      return 0.0;
+    case ProtocolKind::kDragon:
+      return p * nn * (p_cost + 1.0);
+    case ProtocolKind::kFirefly:
+      return p * (nn * (p_cost + 1.0) + 1.0);
+  }
+  DRSM_CHECK(false, "unreachable");
+  return 0.0;
+}
+
+double wtv_read_disturbance(double p, double sigma, std::size_t a,
+                            std::size_t n, double s_cost, double p_cost) {
+  check_probability(p, "p");
+  check_probability(sigma, "sigma");
+  const double nn = static_cast<double>(n);
+  // Disturbing clients miss whenever the most recent event relevant to
+  // their copy (center write with prob p, own read with prob sigma) was a
+  // write.
+  const double miss = static_cast<double>(a) * ratio(sigma * p, p + sigma);
+  return miss * (s_cost + 2.0) + p * (p_cost + nn + 2.0);
+}
+
+double wtv_write_disturbance(double p, double xi, std::size_t a,
+                             std::size_t n, double s_cost, double p_cost) {
+  check_probability(p, "p");
+  check_probability(xi, "xi");
+  const double ax = static_cast<double>(a) * xi;
+  const double ar = 1.0 - p - ax;
+  DRSM_CHECK(ar >= -1e-12, "p + a*xi exceeds 1");
+  const double nn = static_cast<double>(n);
+  // The center's copy survives its own writes but not the disturbers'.
+  return ar * ax * (s_cost + 2.0) + (p + ax) * (p_cost + nn + 2.0);
+}
+
+double berkeley_read_disturbance(double p, double sigma, std::size_t a,
+                                 std::size_t n, double s_cost,
+                                 double p_cost) {
+  (void)p_cost;  // Berkeley never moves write parameters between nodes
+  check_probability(p, "p");
+  check_probability(sigma, "sigma");
+  const double as = static_cast<double>(a) * sigma;
+  const double nn = static_cast<double>(n);
+  // In the steady state the activity center owns the object.  A disturber
+  // read misses (S+2, owner -> SHARED-DIRTY) when the last event relevant
+  // to its copy was a write; a center write pays the invalidation broadcast
+  // (N) when any disturber re-validated since the previous write.
+  const double miss = static_cast<double>(a) * ratio(sigma * p, p + sigma);
+  const double shared_write = p * ratio(as, p + as);
+  return miss * (s_cost + 2.0) + shared_write * nn;
+}
+
+double dragon_acc(double total_write_prob, std::size_t n, double p_cost) {
+  check_probability(total_write_prob, "write probability");
+  return total_write_prob * static_cast<double>(n) * (p_cost + 1.0);
+}
+
+double firefly_acc(double total_write_prob, std::size_t n, double p_cost) {
+  check_probability(total_write_prob, "write probability");
+  return total_write_prob *
+         (static_cast<double>(n) * (p_cost + 1.0) + 1.0);
+}
+
+double synapse_read_disturbance_a1(double p, double sigma, std::size_t n,
+                                   double s_cost, double p_cost) {
+  (void)p_cost;  // Synapse grants ship the whole user information (S)
+  check_probability(p, "p");
+  check_probability(sigma, "sigma");
+  if (p <= 0.0 || sigma <= 0.0) return 0.0;
+  const double r = 1.0 - p - sigma;  // activity-center read probability
+  DRSM_CHECK(r >= -1e-12, "p + sigma exceeds 1");
+  const double nn = static_cast<double>(n);
+  // Three-state chain for the center's copy: DIRTY until the disturber's
+  // read flushes it (2S+6, -> INVALID), then the center refetches on read
+  // (S+2, -> VALID) and re-acquires exclusivity on write (S+N+1, -> DIRTY).
+  const double pi_dirty = (1.0 - sigma) * p / (p + sigma * r);
+  const double pi_invalid = pi_dirty * sigma / (1.0 - sigma);
+  return pi_dirty * sigma *
+             ((2.0 * s_cost + 6.0) + (s_cost + nn + 1.0)) +
+         pi_invalid * r * (s_cost + 2.0);
+}
+
+double illinois_read_disturbance_a1(double p, double sigma, std::size_t n,
+                                    double s_cost, double p_cost) {
+  (void)p_cost;
+  check_probability(p, "p");
+  check_probability(sigma, "sigma");
+  if (p <= 0.0 || sigma <= 0.0) return 0.0;
+  const double nn = static_cast<double>(n);
+  // Two-state chain: the flush keeps the center's copy VALID, so the cycle
+  // alternates dirty reads (2S+4) and invalidate-only write upgrades (N+1).
+  return p * sigma * (2.0 * s_cost + nn + 5.0) / (p + sigma);
+}
+
+double wt_read_disturbance_with_eject(double p, double sigma, std::size_t a,
+                                      double e, std::size_t n, double s_cost,
+                                      double p_cost) {
+  check_probability(p, "p");
+  check_probability(sigma, "sigma");
+  check_probability(e, "e");
+  const double as = static_cast<double>(a) * sigma;
+  const double r = 1.0 - p - as - e;
+  DRSM_CHECK(r >= -1e-12, "p + a*sigma + e exceeds 1");
+  const double nn = static_cast<double>(n);
+  // The center's copy is invalid whenever the last event relevant to it
+  // (own write p, own eject e, own read r) was a write or an eject.
+  const double center_miss = r * ratio(p + e, p + e + r);
+  const double disturber_miss =
+      static_cast<double>(a) * ratio(sigma * p, p + sigma);
+  return (center_miss + disturber_miss) * (s_cost + 2.0) +
+         p * (p_cost + nn);
+}
+
+double wt_wtv_boundary(double sigma, double a, double s_cost) {
+  return (1.0 - a * sigma) * s_cost / (s_cost + 2.0);
+}
+
+double synapse_wtv_boundary(double sigma, double a, std::size_t n,
+                            double s_cost, double p_cost) {
+  return a * sigma * (s_cost + static_cast<double>(n) - p_cost) /
+         (p_cost + static_cast<double>(n) + 2.0);
+}
+
+double dragon_berkeley_boundary(double sigma, std::size_t n, double s_cost,
+                                double p_cost) {
+  const double nn = static_cast<double>(n);
+  return sigma * (s_cost + 2.0 - nn * p_cost) / (nn * (p_cost + 1.0));
+}
+
+}  // namespace drsm::analytic::closed_form

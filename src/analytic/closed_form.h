@@ -1,0 +1,129 @@
+// Closed-form steady-state average communication costs and crossover lines.
+//
+// Everything the paper states explicitly is implemented here:
+//  * the Write-Through acc for all three deviations (eqns 3, 4, 5) together
+//    with the trace probabilities pi_1..pi_4 derived in Section 4.3;
+//  * the ideal-workload limits for all eight protocols (Section 5.1);
+//  * the crossover lines of Section 5.1.
+//
+// In addition, closed forms we derived with the paper's own methodology are
+// provided for Write-Through-V, Berkeley, Dragon, Firefly (all exact) and
+// for Synapse/Illinois with a single disturbing client.  Each one is
+// checked against the exact Markov-chain engine in the test suite; for the
+// remaining (protocol, deviation) pairs the chain engine is the analytic
+// reference (the paper's Table 6 is not legible in the available copy; see
+// DESIGN.md).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "protocols/protocol.h"
+
+namespace drsm::analytic::closed_form {
+
+/// Steady-state trace probabilities of the Write-Through protocol
+/// (traces tr1/tr2: client read on VALID/INVALID; tr3/tr4: client write on
+/// VALID/INVALID).  They always sum to 1.
+struct WtTraceProbabilities {
+  double pi1 = 0.0;
+  double pi2 = 0.0;
+  double pi3 = 0.0;
+  double pi4 = 0.0;
+};
+
+/// Section 4.3, read disturbance.
+WtTraceProbabilities wt_trace_probabilities_read_disturbance(double p,
+                                                             double sigma,
+                                                             std::size_t a);
+/// Section 4.3, write disturbance.
+WtTraceProbabilities wt_trace_probabilities_write_disturbance(double p,
+                                                              double xi,
+                                                              std::size_t a);
+/// Section 4.3, multiple activity centers.
+WtTraceProbabilities wt_trace_probabilities_multiple_ac(double p,
+                                                        std::size_t beta);
+
+/// Eqn (3): acc of Write-Through under read disturbance.
+double wt_read_disturbance(double p, double sigma, std::size_t a,
+                           std::size_t n, double s_cost, double p_cost);
+
+/// The paper's general (heterogeneous) read disturbance, before the
+/// homogeneous simplification: client k reads with probability sigma_k:
+/// acc = [p(1-p-U)/(1-U) + sum_k sigma_k p/(p+sigma_k)](S+2) + p(P+N),
+/// with U = sum_k sigma_k.
+double wt_read_disturbance_heterogeneous(double p,
+                                         const std::vector<double>& sigmas,
+                                         std::size_t n, double s_cost,
+                                         double p_cost);
+
+/// Eqn (4): acc of Write-Through under write disturbance.
+double wt_write_disturbance(double p, double xi, std::size_t a,
+                            std::size_t n, double s_cost, double p_cost);
+
+/// Eqn (5): acc of Write-Through with beta activity centers.
+double wt_multiple_ac(double p, std::size_t beta, std::size_t n,
+                      double s_cost, double p_cost);
+
+/// Ideal-workload acc for any of the eight protocols (Section 5.1):
+/// WT = p((1-p)(S+2)+P+N), WTV = p(P+N+2), Dragon = pN(P+1),
+/// Firefly = p(N(P+1)+1), and 0 for Write-Once/Synapse/Illinois/Berkeley.
+double ideal_acc(protocols::ProtocolKind kind, double p, std::size_t n,
+                 double s_cost, double p_cost);
+
+// -- derived closed forms (validated against the chain engine) -------------
+
+/// WTV, read disturbance: a*sigma*p/(p+sigma)*(S+2) + p*(P+N+2).
+double wtv_read_disturbance(double p, double sigma, std::size_t a,
+                            std::size_t n, double s_cost, double p_cost);
+
+/// WTV, write disturbance: (1-p-a*xi)*a*xi*(S+2) + (p+a*xi)*(P+N+2).
+double wtv_write_disturbance(double p, double xi, std::size_t a,
+                             std::size_t n, double s_cost, double p_cost);
+
+/// Berkeley, read disturbance:
+/// a*sigma*p/(p+sigma)*(S+2) + p*a*sigma/(p+a*sigma)*N.
+double berkeley_read_disturbance(double p, double sigma, std::size_t a,
+                                 std::size_t n, double s_cost, double p_cost);
+
+/// Dragon: every write costs N(P+1); reads are free.  Holds for all three
+/// deviations with total write probability `total_write_prob`.
+double dragon_acc(double total_write_prob, std::size_t n, double p_cost);
+
+/// Firefly: every client write costs N(P+1)+1; reads are free.
+double firefly_acc(double total_write_prob, std::size_t n, double p_cost);
+
+/// Synapse, read disturbance, a = 1 disturbing client.
+double synapse_read_disturbance_a1(double p, double sigma, std::size_t n,
+                                   double s_cost, double p_cost);
+
+/// Illinois, read disturbance, a = 1 disturbing client.
+double illinois_read_disturbance_a1(double p, double sigma, std::size_t n,
+                                    double s_cost, double p_cost);
+
+/// Write-Through with the eject extension: the activity center ejects its
+/// replica with probability e per operation (eject is local and free, but
+/// each eject turns the next center read into an S+2 miss):
+/// acc = [r(p+e)/(p+e+r) + a*sigma*p/(p+sigma)](S+2) + p(P+N)
+/// with r = 1-p-a*sigma-e.
+double wt_read_disturbance_with_eject(double p, double sigma, std::size_t a,
+                                      double e, std::size_t n, double s_cost,
+                                      double p_cost);
+
+// -- crossover lines (Section 5.1) ------------------------------------------
+
+/// WT vs WTV boundary: p* = S/(S+2) - a*sigma*S/(S+2); WTV is cheaper for
+/// p below the line.
+double wt_wtv_boundary(double sigma, double a, double s_cost);
+
+/// Paper's Synapse vs WTV boundary p* = a*sigma*(S+N-P)/(P+N+2), valid for
+/// P < S+N (for P > S+N Synapse wins everywhere).
+double synapse_wtv_boundary(double sigma, double a, std::size_t n,
+                            double s_cost, double p_cost);
+
+/// Dragon vs Berkeley boundary for a = 1: p* = sigma*(S+2-N*P)/(N*(P+1)),
+/// valid for N*P < S+2 (for N*P > S+2 Berkeley wins everywhere).
+double dragon_berkeley_boundary(double sigma, std::size_t n, double s_cost,
+                                double p_cost);
+
+}  // namespace drsm::analytic::closed_form

@@ -1,0 +1,687 @@
+#include "analytic/lumped.h"
+
+#include <deque>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "analytic/closed_form.h"
+#include "linalg/stationary.h"
+#include "support/error.h"
+
+namespace drsm::analytic {
+
+namespace {
+
+/// Small helper to assemble and solve a lumped chain.  States are created
+/// lazily by key; arcs carry (probability, cost); the solver restricts to
+/// the states reachable from the initial one (transient phases included)
+/// and returns the stationary expected cost per step.
+class LumpedBuilder {
+ public:
+  using Key = std::tuple<int, int, int>;  // (phase/ac-state, k, spare)
+
+  std::size_t state(int ac, int k, int extra = 0) {
+    const Key key{ac, k, extra};
+    auto [it, inserted] = index_.emplace(key, index_.size());
+    if (inserted) arcs_.emplace_back();
+    return it->second;
+  }
+
+  void arc(std::size_t from, std::size_t to, double prob, double cost) {
+    DRSM_CHECK(prob >= -1e-12, "lumped: negative probability");
+    if (prob <= 0.0) return;
+    arcs_[from].push_back({to, prob, cost});
+  }
+
+  double solve(std::size_t initial) {
+    const std::size_t n = arcs_.size();
+    // Reachability from the initial state.
+    std::vector<std::uint32_t> local(n, UINT32_MAX);
+    std::vector<std::size_t> reach;
+    std::deque<std::size_t> frontier;
+    local[initial] = 0;
+    reach.push_back(initial);
+    frontier.push_back(initial);
+    while (!frontier.empty()) {
+      const std::size_t s = frontier.front();
+      frontier.pop_front();
+      for (const Arc& arc : arcs_[s]) {
+        if (local[arc.to] == UINT32_MAX) {
+          local[arc.to] = static_cast<std::uint32_t>(reach.size());
+          reach.push_back(arc.to);
+          frontier.push_back(arc.to);
+        }
+      }
+    }
+
+    std::vector<linalg::Triplet> trip;
+    std::vector<double> expected(reach.size(), 0.0);
+    for (std::size_t r = 0; r < reach.size(); ++r) {
+      double total = 0.0;
+      for (const Arc& arc : arcs_[reach[r]]) {
+        trip.push_back({r, local[arc.to], arc.prob});
+        expected[r] += arc.prob * arc.cost;
+        total += arc.prob;
+      }
+      DRSM_CHECK(std::abs(total - 1.0) < 1e-9,
+                 "lumped: state probabilities do not sum to 1");
+    }
+    linalg::CsrMatrix matrix(reach.size(), reach.size(), std::move(trip));
+    const linalg::Vector pi = linalg::stationary_distribution(matrix);
+    double acc = 0.0;
+    for (std::size_t r = 0; r < reach.size(); ++r)
+      acc += pi[r] * expected[r];
+    return acc;
+  }
+
+ private:
+  struct Arc {
+    std::size_t to;
+    double prob;
+    double cost;
+  };
+  std::map<Key, std::size_t> index_;
+  std::vector<std::vector<Arc>> arcs_;
+};
+
+struct Params {
+  double n;      // N
+  double s;      // S
+  double pc;     // P
+  double p;      // write probability at the activity center
+  double sigma;  // per-disturber read probability
+  int a;         // number of disturbers
+  double r;      // activity-center read probability
+};
+
+// Activity-center copy states shared by the invalidate protocols.
+enum AcState : int { kI = 0, kV = 1, kR = 2, kD = 3 };
+
+double solve_write_through(const Params& q, bool v_variant) {
+  LumpedBuilder b;
+  const double write_cost = v_variant ? q.pc + q.n + 2.0 : q.pc + q.n;
+  const int write_ac = v_variant ? kV : kI;
+  for (int ac : {kI, kV}) {
+    for (int k = 0; k <= q.a; ++k) {
+      const std::size_t s = b.state(ac, k);
+      b.arc(s, b.state(write_ac, 0), q.p, write_cost);
+      if (ac == kV)
+        b.arc(s, s, q.r, 0.0);
+      else
+        b.arc(s, b.state(kV, k), q.r, q.s + 2.0);
+      b.arc(s, s, k * q.sigma, 0.0);  // valid disturbers re-read
+      if (k < q.a)
+        b.arc(s, b.state(ac, k + 1), (q.a - k) * q.sigma, q.s + 2.0);
+      else
+        b.arc(s, s, 0.0, 0.0);
+    }
+  }
+  return b.solve(b.state(kI, 0));
+}
+
+double solve_write_once(const Params& q) {
+  LumpedBuilder b;
+  // Invariant: RESERVED/DIRTY at the center implies no valid disturbers.
+  for (int ac : {kI, kV}) {
+    for (int k = 0; k <= q.a; ++k) {
+      const std::size_t s = b.state(ac, k);
+      // Write: from VALID it is a write-through (-> RESERVED); from
+      // INVALID an exclusive fetch (-> DIRTY); no owner can exist here.
+      if (ac == kV)
+        b.arc(s, b.state(kR, 0), q.p, q.pc + q.n + 1.0);
+      else
+        b.arc(s, b.state(kD, 0), q.p, q.s + q.n + 1.0);
+      if (ac == kV)
+        b.arc(s, s, q.r, 0.0);
+      else
+        b.arc(s, b.state(kV, k), q.r, q.s + 2.0);
+      b.arc(s, s, k * q.sigma, 0.0);
+      if (k < q.a)
+        b.arc(s, b.state(ac, k + 1), (q.a - k) * q.sigma, q.s + 2.0);
+    }
+  }
+  for (int ac : {kR, kD}) {
+    const std::size_t s = b.state(ac, 0);
+    // Local writes: RESERVED silently hardens to DIRTY, DIRTY stays.
+    b.arc(s, b.state(kD, 0), q.p, 0.0);
+    b.arc(s, s, q.r, 0.0);  // center reads hit
+    // A disturber read recalls the copy (clean token from RESERVED, data
+    // flush from DIRTY); the center keeps a VALID copy.
+    const double recall = ac == kD ? 2.0 * q.s + 4.0 : q.s + 4.0;
+    b.arc(s, b.state(kV, 1), q.a * q.sigma, recall);
+  }
+  return b.solve(b.state(kI, 0));
+}
+
+double solve_synapse(const Params& q) {
+  LumpedBuilder b;
+  for (int ac : {kI, kV}) {
+    for (int k = 0; k <= q.a; ++k) {
+      const std::size_t s = b.state(ac, k);
+      b.arc(s, b.state(kD, 0), q.p, q.s + q.n + 1.0);
+      if (ac == kV)
+        b.arc(s, s, q.r, 0.0);
+      else
+        b.arc(s, b.state(kV, k), q.r, q.s + 2.0);
+      b.arc(s, s, k * q.sigma, 0.0);
+      if (k < q.a)
+        b.arc(s, b.state(ac, k + 1), (q.a - k) * q.sigma, q.s + 2.0);
+    }
+  }
+  {
+    const std::size_t s = b.state(kD, 0);
+    b.arc(s, s, q.p + q.r, 0.0);  // owner reads and writes are free
+    // Dirty miss: flush + NACK + retry; the owner's copy is invalidated.
+    b.arc(s, b.state(kI, 1), q.a * q.sigma, 2.0 * q.s + 6.0);
+  }
+  return b.solve(b.state(kI, 0));
+}
+
+double solve_illinois(const Params& q) {
+  LumpedBuilder b;
+  for (int ac : {kI, kV}) {
+    for (int k = 0; k <= q.a; ++k) {
+      const std::size_t s = b.state(ac, k);
+      // Write upgrade: bare-token grant from VALID, data grant from
+      // INVALID.
+      const double write_cost =
+          ac == kV ? q.n + 1.0 : q.s + q.n + 1.0;
+      b.arc(s, b.state(kD, 0), q.p, write_cost);
+      if (ac == kV)
+        b.arc(s, s, q.r, 0.0);
+      else
+        b.arc(s, b.state(kV, k), q.r, q.s + 2.0);
+      b.arc(s, s, k * q.sigma, 0.0);
+      if (k < q.a)
+        b.arc(s, b.state(ac, k + 1), (q.a - k) * q.sigma, q.s + 2.0);
+    }
+  }
+  {
+    const std::size_t s = b.state(kD, 0);
+    b.arc(s, s, q.p + q.r, 0.0);
+    // Dirty miss: forwarded recall; the old owner keeps a VALID copy.
+    b.arc(s, b.state(kV, 1), q.a * q.sigma, 2.0 * q.s + 4.0);
+  }
+  return b.solve(b.state(kI, 0));
+}
+
+double solve_berkeley(const Params& q) {
+  LumpedBuilder b;
+  // Phase 0: the home node owns.  State key: (phase*4 + center-valid, k).
+  // Phase 1: the center owns; DIRTY iff k == 0.
+  const int kHomeInvalid = 10, kHomeValid = 11, kCenter = 12;
+  for (int ac : {kHomeInvalid, kHomeValid}) {
+    for (int k = 0; k <= q.a; ++k) {
+      const std::size_t s = b.state(ac, k);
+      // Center write migrates ownership: bare transfer from a VALID copy,
+      // data transfer from INVALID; then an invalidation broadcast.
+      const double migrate =
+          ac == kHomeValid ? q.n + 2.0 : q.s + q.n + 2.0;
+      b.arc(s, b.state(kCenter, 0), q.p, migrate);
+      if (ac == kHomeValid)
+        b.arc(s, s, q.r, 0.0);
+      else
+        b.arc(s, b.state(kHomeValid, k), q.r, q.s + 2.0);
+      b.arc(s, s, k * q.sigma, 0.0);
+      if (k < q.a)
+        b.arc(s, b.state(ac, k + 1), (q.a - k) * q.sigma, q.s + 2.0);
+    }
+  }
+  for (int k = 0; k <= q.a; ++k) {
+    const std::size_t s = b.state(kCenter, k);
+    // Owner write: free while DIRTY (k == 0), else invalidate broadcast.
+    if (k == 0)
+      b.arc(s, s, q.p, 0.0);
+    else
+      b.arc(s, b.state(kCenter, 0), q.p, q.n);
+    b.arc(s, s, q.r, 0.0);  // owner reads always hit
+    b.arc(s, s, k * q.sigma, 0.0);
+    if (k < q.a)
+      b.arc(s, b.state(kCenter, k + 1), (q.a - k) * q.sigma, q.s + 2.0);
+  }
+  return b.solve(b.state(kHomeInvalid, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Write disturbance.  Disturbers never read, so their copies are INVALID
+// except for (at most) the current owner and, in the protocols whose
+// recall leaves the flushed copy valid (Write-Once, Illinois), one
+// "ex-owner" holding a VALID copy.  The owner's identity within the
+// disturber group is exchangeable, so each chain has O(1) states; the
+// only distinction that matters is owner-writes-again (probability xi)
+// vs another-disturber-writes (probability (a-1)*xi).
+// ---------------------------------------------------------------------------
+
+// State tags for the write-disturbance chains.
+enum WdState : int {
+  kNoneAcI = 0,   // no owner, center INVALID
+  kNoneAcV,       // no owner, center VALID
+  kNoneAcVExV,    // no owner, center VALID, one ex-owner disturber VALID
+  kOwnerAcR,      // center owns, RESERVED (Write-Once)
+  kOwnerAc,       // center owns (DIRTY)
+  kOwnerDistR,    // a disturber owns, RESERVED (Write-Once)
+  kOwnerDist,     // a disturber owns (DIRTY), center INVALID
+  kOwnerDistAcV,  // a disturber owns (SHARED-DIRTY), center VALID (Berkeley)
+  kHomeAcI,       // home owns (Berkeley start), center INVALID
+  kHomeAcV,       // home owns, center VALID
+};
+
+struct WdParams {
+  double n, s, pc;  // N, S, P
+  double p;         // center write probability
+  double xi;        // per-disturber write probability
+  double a;         // number of disturbers
+  double r;         // center read probability = 1 - p - a*xi
+};
+
+double solve_wd_write_through(const WdParams& q, bool v_variant) {
+  LumpedBuilder b;
+  const double w = v_variant ? q.pc + q.n + 2.0 : q.pc + q.n;
+  const std::size_t sI = b.state(kNoneAcI, 0), sV = b.state(kNoneAcV, 0);
+  const std::size_t after_own_write = v_variant ? sV : sI;
+  for (std::size_t s : {sI, sV}) {
+    b.arc(s, after_own_write, q.p, w);       // center write
+    b.arc(s, sI, q.a * q.xi, w);             // disturber write invalidates
+  }
+  b.arc(sI, sV, q.r, q.s + 2.0);
+  b.arc(sV, sV, q.r, 0.0);
+  return b.solve(sI);
+}
+
+double solve_wd_write_once(const WdParams& q) {
+  LumpedBuilder b;
+  const std::size_t none_i = b.state(kNoneAcI, 0);
+  const std::size_t none_v = b.state(kNoneAcV, 0);
+  const std::size_t none_v_ex = b.state(kNoneAcVExV, 0);
+  const std::size_t ac_r = b.state(kOwnerAcR, 0);
+  const std::size_t ac_d = b.state(kOwnerAc, 0);
+  const std::size_t dist_r = b.state(kOwnerDistR, 0);
+  const std::size_t dist_d = b.state(kOwnerDist, 0);
+
+  b.arc(none_i, ac_d, q.p, q.s + q.n + 1.0);   // write miss, no owner
+  b.arc(none_i, none_v, q.r, q.s + 2.0);
+  b.arc(none_i, dist_d, q.a * q.xi, q.s + q.n + 1.0);
+
+  b.arc(none_v, ac_r, q.p, q.pc + q.n + 1.0);  // write-through
+  b.arc(none_v, none_v, q.r, 0.0);
+  b.arc(none_v, dist_d, q.a * q.xi, q.s + q.n + 1.0);
+
+  // Ex-owner disturber still VALID: its own write is a write-through.
+  b.arc(none_v_ex, ac_r, q.p, q.pc + q.n + 1.0);
+  b.arc(none_v_ex, none_v_ex, q.r, 0.0);
+  b.arc(none_v_ex, dist_r, q.xi, q.pc + q.n + 1.0);
+  b.arc(none_v_ex, dist_d, (q.a - 1.0) * q.xi, q.s + q.n + 1.0);
+
+  b.arc(ac_r, ac_d, q.p, 0.0);  // silent RESERVED -> DIRTY
+  b.arc(ac_r, ac_r, q.r, 0.0);
+  b.arc(ac_r, dist_d, q.a * q.xi, q.s + q.n + 3.0);  // recall clean
+
+  b.arc(ac_d, ac_d, q.p + q.r, 0.0);
+  b.arc(ac_d, dist_d, q.a * q.xi, 2.0 * q.s + q.n + 3.0);  // recall dirty
+
+  b.arc(dist_r, ac_d, q.p, q.s + q.n + 3.0);
+  b.arc(dist_r, none_v_ex, q.r, q.s + 4.0);  // read recalls a clean owner
+  b.arc(dist_r, dist_d, q.xi, 0.0);          // owner hardens silently
+  b.arc(dist_r, dist_d, (q.a - 1.0) * q.xi, q.s + q.n + 3.0);
+
+  b.arc(dist_d, ac_d, q.p, 2.0 * q.s + q.n + 3.0);
+  b.arc(dist_d, none_v_ex, q.r, 2.0 * q.s + 4.0);  // flush, owner keeps V
+  b.arc(dist_d, dist_d, q.xi, 0.0);
+  b.arc(dist_d, dist_d, (q.a - 1.0) * q.xi, 2.0 * q.s + q.n + 3.0);
+
+  return b.solve(none_i);
+}
+
+double solve_wd_synapse(const WdParams& q) {
+  LumpedBuilder b;
+  const std::size_t none_i = b.state(kNoneAcI, 0);
+  const std::size_t none_v = b.state(kNoneAcV, 0);
+  const std::size_t ac_d = b.state(kOwnerAc, 0);
+  const std::size_t dist_d = b.state(kOwnerDist, 0);
+  const double acquire = q.s + q.n + 1.0;
+  const double steal = 2.0 * q.s + q.n + 5.0;  // recall + NACK + retry
+
+  b.arc(none_i, ac_d, q.p, acquire);
+  b.arc(none_i, none_v, q.r, q.s + 2.0);
+  b.arc(none_i, dist_d, q.a * q.xi, acquire);
+
+  b.arc(none_v, ac_d, q.p, acquire);
+  b.arc(none_v, none_v, q.r, 0.0);
+  b.arc(none_v, dist_d, q.a * q.xi, acquire);
+
+  b.arc(ac_d, ac_d, q.p + q.r, 0.0);
+  b.arc(ac_d, dist_d, q.a * q.xi, steal);
+
+  b.arc(dist_d, ac_d, q.p, steal);
+  b.arc(dist_d, none_v, q.r, 2.0 * q.s + 6.0);  // flush invalidates owner
+  b.arc(dist_d, dist_d, q.xi, 0.0);
+  b.arc(dist_d, dist_d, (q.a - 1.0) * q.xi, steal);
+
+  return b.solve(none_i);
+}
+
+double solve_wd_illinois(const WdParams& q) {
+  LumpedBuilder b;
+  const std::size_t none_i = b.state(kNoneAcI, 0);
+  const std::size_t none_v = b.state(kNoneAcV, 0);
+  const std::size_t none_v_ex = b.state(kNoneAcVExV, 0);
+  const std::size_t ac_d = b.state(kOwnerAc, 0);
+  const std::size_t dist_d = b.state(kOwnerDist, 0);
+  const double miss_acquire = q.s + q.n + 1.0;
+  const double upgrade = q.n + 1.0;  // bare-token grant from VALID
+  const double steal = 2.0 * q.s + q.n + 3.0;
+
+  b.arc(none_i, ac_d, q.p, miss_acquire);
+  b.arc(none_i, none_v, q.r, q.s + 2.0);
+  b.arc(none_i, dist_d, q.a * q.xi, miss_acquire);
+
+  b.arc(none_v, ac_d, q.p, upgrade);
+  b.arc(none_v, none_v, q.r, 0.0);
+  b.arc(none_v, dist_d, q.a * q.xi, miss_acquire);
+
+  // Ex-owner disturber still VALID: its write is a bare upgrade.
+  b.arc(none_v_ex, ac_d, q.p, upgrade);
+  b.arc(none_v_ex, none_v_ex, q.r, 0.0);
+  b.arc(none_v_ex, dist_d, q.xi, upgrade);
+  b.arc(none_v_ex, dist_d, (q.a - 1.0) * q.xi, miss_acquire);
+
+  b.arc(ac_d, ac_d, q.p + q.r, 0.0);
+  b.arc(ac_d, dist_d, q.a * q.xi, steal);
+
+  b.arc(dist_d, ac_d, q.p, steal);
+  b.arc(dist_d, none_v_ex, q.r, 2.0 * q.s + 4.0);  // owner keeps VALID
+  b.arc(dist_d, dist_d, q.xi, 0.0);
+  b.arc(dist_d, dist_d, (q.a - 1.0) * q.xi, steal);
+
+  return b.solve(none_i);
+}
+
+double solve_wd_berkeley(const WdParams& q) {
+  LumpedBuilder b;
+  const std::size_t home_i = b.state(kHomeAcI, 0);
+  const std::size_t home_v = b.state(kHomeAcV, 0);
+  const std::size_t ac = b.state(kOwnerAc, 0);
+  const std::size_t dist_i = b.state(kOwnerDist, 0);
+  const std::size_t dist_v = b.state(kOwnerDistAcV, 0);
+  const double migrate_data = q.s + q.n + 2.0;  // from an INVALID copy
+  const double migrate_token = q.n + 2.0;       // from a VALID copy
+
+  b.arc(home_i, ac, q.p, migrate_data);
+  b.arc(home_i, home_v, q.r, q.s + 2.0);
+  b.arc(home_i, dist_i, q.a * q.xi, migrate_data);
+
+  b.arc(home_v, ac, q.p, migrate_token);
+  b.arc(home_v, home_v, q.r, 0.0);
+  b.arc(home_v, dist_i, q.a * q.xi, migrate_data);
+
+  b.arc(ac, ac, q.p + q.r, 0.0);  // owner center: reads and writes free
+  b.arc(ac, dist_i, q.a * q.xi, migrate_data);
+
+  b.arc(dist_i, ac, q.p, migrate_data);
+  b.arc(dist_i, dist_v, q.r, q.s + 2.0);  // center read, owner -> SD
+  b.arc(dist_i, dist_i, q.xi, 0.0);
+  b.arc(dist_i, dist_i, (q.a - 1.0) * q.xi, migrate_data);
+
+  b.arc(dist_v, ac, q.p, migrate_token);
+  b.arc(dist_v, dist_v, q.r, 0.0);
+  b.arc(dist_v, dist_i, q.xi, q.n);  // SD owner re-sharpens: broadcast
+  b.arc(dist_v, dist_i, (q.a - 1.0) * q.xi, migrate_data);
+
+  return b.solve(home_i);
+}
+
+// ---------------------------------------------------------------------------
+// Multiple activity centers: beta exchangeable centers, each writing with
+// probability p/beta and reading with (1-p)/beta.  Lumped state: owner
+// class (none / a center, with Write-Once's RESERVED distinguished) plus
+// the number of centers holding a valid non-owned copy.
+// ---------------------------------------------------------------------------
+
+struct MacParams {
+  double n, s, pc;
+  double beta;
+  double w;   // per-center write probability = p / beta
+  double rr;  // per-center read probability  = (1-p) / beta
+};
+
+// Owner-class tags for the MAC chains (distinct from WdState values).
+enum MacOwner : int { kMacNone = 20, kMacR, kMacD, kMacHome };
+
+double solve_mac_write_through(const MacParams& q, bool v_variant) {
+  LumpedBuilder b;
+  const int beta = static_cast<int>(q.beta);
+  for (int k = 0; k <= beta; ++k) {
+    const std::size_t s = b.state(kMacNone, k);
+    // Any center's write invalidates everyone; WTV keeps the writer valid.
+    const double write_cost = v_variant ? q.pc + q.n + 2.0 : q.pc + q.n;
+    b.arc(s, b.state(kMacNone, v_variant ? 1 : 0), q.beta * q.w,
+          write_cost);
+    b.arc(s, s, k * q.rr, 0.0);  // valid centers re-read
+    if (k < beta)
+      b.arc(s, b.state(kMacNone, k + 1), (q.beta - k) * q.rr, q.s + 2.0);
+    else
+      b.arc(s, s, 0.0, 0.0);
+  }
+  return b.solve(b.state(kMacNone, 0));
+}
+
+double solve_mac_write_once(const MacParams& q) {
+  LumpedBuilder b;
+  const int beta = static_cast<int>(q.beta);
+  for (int k = 0; k <= beta; ++k) {
+    const std::size_t s = b.state(kMacNone, k);
+    b.arc(s, b.state(kMacR, 0), k * q.w, q.pc + q.n + 1.0);  // write-through
+    b.arc(s, b.state(kMacD, 0), (q.beta - k) * q.w,
+          q.s + q.n + 1.0);  // write miss
+    b.arc(s, s, k * q.rr, 0.0);
+    if (k < beta)
+      b.arc(s, b.state(kMacNone, k + 1), (q.beta - k) * q.rr, q.s + 2.0);
+  }
+  {
+    const std::size_t s = b.state(kMacR, 0);
+    b.arc(s, b.state(kMacD, 0), q.w, 0.0);  // owner hardens silently
+    b.arc(s, b.state(kMacD, 0), (q.beta - 1.0) * q.w, q.s + q.n + 3.0);
+    b.arc(s, s, q.rr, 0.0);  // owner reads hit
+    // A read recalls the clean owner; reader and ex-owner end up VALID.
+    if (beta >= 2)
+      b.arc(s, b.state(kMacNone, 2), (q.beta - 1.0) * q.rr, q.s + 4.0);
+  }
+  {
+    const std::size_t s = b.state(kMacD, 0);
+    b.arc(s, s, q.w, 0.0);
+    b.arc(s, b.state(kMacD, 0), (q.beta - 1.0) * q.w,
+          2.0 * q.s + q.n + 3.0);
+    b.arc(s, s, q.rr, 0.0);
+    if (beta >= 2)
+      b.arc(s, b.state(kMacNone, 2), (q.beta - 1.0) * q.rr,
+            2.0 * q.s + 4.0);
+  }
+  return b.solve(b.state(kMacNone, 0));
+}
+
+double solve_mac_synapse(const MacParams& q) {
+  LumpedBuilder b;
+  const int beta = static_cast<int>(q.beta);
+  for (int k = 0; k <= beta; ++k) {
+    const std::size_t s = b.state(kMacNone, k);
+    b.arc(s, b.state(kMacD, 0), q.beta * q.w, q.s + q.n + 1.0);
+    b.arc(s, s, k * q.rr, 0.0);
+    if (k < beta)
+      b.arc(s, b.state(kMacNone, k + 1), (q.beta - k) * q.rr, q.s + 2.0);
+  }
+  {
+    const std::size_t s = b.state(kMacD, 0);
+    b.arc(s, s, q.w + q.rr, 0.0);  // owner operations are free
+    b.arc(s, b.state(kMacD, 0), (q.beta - 1.0) * q.w,
+          2.0 * q.s + q.n + 5.0);
+    // Flush invalidates the old owner: only the reader ends up valid.
+    if (beta >= 2)
+      b.arc(s, b.state(kMacNone, 1), (q.beta - 1.0) * q.rr,
+            2.0 * q.s + 6.0);
+  }
+  return b.solve(b.state(kMacNone, 0));
+}
+
+double solve_mac_illinois(const MacParams& q) {
+  LumpedBuilder b;
+  const int beta = static_cast<int>(q.beta);
+  for (int k = 0; k <= beta; ++k) {
+    const std::size_t s = b.state(kMacNone, k);
+    b.arc(s, b.state(kMacD, 0), k * q.w, q.n + 1.0);  // upgrade in place
+    b.arc(s, b.state(kMacD, 0), (q.beta - k) * q.w, q.s + q.n + 1.0);
+    b.arc(s, s, k * q.rr, 0.0);
+    if (k < beta)
+      b.arc(s, b.state(kMacNone, k + 1), (q.beta - k) * q.rr, q.s + 2.0);
+  }
+  {
+    const std::size_t s = b.state(kMacD, 0);
+    b.arc(s, s, q.w + q.rr, 0.0);
+    b.arc(s, b.state(kMacD, 0), (q.beta - 1.0) * q.w,
+          2.0 * q.s + q.n + 3.0);
+    // The recalled owner keeps a VALID copy: reader + ex-owner valid.
+    if (beta >= 2)
+      b.arc(s, b.state(kMacNone, 2), (q.beta - 1.0) * q.rr,
+            2.0 * q.s + 4.0);
+  }
+  return b.solve(b.state(kMacNone, 0));
+}
+
+double solve_mac_berkeley(const MacParams& q) {
+  LumpedBuilder b;
+  const int beta = static_cast<int>(q.beta);
+  // Home-owner phase (transient once any center writes).
+  for (int k = 0; k <= beta; ++k) {
+    const std::size_t s = b.state(kMacHome, k);
+    b.arc(s, b.state(kMacD, 0), k * q.w, q.n + 2.0);
+    b.arc(s, b.state(kMacD, 0), (q.beta - k) * q.w, q.s + q.n + 2.0);
+    b.arc(s, s, k * q.rr, 0.0);
+    if (k < beta)
+      b.arc(s, b.state(kMacHome, k + 1), (q.beta - k) * q.rr, q.s + 2.0);
+  }
+  // Center-owner phase: k valid non-owner centers; owner DIRTY iff k == 0.
+  for (int k = 0; k + 1 <= beta; ++k) {
+    const std::size_t s = b.state(kMacD, k);
+    if (k == 0)
+      b.arc(s, s, q.w, 0.0);  // exclusive owner writes locally
+    else
+      b.arc(s, b.state(kMacD, 0), q.w, q.n);  // re-sharpen: broadcast
+    b.arc(s, b.state(kMacD, 0), k * q.w, q.n + 2.0);  // valid center steals
+    b.arc(s, b.state(kMacD, 0), (q.beta - 1.0 - k) * q.w,
+          q.s + q.n + 2.0);  // invalid center steals with data
+    b.arc(s, s, (k + 1) * q.rr, 0.0);  // owner + valid centers read free
+    if (k + 1 < beta)
+      b.arc(s, b.state(kMacD, k + 1), (q.beta - 1.0 - k) * q.rr,
+            q.s + 2.0);
+  }
+  return b.solve(b.state(kMacHome, 0));
+}
+
+}  // namespace
+
+double lumped_multiple_ac_acc(protocols::ProtocolKind kind, std::size_t n,
+                              double s_cost, double p_cost, double p,
+                              std::size_t beta) {
+  using protocols::ProtocolKind;
+  DRSM_CHECK(beta >= 1, "lumped_multiple_ac_acc: beta must be >= 1");
+  DRSM_CHECK(p >= 0.0 && p <= 1.0 + 1e-12,
+             "lumped_multiple_ac_acc: p out of [0,1]");
+  const double b = static_cast<double>(beta);
+  const MacParams q{static_cast<double>(n), s_cost, p_cost, b,
+                    p / b,                  (1.0 - p) / b};
+  switch (kind) {
+    case ProtocolKind::kWriteThrough:
+      return solve_mac_write_through(q, /*v_variant=*/false);
+    case ProtocolKind::kWriteThroughV:
+      return solve_mac_write_through(q, /*v_variant=*/true);
+    case ProtocolKind::kWriteOnce:
+      return solve_mac_write_once(q);
+    case ProtocolKind::kSynapse:
+      return solve_mac_synapse(q);
+    case ProtocolKind::kIllinois:
+      return solve_mac_illinois(q);
+    case ProtocolKind::kBerkeley:
+      return solve_mac_berkeley(q);
+    case ProtocolKind::kDragon:
+      return closed_form::dragon_acc(p, n, p_cost);
+    case ProtocolKind::kFirefly:
+      return closed_form::firefly_acc(p, n, p_cost);
+  }
+  DRSM_CHECK(false, "unreachable");
+  return 0.0;
+}
+
+double lumped_write_disturbance_acc(protocols::ProtocolKind kind,
+                                    std::size_t n, double s_cost,
+                                    double p_cost, double p, double xi,
+                                    std::size_t a) {
+  using protocols::ProtocolKind;
+  if (a == 0) xi = 0.0;  // no disturbers: ideal workload
+  const double r = 1.0 - p - static_cast<double>(a) * xi;
+  DRSM_CHECK(p >= 0.0 && xi >= 0.0 && r >= -1e-12,
+             "lumped_write_disturbance_acc: invalid probabilities");
+  const WdParams q{static_cast<double>(n),
+                   s_cost,
+                   p_cost,
+                   p,
+                   xi,
+                   static_cast<double>(a),
+                   std::max(0.0, r)};
+  const double total_writes = p + static_cast<double>(a) * xi;
+  switch (kind) {
+    case ProtocolKind::kWriteThrough:
+      return solve_wd_write_through(q, /*v_variant=*/false);
+    case ProtocolKind::kWriteThroughV:
+      return solve_wd_write_through(q, /*v_variant=*/true);
+    case ProtocolKind::kWriteOnce:
+      return solve_wd_write_once(q);
+    case ProtocolKind::kSynapse:
+      return solve_wd_synapse(q);
+    case ProtocolKind::kIllinois:
+      return solve_wd_illinois(q);
+    case ProtocolKind::kBerkeley:
+      return solve_wd_berkeley(q);
+    case ProtocolKind::kDragon:
+      return closed_form::dragon_acc(total_writes, n, p_cost);
+    case ProtocolKind::kFirefly:
+      return closed_form::firefly_acc(total_writes, n, p_cost);
+  }
+  DRSM_CHECK(false, "unreachable");
+  return 0.0;
+}
+
+double lumped_read_disturbance_acc(protocols::ProtocolKind kind,
+                                   std::size_t n, double s_cost,
+                                   double p_cost, double p, double sigma,
+                                   std::size_t a) {
+  using protocols::ProtocolKind;
+  const double r = 1.0 - p - static_cast<double>(a) * sigma;
+  DRSM_CHECK(p >= 0.0 && sigma >= 0.0 && r >= -1e-12,
+             "lumped_read_disturbance_acc: invalid probabilities");
+  const Params q{static_cast<double>(n), s_cost,
+                 p_cost,                 p,
+                 sigma,                  static_cast<int>(a),
+                 std::max(0.0, r)};
+  switch (kind) {
+    case ProtocolKind::kWriteThrough:
+      return solve_write_through(q, /*v_variant=*/false);
+    case ProtocolKind::kWriteThroughV:
+      return solve_write_through(q, /*v_variant=*/true);
+    case ProtocolKind::kWriteOnce:
+      return solve_write_once(q);
+    case ProtocolKind::kSynapse:
+      return solve_synapse(q);
+    case ProtocolKind::kIllinois:
+      return solve_illinois(q);
+    case ProtocolKind::kBerkeley:
+      return solve_berkeley(q);
+    case ProtocolKind::kDragon:
+      return closed_form::dragon_acc(p, n, p_cost);
+    case ProtocolKind::kFirefly:
+      return closed_form::firefly_acc(p, n, p_cost);
+  }
+  DRSM_CHECK(false, "unreachable");
+  return 0.0;
+}
+
+}  // namespace drsm::analytic

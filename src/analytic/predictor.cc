@@ -1,0 +1,119 @@
+#include "analytic/predictor.h"
+
+#include <map>
+
+#include "support/error.h"
+
+namespace drsm::analytic {
+
+using fsm::OpKind;
+
+namespace {
+
+workload::WorkloadSpec spec_from_counts(
+    const std::map<std::pair<NodeId, OpKind>, std::size_t>& counts,
+    std::size_t total) {
+  workload::WorkloadSpec spec;
+  spec.name = "empirical-trace";
+  for (const auto& [key, count] : counts) {
+    spec.events.push_back({key.first, key.second,
+                           static_cast<double>(count) /
+                               static_cast<double>(total)});
+  }
+  spec.validate();
+  return spec;
+}
+
+}  // namespace
+
+workload::WorkloadSpec spec_from_trace(
+    const workload::OperationTrace& trace) {
+  std::map<std::pair<NodeId, OpKind>, std::size_t> counts;
+  std::size_t total = 0;
+  for (const auto& entry : trace.entries) {
+    if (entry.op != OpKind::kRead && entry.op != OpKind::kWrite) continue;
+    ++counts[{entry.node, entry.op}];
+    ++total;
+  }
+  DRSM_CHECK(total > 0, "spec_from_trace: trace has no read/write entries");
+  return spec_from_counts(counts, total);
+}
+
+TracePrediction predict_from_trace(protocols::ProtocolKind kind,
+                                   const sim::SystemConfig& config,
+                                   const workload::OperationTrace& trace) {
+  DRSM_CHECK(trace.num_objects >= 1, "trace has no objects");
+  std::vector<std::map<std::pair<NodeId, OpKind>, std::size_t>> counts(
+      trace.num_objects);
+  std::vector<std::size_t> totals(trace.num_objects, 0);
+  std::size_t grand_total = 0;
+  for (const auto& entry : trace.entries) {
+    if (entry.op != OpKind::kRead && entry.op != OpKind::kWrite) continue;
+    DRSM_CHECK(entry.object < trace.num_objects,
+               "trace entry object out of range");
+    ++counts[entry.object][{entry.node, entry.op}];
+    ++totals[entry.object];
+    ++grand_total;
+  }
+  DRSM_CHECK(grand_total > 0,
+             "predict_from_trace: trace has no read/write entries");
+
+  AccSolver solver(config);
+  TracePrediction prediction;
+  prediction.object_share.resize(trace.num_objects, 0.0);
+  prediction.object_acc.resize(trace.num_objects, 0.0);
+  for (ObjectId j = 0; j < trace.num_objects; ++j) {
+    if (totals[j] == 0) continue;
+    const double share = static_cast<double>(totals[j]) /
+                         static_cast<double>(grand_total);
+    const double acc =
+        solver.acc(kind, spec_from_counts(counts[j], totals[j]));
+    prediction.object_share[j] = share;
+    prediction.object_acc[j] = acc;
+    prediction.acc += share * acc;
+  }
+  return prediction;
+}
+
+PlacementRecommendation recommend_placement(
+    const sim::SystemConfig& config, const workload::OperationTrace& trace,
+    std::vector<protocols::ProtocolKind> candidates) {
+  if (candidates.empty())
+    candidates.assign(protocols::kAllProtocols.begin(),
+                      protocols::kAllProtocols.end());
+
+  // Predict per (candidate, object) once, then take column minima for the
+  // placement and row sums for the uniform comparison.
+  std::vector<TracePrediction> per_candidate;
+  per_candidate.reserve(candidates.size());
+  for (protocols::ProtocolKind kind : candidates)
+    per_candidate.push_back(predict_from_trace(kind, config, trace));
+
+  PlacementRecommendation out;
+  out.object_protocol.assign(trace.num_objects, candidates.front());
+  for (ObjectId j = 0; j < trace.num_objects; ++j) {
+    double best = -1.0;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (per_candidate[c].object_share[j] <= 0.0) continue;
+      const double acc = per_candidate[c].object_acc[j];
+      if (best < 0.0 || acc < best) {
+        best = acc;
+        out.object_protocol[j] = candidates[c];
+      }
+    }
+    if (best >= 0.0)
+      out.acc += per_candidate.front().object_share[j] * best;
+  }
+
+  out.uniform_best = candidates.front();
+  out.uniform_best_acc = per_candidate.front().acc;
+  for (std::size_t c = 1; c < candidates.size(); ++c) {
+    if (per_candidate[c].acc < out.uniform_best_acc) {
+      out.uniform_best_acc = per_candidate[c].acc;
+      out.uniform_best = candidates[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace drsm::analytic

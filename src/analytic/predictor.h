@@ -1,0 +1,52 @@
+// Trace-driven prediction: the paper notes the workload parameters "may
+// be obtained by estimating the relative frequencies of events in some
+// real distributed computation" (Section 4.2).  This module closes that
+// loop: from a recorded operation trace it estimates a per-object
+// empirical sample space, solves the exact model for each object, and
+// composes the overall expected cost per operation.
+#pragma once
+
+#include <vector>
+
+#include "analytic/solver.h"
+#include "workload/generator.h"
+
+namespace drsm::analytic {
+
+/// Empirical global sample space (node, op frequencies aggregated over all
+/// objects) of a trace.  Requires at least one read/write entry.
+workload::WorkloadSpec spec_from_trace(
+    const workload::OperationTrace& trace);
+
+/// Per-object prediction composed into an overall acc.
+struct TracePrediction {
+  double acc = 0.0;                  // expected cost per operation
+  std::vector<double> object_share;  // fraction of operations per object
+  std::vector<double> object_acc;    // predicted acc per object
+};
+
+/// Predicts the steady-state cost of running `trace` under `kind`:
+/// each object's operation stream is an independent sample space (the
+/// paper analyses objects independently), so
+///   acc = sum_j share_j * acc_j.
+/// Objects never touched contribute nothing.
+TracePrediction predict_from_trace(protocols::ProtocolKind kind,
+                                   const sim::SystemConfig& config,
+                                   const workload::OperationTrace& trace);
+
+/// Data-placement advice: the acc-minimizing protocol *per object* (the
+/// objects are independent, so per-object choice composes), compared with
+/// the best single protocol for the whole trace.
+struct PlacementRecommendation {
+  std::vector<protocols::ProtocolKind> object_protocol;  // per object
+  double acc = 0.0;               // expected acc under per-object choice
+  protocols::ProtocolKind uniform_best =
+      protocols::ProtocolKind::kWriteThrough;
+  double uniform_best_acc = 0.0;  // expected acc of the best single choice
+};
+
+PlacementRecommendation recommend_placement(
+    const sim::SystemConfig& config, const workload::OperationTrace& trace,
+    std::vector<protocols::ProtocolKind> candidates = {});
+
+}  // namespace drsm::analytic

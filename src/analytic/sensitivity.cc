@@ -1,0 +1,95 @@
+#include "analytic/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+#include "workload/spec.h"
+
+namespace drsm::analytic {
+
+namespace {
+
+workload::WorkloadSpec make_spec(const OperatingPoint& point, double p,
+                                 double disturbance) {
+  return point.deviation == Deviation::kReadDisturbance
+             ? workload::read_disturbance(p, disturbance, point.a)
+             : workload::write_disturbance(p, disturbance, point.a);
+}
+
+double acc_at(protocols::ProtocolKind kind, const sim::SystemConfig& config,
+              const OperatingPoint& point, double p, double disturbance) {
+  AccSolver solver(config);
+  return solver.acc(kind, make_spec(point, p, disturbance));
+}
+
+/// Central difference with one-sided fallback at simplex boundaries.
+double derivative(const std::function<double(double)>& f, double x,
+                  double h, double lo, double hi) {
+  const double x_lo = std::max(lo, x - h);
+  const double x_hi = std::min(hi, x + h);
+  DRSM_CHECK(x_hi > x_lo, "sensitivity: degenerate parameter range");
+  return (f(x_hi) - f(x_lo)) / (x_hi - x_lo);
+}
+
+}  // namespace
+
+Sensitivity acc_sensitivity(protocols::ProtocolKind kind,
+                            const sim::SystemConfig& config,
+                            const OperatingPoint& point) {
+  const double a = static_cast<double>(point.a);
+  DRSM_CHECK(point.p + a * point.disturbance <= 1.0 + 1e-12,
+             "operating point outside the probability simplex");
+
+  Sensitivity out;
+  const double hp = 1e-4;
+
+  out.wrt_p = derivative(
+      [&](double p) { return acc_at(kind, config, point, p,
+                                    point.disturbance); },
+      point.p, hp, 0.0, 1.0 - a * point.disturbance);
+
+  out.wrt_disturbance = derivative(
+      [&](double d) { return acc_at(kind, config, point, point.p, d); },
+      point.disturbance, hp, 0.0,
+      a > 0.0 ? (1.0 - point.p) / a : point.disturbance + hp);
+
+  // Cost-model parameters: acc is affine in S and P for every protocol
+  // (message costs are S+1 / P+1 linear), so one step is exact up to
+  // round-off; chains must be rebuilt because transition costs embed S, P.
+  const double hs = std::max(1.0, 0.01 * config.costs.s);
+  out.wrt_s = derivative(
+      [&](double s) {
+        sim::SystemConfig c = config;
+        c.costs.s = s;
+        return acc_at(kind, c, point, point.p, point.disturbance);
+      },
+      config.costs.s, hs, 0.0, config.costs.s + hs);
+
+  const double hpc = std::max(1.0, 0.01 * config.costs.p);
+  out.wrt_p_cost = derivative(
+      [&](double pc) {
+        sim::SystemConfig c = config;
+        c.costs.p = pc;
+        return acc_at(kind, c, point, point.p, point.disturbance);
+      },
+      config.costs.p, hpc, 0.0, config.costs.p + hpc);
+
+  return out;
+}
+
+Sensitivity acc_elasticity(protocols::ProtocolKind kind,
+                           const sim::SystemConfig& config,
+                           const OperatingPoint& point) {
+  const double acc =
+      acc_at(kind, config, point, point.p, point.disturbance);
+  Sensitivity grad = acc_sensitivity(kind, config, point);
+  if (acc <= 1e-12) return Sensitivity{};
+  grad.wrt_p *= point.p / acc;
+  grad.wrt_disturbance *= point.disturbance / acc;
+  grad.wrt_s *= config.costs.s / acc;
+  grad.wrt_p_cost *= config.costs.p / acc;
+  return grad;
+}
+
+}  // namespace drsm::analytic

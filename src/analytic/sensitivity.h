@@ -1,0 +1,50 @@
+// Sensitivity analysis of the steady-state cost model: how much does acc
+// move per unit change of each model parameter (Table 5), and which
+// parameter dominates a given operating point?
+//
+// The paper motivates its model with "eventual fine tuning of the
+// computation behavior"; these helpers make the tuning directions
+// explicit.  Derivatives are central finite differences on the exact
+// analytic model, so they apply uniformly to all eight protocols (no
+// per-protocol closed form needed).
+#pragma once
+
+#include "analytic/solver.h"
+
+namespace drsm::analytic {
+
+/// Which deviation family a sensitivity query refers to.
+enum class Deviation { kReadDisturbance, kWriteDisturbance };
+
+/// Partial derivatives of acc at an operating point of the read/write
+/// disturbance families.
+struct Sensitivity {
+  double wrt_p = 0.0;            // d acc / d p (activity-center writes)
+  double wrt_disturbance = 0.0;  // d acc / d sigma (or d xi)
+  double wrt_s = 0.0;            // d acc / d S (object transfer cost)
+  double wrt_p_cost = 0.0;       // d acc / d P (write-parameter cost)
+};
+
+struct OperatingPoint {
+  Deviation deviation = Deviation::kReadDisturbance;
+  double p = 0.3;
+  double disturbance = 0.1;  // sigma or xi
+  std::size_t a = 2;
+};
+
+/// Central-difference gradient of acc for `kind` at the operating point.
+/// `config` supplies N, S, P.  Steps are chosen relative to each
+/// parameter's scale; probability steps are clipped to the feasible
+/// simplex (p + a*disturbance <= 1).
+Sensitivity acc_sensitivity(protocols::ProtocolKind kind,
+                            const sim::SystemConfig& config,
+                            const OperatingPoint& point);
+
+/// Elasticity (relative sensitivity): (x / acc) * d acc / d x, with zero
+/// returned where acc vanishes.  Useful for comparing parameters with
+/// different units.
+Sensitivity acc_elasticity(protocols::ProtocolKind kind,
+                           const sim::SystemConfig& config,
+                           const OperatingPoint& point);
+
+}  // namespace drsm::analytic

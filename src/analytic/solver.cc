@@ -1,0 +1,54 @@
+#include "analytic/solver.h"
+
+#include "support/error.h"
+
+namespace drsm::analytic {
+
+AccSolver::Key AccSolver::make_key(protocols::ProtocolKind kind,
+                                   const workload::WorkloadSpec& spec) {
+  Key key;
+  key.first = kind;
+  key.second.reserve(spec.events.size());
+  for (const auto& e : spec.events)
+    key.second.emplace_back(e.node, static_cast<int>(e.op));
+  return key;
+}
+
+const ProtocolChain& AccSolver::chain(protocols::ProtocolKind kind,
+                                      const workload::WorkloadSpec& spec) {
+  const Key key = make_key(kind, spec);
+  auto it = chains_.find(key);
+  if (it == chains_.end()) {
+    it = chains_
+             .emplace(key,
+                      std::make_unique<ProtocolChain>(kind, config_, spec))
+             .first;
+  }
+  return *it->second;
+}
+
+double AccSolver::acc(protocols::ProtocolKind kind,
+                      const workload::WorkloadSpec& spec) {
+  return chain(kind, spec).average_cost(spec.probabilities());
+}
+
+protocols::ProtocolKind AccSolver::best_protocol(
+    const workload::WorkloadSpec& spec,
+    std::vector<protocols::ProtocolKind> candidates) {
+  if (candidates.empty())
+    candidates.assign(protocols::kAllProtocols.begin(),
+                      protocols::kAllProtocols.end());
+  DRSM_CHECK(!candidates.empty(), "no candidate protocols");
+  protocols::ProtocolKind best = candidates.front();
+  double best_acc = acc(best, spec);
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const double candidate_acc = acc(candidates[i], spec);
+    if (candidate_acc < best_acc) {
+      best_acc = candidate_acc;
+      best = candidates[i];
+    }
+  }
+  return best;
+}
+
+}  // namespace drsm::analytic

@@ -1,0 +1,44 @@
+// High-level entry point for analytic predictions: caches ProtocolChains
+// per (protocol, sample-space structure) so parameter sweeps re-solve the
+// same chain with new probabilities instead of re-enumerating state spaces.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "analytic/chain.h"
+
+namespace drsm::analytic {
+
+class AccSolver {
+ public:
+  explicit AccSolver(const sim::SystemConfig& config) : config_(config) {}
+
+  /// Exact steady-state average communication cost per operation.
+  double acc(protocols::ProtocolKind kind, const workload::WorkloadSpec& spec);
+
+  /// The cached chain for this (protocol, sample-space structure).
+  const ProtocolChain& chain(protocols::ProtocolKind kind,
+                             const workload::WorkloadSpec& spec);
+
+  /// The protocol with minimum predicted acc for this workload among
+  /// `candidates` (all eight when empty) — the paper's "classifier for the
+  /// development of adaptive data replication coherence protocols".
+  protocols::ProtocolKind best_protocol(
+      const workload::WorkloadSpec& spec,
+      std::vector<protocols::ProtocolKind> candidates = {});
+
+  const sim::SystemConfig& config() const { return config_; }
+
+ private:
+  using Key = std::pair<protocols::ProtocolKind,
+                        std::vector<std::pair<NodeId, int>>>;
+  static Key make_key(protocols::ProtocolKind kind,
+                      const workload::WorkloadSpec& spec);
+
+  sim::SystemConfig config_;
+  std::map<Key, std::unique_ptr<ProtocolChain>> chains_;
+};
+
+}  // namespace drsm::analytic

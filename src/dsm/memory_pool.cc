@@ -1,0 +1,82 @@
+#include "dsm/memory_pool.h"
+
+#include <cstring>
+
+#include "support/error.h"
+
+namespace drsm::dsm {
+
+CapacityManagedMemory::CapacityManagedMemory(const Options& options)
+    : options_(options),
+      memory_(options.memory),
+      pools_(options.memory.num_clients) {
+  DRSM_CHECK(protocols::supports(options_.memory.protocol,
+                                 fsm::OpKind::kEject),
+             "capacity management needs a protocol with an eject operation");
+  if (options_.replicas_per_client > 0)
+    DRSM_CHECK(options_.replicas_per_client >= 1,
+               "need room for at least one replica");
+}
+
+std::uint64_t CapacityManagedMemory::read(NodeId node, ObjectId object) {
+  const std::uint64_t value = memory_.read(node, object);
+  touch(node, object);
+  return value;
+}
+
+void CapacityManagedMemory::write(NodeId node, ObjectId object,
+                                  std::uint64_t value) {
+  memory_.write(node, object, value);
+  touch(node, object);
+}
+
+void CapacityManagedMemory::touch(NodeId node, ObjectId object) {
+  if (node >= pools_.size()) return;  // the sequencer holds the masters
+  Pool& pool = pools_[node];
+
+  // Residency follows the replica's actual state: a WT write leaves the
+  // writer INVALID, a WTV write leaves it VALID, and remote writes may
+  // have invalidated entries we still track — prune those for free.
+  const bool valid =
+      std::strcmp(memory_.state_name(node, object), "VALID") == 0;
+
+  if (auto it = pool.index.find(object); it != pool.index.end()) {
+    pool.lru.erase(it->second);
+    pool.index.erase(it);
+  }
+  if (!valid) return;
+
+  pool.lru.push_front(object);
+  pool.index[object] = pool.lru.begin();
+
+  if (options_.replicas_per_client == 0) return;
+  while (pool.index.size() > options_.replicas_per_client) {
+    // Evict from the cold end, skipping entries another node's write
+    // already invalidated (dropping those costs nothing).
+    const ObjectId victim = pool.lru.back();
+    pool.lru.pop_back();
+    pool.index.erase(victim);
+    if (std::strcmp(memory_.state_name(node, victim), "VALID") == 0) {
+      memory_.eject(node, victim);
+      ++pool.evictions;
+    }
+  }
+}
+
+std::size_t CapacityManagedMemory::evictions(NodeId node) const {
+  DRSM_CHECK(node < pools_.size(), "evictions: node out of range");
+  return pools_[node].evictions;
+}
+
+std::size_t CapacityManagedMemory::total_evictions() const {
+  std::size_t total = 0;
+  for (const Pool& pool : pools_) total += pool.evictions;
+  return total;
+}
+
+std::size_t CapacityManagedMemory::resident(NodeId node) const {
+  DRSM_CHECK(node < pools_.size(), "resident: node out of range");
+  return pools_[node].index.size();
+}
+
+}  // namespace drsm::dsm

@@ -1,0 +1,66 @@
+// Free-memory-pool extension (paper conclusion: "We consider its
+// modifications in order to include other types of operations (eject
+// operation, synchronization operation) and the influence of some
+// distributed system parameters, such as the size of the free memory
+// pool").
+//
+// CapacityManagedMemory wraps a SharedMemory and bounds how many *valid*
+// replicas each client may hold simultaneously (the free memory pool
+// size).  When a client touches an object while its pool is full, the
+// least-recently-used replica is ejected (the eject operation drops the
+// local copy; the sequencer keeps the master), so the next access to the
+// evicted object pays a full miss.  Smaller pools therefore trade memory
+// for communication cost — the trade-off this extension quantifies.
+//
+// The underlying protocol must support eject (the Write-Through family).
+#pragma once
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "dsm/dsm.h"
+
+namespace drsm::dsm {
+
+class CapacityManagedMemory {
+ public:
+  struct Options {
+    SharedMemory::Options memory;
+    /// Maximum number of simultaneously held replicas per client; 0 means
+    /// unbounded (plain full replication).
+    std::size_t replicas_per_client = 0;
+  };
+
+  explicit CapacityManagedMemory(const Options& options);
+
+  std::uint64_t read(NodeId node, ObjectId object);
+  void write(NodeId node, ObjectId object, std::uint64_t value);
+
+  SharedMemory& memory() { return memory_; }
+  const SharedMemory& memory() const { return memory_; }
+
+  /// Number of evictions performed at `node` so far.
+  std::size_t evictions(NodeId node) const;
+  std::size_t total_evictions() const;
+
+  /// Replicas currently resident at `node` (valid local copies tracked by
+  /// the pool).
+  std::size_t resident(NodeId node) const;
+
+ private:
+  // Per-client LRU of resident objects: list front = most recent.
+  struct Pool {
+    std::list<ObjectId> lru;
+    std::unordered_map<ObjectId, std::list<ObjectId>::iterator> index;
+    std::size_t evictions = 0;
+  };
+
+  void touch(NodeId node, ObjectId object);
+
+  Options options_;
+  SharedMemory memory_;
+  std::vector<Pool> pools_;  // one per client
+};
+
+}  // namespace drsm::dsm

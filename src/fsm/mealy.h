@@ -1,0 +1,100 @@
+// The Mealy-machine protocol-process interface (Section 3 of the paper).
+//
+// A protocol process controls one copy of one shared object at one node.
+// It consumes messages (application requests from the local queue, protocol
+// messages from the distributed queue) and reacts by sending messages,
+// returning data to the application, and enabling/disabling its local
+// queue.  The *runtime* (either the sequential AtomicExecutor used by the
+// analytic engine, or the discrete-event simulator) owns delivery, cost
+// accounting and queue mechanics; machines only express protocol logic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fsm/token.h"
+#include "support/types.h"
+
+namespace drsm::fsm {
+
+/// Runtime services available to a protocol process while it handles one
+/// message.  All sends are charged to the current operation's trace.
+class MachineContext {
+ public:
+  virtual ~MachineContext() = default;
+
+  /// This node's index.  Clients are 0..N-1; the home/sequencer node is N
+  /// (the paper's node N+1).
+  virtual NodeId self() const = 0;
+
+  /// N: the number of client nodes.
+  virtual std::size_t num_clients() const = 0;
+
+  /// The distinguished node whose protocol process is the initial sequencer.
+  NodeId home() const { return static_cast<NodeId>(num_clients()); }
+
+  /// N+1 in the paper's terms.
+  std::size_t num_nodes() const { return num_clients() + 1; }
+
+  virtual const CostModel& costs() const = 0;
+
+  /// Sends one message to `dest`'s distributed queue.  Inter-node sends are
+  /// charged message_cost(token.params); a send to self is free (local
+  /// action).
+  virtual void send(NodeId dest, Message msg) = 0;
+
+  /// The paper's push(except(list), ...): send to every node whose index is
+  /// not in `excluded`.  The caller includes itself in the list.
+  virtual void send_except(const std::vector<NodeId>& excluded,
+                           Message msg) = 0;
+
+  /// Returns read data to the local application process (the paper's
+  /// return(parameters_r, user_information) routine).
+  virtual void return_read(std::uint64_t value, std::uint64_t version) = 0;
+
+  /// Signals that the local application's pending write has finished (for
+  /// fire-and-forget writes version may be 0 = not yet sequenced).
+  virtual void complete_write(std::uint64_t version) = 0;
+
+  /// Completion of an eject/sync extension operation.
+  virtual void complete_op() = 0;
+
+  /// Disable/enable the local queue (paper Section 2: a distributed
+  /// operation awaiting a sequencer response blocks further local requests).
+  virtual void disable_local_queue() = 0;
+  virtual void enable_local_queue() = 0;
+
+  /// Draws the next global write sequence number.  Must only be called at
+  /// the point that serializes writes for this object (the sequencer or the
+  /// current owner), so that version order equals the sequenced write order.
+  virtual std::uint64_t next_version() = 0;
+};
+
+/// A protocol process.  Implementations are deterministic: the same message
+/// in the same state always produces the same actions (Mealy semantics).
+class ProtocolMachine {
+ public:
+  virtual ~ProtocolMachine() = default;
+
+  /// Handles one dequeued message.
+  virtual void on_message(MachineContext& ctx, const Message& msg) = 0;
+
+  virtual std::unique_ptr<ProtocolMachine> clone() const = 0;
+
+  /// Appends this machine's protocol-relevant state (copy state plus any
+  /// auxiliary fields that influence future behaviour, e.g. the believed
+  /// owner).  Data values/versions are deliberately excluded: the analytic
+  /// engine keys its Markov states on this encoding.
+  virtual void encode(std::vector<std::uint8_t>& out) const = 0;
+
+  /// True when the machine holds no in-flight transient state (no pending
+  /// retries or buffered requests).  The analytic engine snapshots states
+  /// only at quiescence and asserts this.
+  virtual bool quiescent() const { return true; }
+
+  /// Human-readable copy state, for traces and tests.
+  virtual const char* state_name() const = 0;
+};
+
+}  // namespace drsm::fsm

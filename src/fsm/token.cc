@@ -1,0 +1,61 @@
+#include "fsm/token.h"
+
+#include "support/text.h"
+
+namespace drsm::fsm {
+
+const char* to_string(MsgType type) {
+  switch (type) {
+    case MsgType::kReadReq: return "R-REQ";
+    case MsgType::kWriteReq: return "W-REQ";
+    case MsgType::kReadPer: return "R-PER";
+    case MsgType::kWritePer: return "W-PER";
+    case MsgType::kReadGnt: return "R-GNT";
+    case MsgType::kWriteGnt: return "W-GNT";
+    case MsgType::kWriteData: return "W-DATA";
+    case MsgType::kInval: return "W-INV";
+    case MsgType::kUpdate: return "W-UPD";
+    case MsgType::kRecallShared: return "RECALL-S";
+    case MsgType::kRecallInval: return "RECALL-I";
+    case MsgType::kFlushData: return "FLUSH-D";
+    case MsgType::kFlushClean: return "FLUSH-C";
+    case MsgType::kNack: return "NACK";
+    case MsgType::kAck: return "ACK";
+    case MsgType::kOwnerXfer: return "OWN-XFER";
+    case MsgType::kEject: return "EJECT";
+    case MsgType::kSyncReq: return "SYNC-REQ";
+    case MsgType::kSyncAck: return "SYNC-ACK";
+  }
+  return "?";
+}
+
+const char* to_string(ParamPresence params) {
+  switch (params) {
+    case ParamPresence::kNone: return "0";
+    case ParamPresence::kReadParams: return "r";
+    case ParamPresence::kWriteParams: return "w";
+    case ParamPresence::kUserInfo: return "ui";
+  }
+  return "?";
+}
+
+const char* to_string(OpKind op) {
+  switch (op) {
+    case OpKind::kRead: return "read";
+    case OpKind::kWrite: return "write";
+    case OpKind::kEject: return "eject";
+    case OpKind::kSync: return "sync";
+  }
+  return "?";
+}
+
+std::string Message::debug_string() const {
+  return strfmt("(%s, i=%u, j=%u, %s, %s) value=%llu version=%llu",
+                to_string(token.type), token.initiator, token.object,
+                token.queue == QueueKind::kLocal ? "l" : "d",
+                to_string(token.params),
+                static_cast<unsigned long long>(value),
+                static_cast<unsigned long long>(version));
+}
+
+}  // namespace drsm::fsm

@@ -1,0 +1,111 @@
+// Message tokens: the paper's five-tuple
+//   (type, operation-initiator, object-name, queue, parameter-presence)
+// plus the payload that travels with a token, and the communication cost
+// model of Section 4.1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/error.h"
+#include "support/types.h"
+
+namespace drsm::fsm {
+
+/// Message types.  The Write-Through protocol uses the first six (the
+/// paper's R-REQ, W-REQ, R-PER, W-PER, R-GNT, W-INV); the remaining types
+/// are needed by the other seven protocols and by the eject/sync
+/// extensions.
+enum class MsgType : std::uint8_t {
+  kReadReq,    // R-REQ: application read request
+  kWriteReq,   // W-REQ: application write request
+  kReadPer,    // R-PER: read permission-asking
+  kWritePer,   // W-PER: write permission-asking
+  kReadGnt,    // R-GNT: read grant (carries user information)
+  kWriteGnt,   // W-GNT: write grant (token or token+user information)
+  kWriteData,  // write parameters transfer (second phase of WTV writes)
+  kInval,      // W-INV: invalidation
+  kUpdate,     // W-UPD: write-update broadcast (Dragon, Firefly)
+  kRecallShared,  // ask a dirty owner to flush; owner keeps a shared copy
+  kRecallInval,   // ask a dirty owner to flush; owner invalidates its copy
+  kFlushData,  // dirty copy returned to the sequencer (carries user info)
+  kFlushClean, // recall response when the owner's copy was not dirty
+  kNack,       // retry indication (Synapse read/write to a dirty block)
+  kAck,        // completion token (Firefly write acknowledgement)
+  kOwnerXfer,  // ownership + data transfer (Berkeley)
+  kEject,      // extension: drop the local replica
+  kSyncReq,    // extension: barrier request
+  kSyncAck,    // extension: barrier acknowledgement
+};
+
+const char* to_string(MsgType type);
+
+/// Which queue a message is (to be) delivered to.
+enum class QueueKind : std::uint8_t {
+  kLocal,        // requests from the node's own application process
+  kDistributed,  // messages from other protocol processes
+};
+
+/// The paper's parameter-presence mark; determines the message cost.
+enum class ParamPresence : std::uint8_t {
+  kNone,         // '0': bare token                      -> cost 1
+  kReadParams,   // 'r': read operation parameters       -> cost 1
+  kWriteParams,  // 'w': write operation parameters      -> cost P+1
+  kUserInfo,     // 'ui': full user-information part     -> cost S+1
+};
+
+const char* to_string(ParamPresence params);
+
+/// The paper's message token five-tuple.
+struct Token {
+  MsgType type = MsgType::kReadReq;
+  NodeId initiator = 0;
+  ObjectId object = 0;
+  QueueKind queue = QueueKind::kDistributed;
+  ParamPresence params = ParamPresence::kNone;
+
+  bool operator==(const Token&) const = default;
+};
+
+/// A token plus the additional parameters riding in the queue behind it.
+/// User information is modelled as a single value plus a version number (the
+/// global write sequence number) so coherence can be checked end to end.
+struct Message {
+  Token token;
+  std::uint64_t value = 0;    // write parameters or user-information content
+  std::uint64_t version = 0;  // write sequence number of `value`
+  std::uint32_t hops = 0;     // forwarding count (ownership races)
+  NodeId sender = kNoNode;    // filled in by the runtime on send()
+
+  std::string debug_string() const;
+};
+
+/// Communication cost model of Section 4.1.  S is the cost of transferring
+/// the user-information part of a copy, P the cost of transferring write
+/// operation parameters; a bare token costs one unit.
+struct CostModel {
+  double s = 100.0;
+  double p = 30.0;
+
+  Cost message_cost(ParamPresence params) const {
+    switch (params) {
+      case ParamPresence::kNone:
+      case ParamPresence::kReadParams:
+        return 1.0;
+      case ParamPresence::kWriteParams:
+        return p + 1.0;
+      case ParamPresence::kUserInfo:
+        return s + 1.0;
+    }
+    DRSM_CHECK(false, "unreachable");
+    return 0.0;
+  }
+};
+
+/// Application-level operation kinds.  Read and Write are the paper's
+/// operations; Eject and Sync are the extensions its conclusion proposes.
+enum class OpKind : std::uint8_t { kRead, kWrite, kEject, kSync };
+
+const char* to_string(OpKind op);
+
+}  // namespace drsm::fsm

@@ -1,0 +1,66 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+
+namespace drsm::linalg {
+
+Lu::Lu(const Matrix& a) : n_(a.rows()), lu_(a), piv_(a.rows()) {
+  DRSM_CHECK(a.rows() == a.cols(), "LU requires a square matrix");
+  for (std::size_t i = 0; i < n_; ++i) piv_[i] = i;
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivoting: pick the largest remaining entry in column k.
+    std::size_t pivot = k;
+    double best = std::fabs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double v = std::fabs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) throw Error("Lu: matrix is singular");
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n_; ++c)
+        std::swap(lu_(k, c), lu_(pivot, c));
+      std::swap(piv_[k], piv_[pivot]);
+      pivot_sign_ = -pivot_sign_;
+    }
+    const double inv = 1.0 / lu_(k, k);
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double m = lu_(r, k) * inv;
+      lu_(r, k) = m;
+      if (m == 0.0) continue;
+      for (std::size_t c = k + 1; c < n_; ++c) lu_(r, c) -= m * lu_(k, c);
+    }
+  }
+}
+
+Vector Lu::solve(const Vector& b) const {
+  DRSM_CHECK(b.size() == n_, "Lu::solve: dimension mismatch");
+  Vector x(n_);
+  for (std::size_t i = 0; i < n_; ++i) x[i] = b[piv_[i]];
+  // Forward substitution (L has unit diagonal).
+  for (std::size_t i = 1; i < n_; ++i) {
+    double acc = x[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Back substitution.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+double Lu::determinant() const {
+  double det = pivot_sign_;
+  for (std::size_t i = 0; i < n_; ++i) det *= lu_(i, i);
+  return det;
+}
+
+Vector solve(const Matrix& a, const Vector& b) { return Lu(a).solve(b); }
+
+}  // namespace drsm::linalg

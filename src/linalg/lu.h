@@ -1,0 +1,33 @@
+// LU decomposition with partial pivoting and the linear solves built on it.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace drsm::linalg {
+
+/// PA = LU factorization with partial (row) pivoting.
+class Lu {
+ public:
+  /// Factors a square matrix.  Throws drsm::Error if the matrix is singular
+  /// to working precision.
+  explicit Lu(const Matrix& a);
+
+  /// Solves A x = b.
+  Vector solve(const Vector& b) const;
+
+  /// Determinant of A (product of U's diagonal, sign-adjusted).
+  double determinant() const;
+
+  std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_;
+  Matrix lu_;                    // packed L (unit diagonal) and U
+  std::vector<std::size_t> piv_; // row permutation
+  int pivot_sign_ = 1;
+};
+
+/// Convenience wrapper: solve A x = b with a fresh factorization.
+Vector solve(const Matrix& a, const Vector& b);
+
+}  // namespace drsm::linalg

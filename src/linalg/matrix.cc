@@ -1,0 +1,107 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+namespace drsm::linalg {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Vector Matrix::multiply(const Vector& x) const {
+  DRSM_CHECK(x.size() == cols_, "multiply: dimension mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Vector Matrix::multiply_transpose(const Vector& x) const {
+  DRSM_CHECK(x.size() == rows_, "multiply_transpose: dimension mismatch");
+  Vector y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xv = x[r];
+    if (xv == 0.0) continue;
+    const double* row = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += xv * row[c];
+  }
+  return y;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  DRSM_CHECK(cols_ == rhs.rows_, "matmul: dimension mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c)
+        out(r, c) += a * rhs(k, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  DRSM_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_, "add: shape mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < out.data_.size(); ++i)
+    out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  DRSM_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_, "sub: shape mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < out.data_.size(); ++i)
+    out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double norm2(const Vector& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+double norm1(const Vector& v) {
+  double s = 0.0;
+  for (double x : v) s += std::fabs(x);
+  return s;
+}
+
+double max_abs_diff(const Vector& a, const Vector& b) {
+  DRSM_CHECK(a.size() == b.size(), "max_abs_diff: size mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  DRSM_CHECK(a.size() == b.size(), "dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace drsm::linalg

@@ -1,0 +1,74 @@
+// Dense row-major matrix and vector operations.
+//
+// The analytic engine reduces each coherence protocol + workload to a finite
+// Markov chain; the stationary distribution is obtained by direct linear
+// solves on these matrices (small chains) or by iterative methods on the
+// sparse form (large chains).  Only the operations the engine needs are
+// provided — this is not a general BLAS.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/error.h"
+
+namespace drsm::linalg {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    DRSM_CHECK(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    DRSM_CHECK(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+
+  Matrix transposed() const;
+
+  /// y = A x.
+  Vector multiply(const Vector& x) const;
+
+  /// y = A^T x (i.e. row-vector times matrix, as used for x P in chains).
+  Vector multiply_transpose(const Vector& x) const;
+
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+
+  /// Max-abs entry (used in convergence checks and tests).
+  double max_abs() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean norm.
+double norm2(const Vector& v);
+
+/// L1 norm.
+double norm1(const Vector& v);
+
+/// Max-abs difference between two equal-length vectors.
+double max_abs_diff(const Vector& a, const Vector& b);
+
+/// Dot product.
+double dot(const Vector& a, const Vector& b);
+
+}  // namespace drsm::linalg

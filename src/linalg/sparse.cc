@@ -1,0 +1,74 @@
+#include "linalg/sparse.h"
+
+#include <algorithm>
+
+namespace drsm::linalg {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<Triplet> triplets)
+    : rows_(rows), cols_(cols) {
+  for (const auto& t : triplets)
+    DRSM_CHECK(t.row < rows && t.col < cols, "triplet out of range");
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  row_ptr_.assign(rows + 1, 0);
+  for (std::size_t i = 0; i < triplets.size();) {
+    std::size_t j = i + 1;
+    double sum = triplets[i].value;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    col_idx_.push_back(triplets[i].col);
+    values_.push_back(sum);
+    ++row_ptr_[triplets[i].row + 1];
+    i = j;
+  }
+  for (std::size_t r = 0; r < rows; ++r) row_ptr_[r + 1] += row_ptr_[r];
+}
+
+Vector CsrMatrix::multiply(const Vector& x) const {
+  DRSM_CHECK(x.size() == cols_, "csr multiply: dimension mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      acc += values_[k] * x[col_idx_[k]];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Vector CsrMatrix::multiply_left(const Vector& x) const {
+  DRSM_CHECK(x.size() == rows_, "csr multiply_left: dimension mismatch");
+  Vector y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xv = x[r];
+    if (xv == 0.0) continue;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      y[col_idx_[k]] += xv * values_[k];
+  }
+  return y;
+}
+
+Vector CsrMatrix::row_sums() const {
+  Vector s(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      s[r] += values_[k];
+  return s;
+}
+
+Matrix CsrMatrix::to_dense() const {
+  Matrix m(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      m(r, col_idx_[k]) += values_[k];
+  return m;
+}
+
+}  // namespace drsm::linalg

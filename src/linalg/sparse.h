@@ -1,0 +1,55 @@
+// Compressed-sparse-row matrix for large Markov chains.
+//
+// Reachable protocol state spaces grow with the number of disturbing
+// clients; beyond a few thousand states a dense LU becomes wasteful, so the
+// stationary solver switches to power iteration on a CSR transition matrix.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace drsm::linalg {
+
+/// Triplet used while assembling a sparse matrix.
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+class CsrMatrix {
+ public:
+  /// Builds from triplets; duplicate (row, col) entries are summed.
+  CsrMatrix(std::size_t rows, std::size_t cols,
+            std::vector<Triplet> triplets);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nonzeros() const { return values_.size(); }
+
+  /// y = A x.
+  Vector multiply(const Vector& x) const;
+
+  /// y = x A (row vector times matrix); this is the Markov-chain update
+  /// pi' = pi P.
+  Vector multiply_left(const Vector& x) const;
+
+  /// Row sums (used to verify stochasticity of transition matrices).
+  Vector row_sums() const;
+
+  Matrix to_dense() const;
+
+  /// Raw nonzero values (CSR order); exposed for validation passes.
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace drsm::linalg

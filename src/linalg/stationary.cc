@@ -1,0 +1,83 @@
+#include "linalg/stationary.h"
+
+#include <cmath>
+
+namespace drsm::linalg {
+
+namespace {
+
+Vector solve_direct(const Matrix& p) {
+  const std::size_t n = p.rows();
+  // Build A = P^T - I, then overwrite the last row with the normalization
+  // constraint sum(pi) = 1.  The resulting system is non-singular for any
+  // chain with a unique stationary distribution.
+  Matrix a = p.transposed() - Matrix::identity(n);
+  for (std::size_t c = 0; c < n; ++c) a(n - 1, c) = 1.0;
+  Vector b(n, 0.0);
+  b[n - 1] = 1.0;
+  Vector pi = Lu(a).solve(b);
+  // Clean tiny negative round-off and renormalize.
+  double sum = 0.0;
+  for (double& v : pi) {
+    if (v < 0.0 && v > -1e-9) v = 0.0;
+    sum += v;
+  }
+  DRSM_CHECK(sum > 0.0, "stationary: degenerate solution");
+  for (double& v : pi) v /= sum;
+  return pi;
+}
+
+Vector solve_power(const CsrMatrix& p, const StationaryOptions& options) {
+  const std::size_t n = p.rows();
+  Vector pi(n, 1.0 / static_cast<double>(n));
+  const double d = options.damping;
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    Vector next = p.multiply_left(pi);
+    if (d > 0.0)
+      for (std::size_t i = 0; i < n; ++i)
+        next[i] = (1.0 - d) * next[i] + d * pi[i];
+    // Renormalize to counter floating-point drift.
+    const double s = norm1(next);
+    DRSM_CHECK(s > 0.0, "stationary: vanished iterate");
+    for (double& v : next) v /= s;
+    const double delta = max_abs_diff(next, pi);
+    pi = std::move(next);
+    if (delta < options.tolerance) return pi;
+  }
+  throw Error("stationary_distribution: power iteration did not converge");
+}
+
+}  // namespace
+
+Vector stationary_distribution(const Matrix& p,
+                               const StationaryOptions& options) {
+  DRSM_CHECK(p.rows() == p.cols(), "stationary: matrix must be square");
+  if (p.rows() <= options.direct_limit) return solve_direct(p);
+  // Convert to sparse and iterate.
+  std::vector<Triplet> trip;
+  for (std::size_t r = 0; r < p.rows(); ++r)
+    for (std::size_t c = 0; c < p.cols(); ++c)
+      if (p(r, c) != 0.0) trip.push_back({r, c, p(r, c)});
+  return solve_power(CsrMatrix(p.rows(), p.cols(), std::move(trip)), options);
+}
+
+Vector stationary_distribution(const CsrMatrix& p,
+                               const StationaryOptions& options) {
+  DRSM_CHECK(p.rows() == p.cols(), "stationary: matrix must be square");
+  if (p.rows() <= options.direct_limit) return solve_direct(p.to_dense());
+  return solve_power(p, options);
+}
+
+void check_stochastic(const CsrMatrix& p, double tol) {
+  for (double v : p.values())
+    if (v < -tol)
+      throw Error("check_stochastic: negative transition probability");
+  const Vector sums = p.row_sums();
+  for (std::size_t r = 0; r < sums.size(); ++r) {
+    if (std::fabs(sums[r] - 1.0) > tol)
+      throw Error("check_stochastic: row " + std::to_string(r) +
+                  " sums to " + std::to_string(sums[r]));
+  }
+}
+
+}  // namespace drsm::linalg

@@ -1,0 +1,44 @@
+// Stationary-distribution solvers for finite Markov chains.
+//
+// Given a row-stochastic transition matrix P over the reachable states of a
+// (protocol, workload) pair, the stationary distribution pi solves
+// pi P = pi with sum(pi) = 1.  Small chains are solved directly (replace one
+// balance equation with the normalization constraint and LU-solve); larger
+// chains use power iteration, which converges for the aperiodic chains
+// produced by the protocol models (every state has a self-loop whenever some
+// operation leaves it unchanged; a damping factor covers the rest).
+#pragma once
+
+#include "linalg/lu.h"
+#include "linalg/sparse.h"
+
+namespace drsm::linalg {
+
+struct StationaryOptions {
+  /// Chains up to this many states use the direct (LU) solver; larger ones
+  /// use damped power iteration (far cheaper on the sparse, fast-mixing
+  /// chains the protocol models produce).
+  std::size_t direct_limit = 256;
+  /// Power-iteration convergence threshold on max |pi' - pi|.
+  double tolerance = 1e-13;
+  /// Power-iteration cap.
+  std::size_t max_iterations = 2'000'000;
+  /// Damping applied during power iteration to guarantee aperiodicity:
+  /// pi' = (1-d) * pi P + d * pi.  d = 0 disables damping.
+  double damping = 0.05;
+};
+
+/// Stationary distribution of a dense row-stochastic matrix.
+Vector stationary_distribution(const Matrix& p,
+                               const StationaryOptions& options = {});
+
+/// Stationary distribution of a sparse row-stochastic matrix; picks the
+/// direct or iterative method based on options.direct_limit.
+Vector stationary_distribution(const CsrMatrix& p,
+                               const StationaryOptions& options = {});
+
+/// Verifies that every row of P sums to 1 within `tol` and that all entries
+/// are non-negative; throws drsm::Error otherwise.
+void check_stochastic(const CsrMatrix& p, double tol = 1e-9);
+
+}  // namespace drsm::linalg

@@ -1,0 +1,86 @@
+#include "protocols/protocol.h"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+#include "protocols/detail.h"
+#include "support/error.h"
+
+namespace drsm::protocols {
+
+const char* to_string(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kWriteThrough: return "write-through";
+    case ProtocolKind::kWriteThroughV: return "write-through-v";
+    case ProtocolKind::kWriteOnce: return "write-once";
+    case ProtocolKind::kSynapse: return "synapse";
+    case ProtocolKind::kIllinois: return "illinois";
+    case ProtocolKind::kBerkeley: return "berkeley";
+    case ProtocolKind::kDragon: return "dragon";
+    case ProtocolKind::kFirefly: return "firefly";
+  }
+  return "?";
+}
+
+ProtocolKind protocol_from_string(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "write-through" || lower == "wt")
+    return ProtocolKind::kWriteThrough;
+  if (lower == "write-through-v" || lower == "wtv")
+    return ProtocolKind::kWriteThroughV;
+  if (lower == "write-once" || lower == "wo") return ProtocolKind::kWriteOnce;
+  if (lower == "synapse" || lower == "syn") return ProtocolKind::kSynapse;
+  if (lower == "illinois" || lower == "ill") return ProtocolKind::kIllinois;
+  if (lower == "berkeley" || lower == "ber") return ProtocolKind::kBerkeley;
+  if (lower == "dragon" || lower == "drg") return ProtocolKind::kDragon;
+  if (lower == "firefly" || lower == "ff") return ProtocolKind::kFirefly;
+  throw Error("unknown protocol name: " + std::string(name));
+}
+
+std::unique_ptr<fsm::ProtocolMachine> make_machine(ProtocolKind kind,
+                                                   NodeId node,
+                                                   std::size_t num_clients) {
+  DRSM_CHECK(num_clients >= 1, "need at least one client");
+  DRSM_CHECK(node <= num_clients, "node index out of range");
+  switch (kind) {
+    case ProtocolKind::kWriteThrough:
+      return make_write_through(node, num_clients);
+    case ProtocolKind::kWriteThroughV:
+      return make_write_through_v(node, num_clients);
+    case ProtocolKind::kWriteOnce:
+      return make_write_once(node, num_clients);
+    case ProtocolKind::kSynapse:
+      return make_synapse(node, num_clients);
+    case ProtocolKind::kIllinois:
+      return make_illinois(node, num_clients);
+    case ProtocolKind::kBerkeley:
+      return make_berkeley(node, num_clients);
+    case ProtocolKind::kDragon:
+      return make_dragon(node, num_clients);
+    case ProtocolKind::kFirefly:
+      return make_firefly(node, num_clients);
+  }
+  DRSM_CHECK(false, "unreachable");
+  return nullptr;
+}
+
+bool supports(ProtocolKind kind, fsm::OpKind op) {
+  switch (op) {
+    case fsm::OpKind::kRead:
+    case fsm::OpKind::kWrite:
+      return true;
+    case fsm::OpKind::kEject:
+    case fsm::OpKind::kSync:
+      // The extension operations are implemented on the Write-Through
+      // family (client machines with an INVALID state and a fixed
+      // sequencer).
+      return kind == ProtocolKind::kWriteThrough ||
+             kind == ProtocolKind::kWriteThroughV;
+  }
+  return false;
+}
+
+}  // namespace drsm::protocols

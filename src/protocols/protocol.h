@@ -1,0 +1,55 @@
+// Registry of the eight data-replication coherence protocols analysed by
+// the paper: seven decentralized bus-protocol adaptations (Write-Once,
+// Synapse, Illinois, Berkeley, Dragon, Firefly) plus the two distributed
+// Write-Through variants.
+//
+// Each protocol is realized as Mealy machines (fsm::ProtocolMachine): one
+// machine kind for client nodes 0..N-1 and one for the home node N (the
+// paper's sequencer, node N+1).  For Berkeley the sequencer role migrates
+// with ownership, so every node runs the same machine there.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string_view>
+
+#include "fsm/mealy.h"
+
+namespace drsm::protocols {
+
+enum class ProtocolKind : std::uint8_t {
+  kWriteThrough,   // WT:  write-invalidate, writer's copy becomes INVALID
+  kWriteThroughV,  // WTV: two-phase write-through, writer's copy stays VALID
+  kWriteOnce,      // WO:  first write through (RESERVED), then local (DIRTY)
+  kSynapse,        // SYN: ownership, flush + retry on dirty misses
+  kIllinois,       // ILL: ownership, sequencer forwards to the dirty owner
+  kBerkeley,       // BER: migrating ownership; activity center becomes owner
+  kDragon,         // DRG: write-update broadcast
+  kFirefly,        // FF:  write-update broadcast + completion token
+};
+
+inline constexpr std::array<ProtocolKind, 8> kAllProtocols = {
+    ProtocolKind::kWriteThrough, ProtocolKind::kWriteThroughV,
+    ProtocolKind::kWriteOnce,    ProtocolKind::kSynapse,
+    ProtocolKind::kIllinois,     ProtocolKind::kBerkeley,
+    ProtocolKind::kDragon,       ProtocolKind::kFirefly,
+};
+
+const char* to_string(ProtocolKind kind);
+
+/// Parses "write-through", "wt", "berkeley", ... Throws drsm::Error on
+/// unknown names.
+ProtocolKind protocol_from_string(std::string_view name);
+
+/// Creates the protocol process that runs at `node` (clients 0..N-1 get the
+/// client machine, node N the sequencer machine).
+std::unique_ptr<fsm::ProtocolMachine> make_machine(ProtocolKind kind,
+                                                   NodeId node,
+                                                   std::size_t num_clients);
+
+/// Whether the protocol implements the given application operation.  All
+/// protocols implement read and write; the eject/sync extensions are
+/// provided for the invalidate protocols that have an INVALID client state.
+bool supports(ProtocolKind kind, fsm::OpKind op);
+
+}  // namespace drsm::protocols

@@ -1,0 +1,35 @@
+// Shared configuration of the distributed system under study (Section 2).
+#pragma once
+
+#include <cstddef>
+
+#include "fsm/token.h"
+#include "support/types.h"
+
+namespace drsm::sim {
+
+/// Static description of the N+1-node system.
+struct SystemConfig {
+  /// N: number of client nodes (0..N-1); node N is the home/sequencer.
+  std::size_t num_clients = 3;
+
+  /// S and P of the cost model (Section 4.1).
+  fsm::CostModel costs;
+
+  /// M: number of disjoint shared objects (full replication).
+  std::size_t num_objects = 1;
+};
+
+/// Message latency model for the discrete-event simulator.  Latencies do
+/// not affect communication *cost* (the paper's metric counts messages);
+/// they control how much concurrency the system exhibits and therefore how
+/// far the simulation deviates from the one-operation-at-a-time analysis.
+struct LatencyModel {
+  SimTime min_latency = 1;
+  SimTime max_latency = 1;  // uniform in [min, max]
+
+  /// Time a node spends handling one message.
+  SimTime processing_time = 0;
+};
+
+}  // namespace drsm::sim

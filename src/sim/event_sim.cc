@@ -1,0 +1,385 @@
+#include "sim/event_sim.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "support/error.h"
+#include "support/text.h"
+
+namespace drsm::sim {
+
+using fsm::Message;
+using fsm::MsgType;
+using fsm::OpKind;
+using fsm::ParamPresence;
+using fsm::QueueKind;
+
+namespace {
+
+struct Event {
+  SimTime time = 0;
+  std::uint64_t seq = 0;  // tie-breaker preserving scheduling order
+  std::function<void()> fn;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+struct EventSimulator::Impl {
+  // -- static configuration ------------------------------------------------
+  protocols::ProtocolKind kind;
+  SystemConfig config;
+  SimOptions options;
+  MessageObserver observer;
+
+  // -- simulation state ----------------------------------------------------
+  Rng rng;
+  SimTime now = 0;
+  std::uint64_t event_seq = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events;
+
+  // machines[node][object]
+  std::vector<std::vector<std::unique_ptr<fsm::ProtocolMachine>>> machines;
+  // Per-node queues and processing state.
+  std::vector<std::deque<Message>> local_queue;
+  std::vector<std::deque<Message>> dist_queue;
+  std::vector<std::vector<bool>> local_disabled;  // [node][object]
+  std::vector<bool> busy;
+  // FIFO channels: latest scheduled delivery per (src, dst).
+  std::vector<std::vector<SimTime>> channel_front;
+
+  // Outstanding application op per node.
+  struct Outstanding {
+    bool active = false;
+    ObjectId object = 0;
+    OpKind kind = OpKind::kRead;
+    SimTime issued = 0;
+  };
+  std::vector<Outstanding> outstanding;
+  bool stopped_issuing = false;
+
+  // Coherence checking: last version observed by each node per object.
+  std::vector<std::vector<std::uint64_t>> last_seen_version;
+
+  std::uint64_t version_counter = 0;
+  std::uint64_t write_value_counter = 0;
+
+  // -- statistics ----------------------------------------------------------
+  Cost total_cost = 0.0;
+  std::size_t total_messages = 0;
+  std::size_t completed_ops = 0;
+  Cost cost_at_warmup = 0.0;
+  std::size_t reads_measured = 0;
+  std::size_t writes_measured = 0;
+  double latency_sum = 0.0;
+  SimTime latency_max = 0;
+  double read_latency_sum = 0.0;
+  double write_latency_sum = 0.0;
+  std::map<MsgType, std::size_t> message_mix;
+  std::vector<Cost> cost_by_initiator;
+  std::vector<Cost> cost_by_object;
+  std::vector<std::size_t> handled_by_node;
+
+  WorkloadDriver* driver = nullptr;
+
+  // -- MachineContext ------------------------------------------------------
+  class Ctx final : public fsm::MachineContext {
+   public:
+    Ctx(Impl& impl, NodeId self) : impl_(impl), self_(self) {}
+
+    NodeId self() const override { return self_; }
+    std::size_t num_clients() const override {
+      return impl_.config.num_clients;
+    }
+    const fsm::CostModel& costs() const override {
+      return impl_.config.costs;
+    }
+
+    void send(NodeId dest, Message msg) override {
+      impl_.send_message(self_, dest, msg);
+    }
+
+    void send_except(const std::vector<NodeId>& excluded,
+                     Message msg) override {
+      DRSM_CHECK(std::find(excluded.begin(), excluded.end(), self_) !=
+                     excluded.end(),
+                 "send_except: sender must exclude itself");
+      for (NodeId node = 0; node < num_nodes(); ++node) {
+        if (std::find(excluded.begin(), excluded.end(), node) !=
+            excluded.end())
+          continue;
+        impl_.send_message(self_, node, msg);
+      }
+    }
+
+    void return_read(std::uint64_t value, std::uint64_t version) override {
+      impl_.on_read_return(self_, value, version);
+    }
+    void complete_write(std::uint64_t version) override {
+      impl_.on_op_complete(self_, version);
+    }
+    void complete_op() override { impl_.on_op_complete(self_, 0); }
+
+    void disable_local_queue() override {
+      impl_.local_disabled[self_][impl_.current_object_] = true;
+    }
+    void enable_local_queue() override {
+      impl_.local_disabled[self_][impl_.current_object_] = false;
+      impl_.try_process(self_);
+    }
+
+    std::uint64_t next_version() override {
+      return ++impl_.version_counter;
+    }
+
+   private:
+    Impl& impl_;
+    NodeId self_;
+  };
+
+  ObjectId current_object_ = 0;  // object of the message being handled
+
+  // -- mechanics -----------------------------------------------------------
+  Impl(protocols::ProtocolKind k, const SystemConfig& cfg,
+       const SimOptions& opts)
+      : kind(k), config(cfg), options(opts), rng(opts.seed) {
+    const std::size_t nodes = config.num_clients + 1;
+    machines.resize(nodes);
+    for (NodeId node = 0; node < nodes; ++node) {
+      machines[node].reserve(config.num_objects);
+      for (ObjectId obj = 0; obj < config.num_objects; ++obj)
+        machines[node].push_back(
+            protocols::make_machine(kind, node, config.num_clients));
+    }
+    local_queue.resize(nodes);
+    dist_queue.resize(nodes);
+    local_disabled.assign(nodes, std::vector<bool>(config.num_objects, false));
+    busy.assign(nodes, false);
+    channel_front.assign(nodes, std::vector<SimTime>(nodes, 0));
+    outstanding.resize(nodes);
+    cost_by_initiator.assign(nodes, 0.0);
+    cost_by_object.assign(config.num_objects, 0.0);
+    handled_by_node.assign(nodes, 0);
+    last_seen_version.assign(
+        nodes, std::vector<std::uint64_t>(config.num_objects, 0));
+  }
+
+  void schedule(SimTime delay, std::function<void()> fn) {
+    events.push(Event{now + delay, ++event_seq, std::move(fn)});
+  }
+
+  SimTime draw_latency() {
+    const auto& l = options.latency;
+    if (l.max_latency <= l.min_latency) return l.min_latency;
+    return l.min_latency +
+           rng.uniform_index(l.max_latency - l.min_latency + 1);
+  }
+
+  void send_message(NodeId src, NodeId dst, Message msg) {
+    msg.sender = src;
+    if (src == dst) {
+      // Local action: free, delivered instantly at the next event.
+      schedule(0, [this, dst, msg] { deliver(dst, msg); });
+      return;
+    }
+    const Cost cost = config.costs.message_cost(msg.token.params);
+    total_cost += cost;
+    ++total_messages;
+    ++message_mix[msg.token.type];
+    if (msg.token.initiator < cost_by_initiator.size())
+      cost_by_initiator[msg.token.initiator] += cost;
+    if (msg.token.object < cost_by_object.size())
+      cost_by_object[msg.token.object] += cost;
+    // FIFO channel: never deliver before the previously sent message.
+    SimTime arrival = now + draw_latency();
+    arrival = std::max(arrival, channel_front[src][dst]);
+    channel_front[src][dst] = arrival;
+    if (observer) observer(now, src, dst, msg);
+    schedule(arrival - now, [this, dst, msg] { deliver(dst, msg); });
+  }
+
+  void deliver(NodeId dst, const Message& msg) {
+    dist_queue[dst].push_back(msg);
+    try_process(dst);
+  }
+
+  void try_process(NodeId node) {
+    if (busy[node]) return;
+    Message msg;
+    if (!dist_queue[node].empty()) {
+      msg = dist_queue[node].front();
+      dist_queue[node].pop_front();
+    } else if (!local_queue[node].empty() &&
+               !local_disabled[node]
+                              [local_queue[node].front().token.object]) {
+      msg = local_queue[node].front();
+      local_queue[node].pop_front();
+    } else {
+      return;
+    }
+    busy[node] = true;
+    schedule(options.latency.processing_time, [this, node, msg] {
+      handle(node, msg);
+      busy[node] = false;
+      try_process(node);
+    });
+  }
+
+  void handle(NodeId node, const Message& msg) {
+    ++handled_by_node[node];
+    current_object_ = msg.token.object;
+    DRSM_CHECK(current_object_ < config.num_objects, "bad object id");
+    Ctx ctx(*this, node);
+    machines[node][current_object_]->on_message(ctx, msg);
+  }
+
+  // -- application processes -----------------------------------------------
+  void issue_next(NodeId node) {
+    if (stopped_issuing) return;
+    const auto op = driver->next_op(node);
+    if (!op.has_value()) return;
+    schedule(op->think_time, [this, node, op = *op] {
+      if (stopped_issuing) return;
+      start_op(node, op);
+    });
+  }
+
+  void start_op(NodeId node, const WorkloadDriver::Op& op) {
+    DRSM_CHECK(!outstanding[node].active, "node already has an op in flight");
+    outstanding[node] = {true, op.object, op.kind, now};
+
+    Message request;
+    switch (op.kind) {
+      case OpKind::kRead: request.token.type = MsgType::kReadReq; break;
+      case OpKind::kWrite: request.token.type = MsgType::kWriteReq; break;
+      case OpKind::kEject: request.token.type = MsgType::kEject; break;
+      case OpKind::kSync: request.token.type = MsgType::kSyncReq; break;
+    }
+    request.token.initiator = node;
+    request.token.object = op.object;
+    request.token.params = op.kind == OpKind::kWrite
+                               ? ParamPresence::kWriteParams
+                               : ParamPresence::kReadParams;
+    request.value = ++write_value_counter;
+    request.sender = node;
+
+    // Client application requests enter the local queue; the sequencer's
+    // enter its distributed queue (Section 2).
+    if (node == static_cast<NodeId>(config.num_clients)) {
+      request.token.queue = QueueKind::kDistributed;
+      dist_queue[node].push_back(request);
+    } else {
+      request.token.queue = QueueKind::kLocal;
+      local_queue[node].push_back(request);
+    }
+    try_process(node);
+  }
+
+  void on_read_return(NodeId node, std::uint64_t /*value*/,
+                      std::uint64_t version) {
+    if (options.check_coherence) {
+      const ObjectId obj = current_object_;
+      DRSM_CHECK(version >= last_seen_version[node][obj] || version == 0,
+                 strfmt("coherence: node %u saw version regress on object %u",
+                        node, obj));
+      if (version > 0) last_seen_version[node][obj] = version;
+    }
+    on_op_complete(node, version);
+  }
+
+  void on_op_complete(NodeId node, std::uint64_t /*version*/) {
+    DRSM_CHECK(outstanding[node].active, "completion without an op");
+    const OpKind kind = outstanding[node].kind;
+    const SimTime latency = now - outstanding[node].issued;
+    outstanding[node].active = false;
+
+    ++completed_ops;
+    if (completed_ops == options.warmup_ops) cost_at_warmup = total_cost;
+    if (completed_ops > options.warmup_ops) {
+      latency_sum += static_cast<double>(latency);
+      latency_max = std::max(latency_max, latency);
+      if (kind == OpKind::kRead) {
+        ++reads_measured;
+        read_latency_sum += static_cast<double>(latency);
+      }
+      if (kind == OpKind::kWrite) {
+        ++writes_measured;
+        write_latency_sum += static_cast<double>(latency);
+      }
+    }
+    if (completed_ops >= options.max_ops) {
+      stopped_issuing = true;
+      return;
+    }
+    issue_next(node);
+  }
+
+  SimStats run(WorkloadDriver& wl) {
+    driver = &wl;
+    const std::size_t nodes = config.num_clients + 1;
+    for (NodeId node = 0; node < nodes; ++node) issue_next(node);
+
+    // Run until the event queue drains: once max_ops operations have
+    // completed no new operations are issued, but the tails of in-flight
+    // traces (e.g. invalidations behind a fire-and-forget write) still
+    // execute and are charged, so measured costs cover whole traces.
+    while (!events.empty()) {
+      Event ev = events.top();
+      events.pop();
+      DRSM_CHECK(ev.time >= now, "time went backwards");
+      now = ev.time;
+      ev.fn();
+    }
+
+    SimStats stats;
+    const std::size_t warm =
+        std::min(options.warmup_ops, completed_ops);
+    stats.warmup_ops = warm;
+    stats.warmup_cost = warm < options.warmup_ops ? total_cost
+                                                  : cost_at_warmup;
+    stats.measured_ops = completed_ops - warm;
+    stats.measured_cost = total_cost - stats.warmup_cost;
+    stats.reads = reads_measured;
+    stats.writes = writes_measured;
+    stats.messages = total_messages;
+    stats.end_time = now;
+    stats.latency_sum = latency_sum;
+    stats.latency_max = latency_max;
+    stats.read_latency_sum = read_latency_sum;
+    stats.write_latency_sum = write_latency_sum;
+    stats.message_mix = message_mix;
+    stats.cost_by_initiator = cost_by_initiator;
+    stats.cost_by_object = cost_by_object;
+    stats.handled_by_node = handled_by_node;
+    return stats;
+  }
+};
+
+EventSimulator::EventSimulator(protocols::ProtocolKind kind,
+                               const SystemConfig& config,
+                               const SimOptions& options)
+    : impl_(std::make_unique<Impl>(kind, config, options)) {}
+
+EventSimulator::~EventSimulator() = default;
+
+void EventSimulator::set_observer(MessageObserver observer) {
+  impl_->observer = std::move(observer);
+}
+
+SimStats EventSimulator::run(WorkloadDriver& driver) {
+  return impl_->run(driver);
+}
+
+const char* EventSimulator::state_name(NodeId node, ObjectId object) const {
+  DRSM_CHECK(node < impl_->machines.size(), "node out of range");
+  DRSM_CHECK(object < impl_->machines[node].size(), "object out of range");
+  return impl_->machines[node][object]->state_name();
+}
+
+}  // namespace drsm::sim

@@ -1,0 +1,201 @@
+#include "sim/sequential.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace drsm::sim {
+
+using fsm::Message;
+using fsm::MsgType;
+using fsm::OpKind;
+using fsm::ParamPresence;
+using fsm::QueueKind;
+
+/// MachineContext implementation for atomic (run-to-quiescence) execution.
+class SequentialRuntime::Context final : public fsm::MachineContext {
+ public:
+  Context(SequentialRuntime& rt, NodeId self, OpResult& result)
+      : rt_(rt), self_(self), result_(result) {}
+
+  NodeId self() const override { return self_; }
+  std::size_t num_clients() const override { return rt_.config_.num_clients; }
+  const fsm::CostModel& costs() const override { return rt_.config_.costs; }
+
+  void send(NodeId dest, Message msg) override {
+    DRSM_CHECK(dest < num_nodes(), "send: destination out of range");
+    msg.sender = self_;
+    if (dest != self_) {
+      result_.cost += costs().message_cost(msg.token.params);
+      ++result_.messages;
+      if (rt_.observer_) rt_.observer_(self_, dest, msg);
+    }
+    rt_.network_.emplace_back(dest, msg);
+  }
+
+  void send_except(const std::vector<NodeId>& excluded,
+                   Message msg) override {
+    DRSM_CHECK(std::find(excluded.begin(), excluded.end(), self_) !=
+                   excluded.end(),
+               "send_except: sender must exclude itself");
+    for (NodeId node = 0; node < num_nodes(); ++node) {
+      if (std::find(excluded.begin(), excluded.end(), node) !=
+          excluded.end())
+        continue;
+      send(node, msg);
+    }
+  }
+
+  void return_read(std::uint64_t value, std::uint64_t version) override {
+    result_.read_value = value;
+    result_.read_version = version;
+    result_.read_returned = true;
+  }
+
+  void complete_write(std::uint64_t /*version*/) override {
+    result_.completed = true;
+  }
+
+  void complete_op() override { result_.completed = true; }
+
+  void disable_local_queue() override {}
+  void enable_local_queue() override {}
+
+  std::uint64_t next_version() override { return ++rt_.version_counter_; }
+
+  /// Re-targets the context at another node while draining the network.
+  void set_self(NodeId self) { self_ = self; }
+
+ private:
+  SequentialRuntime& rt_;
+  NodeId self_;
+  OpResult& result_;
+};
+
+SequentialRuntime::SequentialRuntime(protocols::ProtocolKind kind,
+                                     const SystemConfig& config,
+                                     std::vector<NodeId> roster)
+    : kind_(kind), config_(config), roster_(std::move(roster)) {
+  const NodeId home = static_cast<NodeId>(config_.num_clients);
+  for (NodeId node : roster_)
+    DRSM_CHECK(node < home, "roster must contain client indices only");
+  std::sort(roster_.begin(), roster_.end());
+  roster_.erase(std::unique(roster_.begin(), roster_.end()), roster_.end());
+  roster_.push_back(home);
+  machines_.reserve(roster_.size());
+  for (NodeId node : roster_)
+    machines_.push_back(
+        protocols::make_machine(kind_, node, config_.num_clients));
+}
+
+SequentialRuntime::SequentialRuntime(const MachineFactory& factory,
+                                     const SystemConfig& config,
+                                     std::vector<NodeId> roster)
+    : kind_(protocols::ProtocolKind::kWriteThrough),
+      custom_machines_(true),
+      config_(config),
+      roster_(std::move(roster)) {
+  const NodeId home = static_cast<NodeId>(config_.num_clients);
+  for (NodeId node : roster_)
+    DRSM_CHECK(node < home, "roster must contain client indices only");
+  std::sort(roster_.begin(), roster_.end());
+  roster_.erase(std::unique(roster_.begin(), roster_.end()), roster_.end());
+  roster_.push_back(home);
+  machines_.reserve(roster_.size());
+  for (NodeId node : roster_) machines_.push_back(factory(node));
+}
+
+SequentialRuntime::SequentialRuntime(const SequentialRuntime& other)
+    : kind_(other.kind_),
+      custom_machines_(other.custom_machines_),
+      config_(other.config_),
+      roster_(other.roster_),
+      network_(other.network_),
+      version_counter_(other.version_counter_),
+      latest_value_(other.latest_value_) {
+  machines_.reserve(other.machines_.size());
+  for (const auto& machine : other.machines_)
+    machines_.push_back(machine->clone());
+}
+
+SequentialRuntime& SequentialRuntime::operator=(
+    const SequentialRuntime& other) {
+  if (this == &other) return *this;
+  SequentialRuntime copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+fsm::ProtocolMachine* SequentialRuntime::machine(NodeId node) {
+  const auto it = std::lower_bound(roster_.begin(), roster_.end(), node);
+  if (it == roster_.end() || *it != node) return nullptr;
+  return machines_[static_cast<std::size_t>(it - roster_.begin())].get();
+}
+
+OpResult SequentialRuntime::execute(NodeId node, OpKind op,
+                                    std::uint64_t value) {
+  DRSM_CHECK(custom_machines_ || protocols::supports(kind_, op),
+             std::string("protocol does not support op ") +
+                 fsm::to_string(op));
+  fsm::ProtocolMachine* target = machine(node);
+  DRSM_CHECK(target != nullptr, "operation at a node outside the roster");
+  DRSM_CHECK(network_.empty(), "network not quiescent");
+
+  OpResult result;
+  Context ctx(*this, node, result);
+
+  Message request;
+  switch (op) {
+    case OpKind::kRead: request.token.type = MsgType::kReadReq; break;
+    case OpKind::kWrite: request.token.type = MsgType::kWriteReq; break;
+    case OpKind::kEject: request.token.type = MsgType::kEject; break;
+    case OpKind::kSync: request.token.type = MsgType::kSyncReq; break;
+  }
+  request.token.initiator = node;
+  request.token.object = 0;
+  request.token.queue = node == ctx.home() ? QueueKind::kDistributed
+                                           : QueueKind::kLocal;
+  request.token.params = op == OpKind::kWrite ? ParamPresence::kWriteParams
+                                              : ParamPresence::kReadParams;
+  request.value = value;
+  request.sender = node;
+
+  target->on_message(ctx, request);
+  drain(ctx);
+
+  if (op == OpKind::kWrite) latest_value_ = value;
+  if (op == OpKind::kRead)
+    DRSM_CHECK(result.read_returned, "read did not return data");
+  else
+    DRSM_CHECK(result.completed, "operation did not complete");
+  return result;
+}
+
+void SequentialRuntime::drain(Context& ctx) {
+  while (!network_.empty()) {
+    auto [dest, msg] = network_.front();
+    network_.pop_front();
+    fsm::ProtocolMachine* target = machine(dest);
+    if (target == nullptr) continue;  // passive node; cost already charged
+    ctx.set_self(dest);
+    target->on_message(ctx, msg);
+  }
+}
+
+std::vector<std::uint8_t> SequentialRuntime::encode_state() const {
+  std::vector<std::uint8_t> out;
+  for (const auto& machine : machines_) {
+    DRSM_CHECK(machine->quiescent(), "encode_state: machine not quiescent");
+    machine->encode(out);
+  }
+  return out;
+}
+
+const char* SequentialRuntime::state_name(NodeId node) const {
+  auto* self = const_cast<SequentialRuntime*>(this);
+  fsm::ProtocolMachine* target = self->machine(node);
+  DRSM_CHECK(target != nullptr, "state_name: node outside the roster");
+  return target->state_name();
+}
+
+}  // namespace drsm::sim

@@ -1,0 +1,103 @@
+// SequentialRuntime: executes shared-memory operations one at a time, each
+// run to network quiescence before the next begins.
+//
+// This is the semantics under which the paper's analysis holds (operations
+// form "a sequence of repeated independent trials", Section 4.3): an
+// operation's whole trace of actions completes atomically.  The analytic
+// Markov engine drives this runtime to enumerate protocol state spaces and
+// exact per-operation costs, and the lockstep simulation driver uses it for
+// sampled workloads.  The runtime is copyable so the engine can snapshot
+// and restore protocol states cheaply.
+//
+// Only the nodes that will ever issue operations (the roster) plus the home
+// node carry live machines; broadcasts still *charge* for every receiver in
+// the N+1-node system, but deliver only to live machines.  Nodes outside
+// the roster never act, so their (constant) state cannot influence costs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "fsm/mealy.h"
+#include "protocols/protocol.h"
+#include "sim/config.h"
+
+namespace drsm::sim {
+
+/// Result of one atomically executed operation.
+struct OpResult {
+  Cost cost = 0.0;              // total communication cost of the trace
+  std::size_t messages = 0;     // inter-node messages in the trace
+  std::uint64_t read_value = 0; // value returned (reads only)
+  std::uint64_t read_version = 0;
+  bool read_returned = false;
+  bool completed = false;       // write/eject/sync completion observed
+};
+
+class SequentialRuntime {
+ public:
+  /// `roster` lists the client nodes that will issue operations; the home
+  /// node is always live and may issue operations too.
+  SequentialRuntime(protocols::ProtocolKind kind, const SystemConfig& config,
+                    std::vector<NodeId> roster);
+
+  /// As above, but machines come from a caller-supplied factory (used to
+  /// run the formal transition-table machines of fsm/table.h through the
+  /// same harness).  Operation-support checks are skipped.
+  using MachineFactory =
+      std::function<std::unique_ptr<fsm::ProtocolMachine>(NodeId)>;
+  SequentialRuntime(const MachineFactory& factory, const SystemConfig& config,
+                    std::vector<NodeId> roster);
+
+  SequentialRuntime(const SequentialRuntime& other);
+  SequentialRuntime& operator=(const SequentialRuntime& other);
+  SequentialRuntime(SequentialRuntime&&) noexcept = default;
+  SequentialRuntime& operator=(SequentialRuntime&&) noexcept = default;
+
+  /// Executes one operation to completion.  Write operations carry the
+  /// value to store.  Throws drsm::Error if the protocol does not support
+  /// the operation kind.
+  OpResult execute(NodeId node, fsm::OpKind op, std::uint64_t value = 0);
+
+  /// Protocol-relevant state of all live machines, usable as a Markov-state
+  /// key.  Only valid at quiescence (always, between execute() calls).
+  std::vector<std::uint8_t> encode_state() const;
+
+  /// The value and version of the globally latest sequenced write.
+  std::uint64_t latest_value() const { return latest_value_; }
+  std::uint64_t latest_version() const { return version_counter_; }
+
+  const SystemConfig& config() const { return config_; }
+  protocols::ProtocolKind protocol() const { return kind_; }
+  const std::vector<NodeId>& roster() const { return roster_; }
+
+  /// Copy-state name at `node` (for tests and the trace inspector).
+  const char* state_name(NodeId node) const;
+
+  /// Observer invoked for every inter-node message (src, dst, message).
+  using Observer =
+      std::function<void(NodeId, NodeId, const fsm::Message&)>;
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+ private:
+  class Context;
+  friend class Context;
+
+  fsm::ProtocolMachine* machine(NodeId node);
+  void drain(Context& ctx);
+
+  protocols::ProtocolKind kind_;
+  bool custom_machines_ = false;
+  SystemConfig config_;
+  std::vector<NodeId> roster_;  // sorted, home appended
+  std::vector<std::unique_ptr<fsm::ProtocolMachine>> machines_;  // by roster_
+  std::deque<std::pair<NodeId, fsm::Message>> network_;
+  std::uint64_t version_counter_ = 0;
+  std::uint64_t latest_value_ = 0;
+  Observer observer_;  // not copied by design (snapshots stay silent)
+};
+
+}  // namespace drsm::sim

@@ -1,0 +1,78 @@
+#include "stats/summary.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace drsm::stats {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+ConfidenceInterval batch_means_ci(const std::vector<double>& samples,
+                                  std::size_t num_batches, double z) {
+  DRSM_CHECK(num_batches >= 2, "need at least two batches");
+  DRSM_CHECK(samples.size() >= num_batches, "fewer samples than batches");
+  const std::size_t batch_size = samples.size() / num_batches;
+
+  RunningStats batches;
+  for (std::size_t b = 0; b < num_batches; ++b) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < batch_size; ++i)
+      sum += samples[b * batch_size + i];
+    batches.add(sum / static_cast<double>(batch_size));
+  }
+  ConfidenceInterval ci;
+  ci.mean = batches.mean();
+  ci.half_width = z * batches.stddev() /
+                  std::sqrt(static_cast<double>(num_batches));
+  return ci;
+}
+
+ConfidenceInterval replication_ci(const std::vector<double>& replicates,
+                                  double z) {
+  DRSM_CHECK(replicates.size() >= 2, "need at least two replicates");
+  RunningStats stats;
+  for (double r : replicates) stats.add(r);
+  ConfidenceInterval ci;
+  ci.mean = stats.mean();
+  ci.half_width =
+      z * stats.stddev() / std::sqrt(static_cast<double>(replicates.size()));
+  return ci;
+}
+
+double relative_discrepancy_percent(double analytical, double simulated) {
+  if (std::fabs(analytical) < 1e-12)
+    return std::fabs(simulated) < 1e-12 ? 0.0
+                                        : (simulated > 0 ? -100.0 : 100.0);
+  return 100.0 * (analytical - simulated) / analytical;
+}
+
+ConfidenceInterval replicate(
+    std::size_t replications,
+    const std::function<double(std::uint64_t)>& experiment, double z) {
+  std::vector<double> results;
+  results.reserve(replications);
+  for (std::size_t r = 0; r < replications; ++r)
+    results.push_back(experiment(r + 1));
+  return replication_ci(results, z);
+}
+
+}  // namespace drsm::stats

@@ -1,0 +1,66 @@
+// Steady-state output analysis for the simulation experiments: running
+// moments, batch-means confidence intervals, and the relative-discrepancy
+// measure of the paper's Table 7.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace drsm::stats {
+
+/// Numerically stable running mean/variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;
+
+  double lo() const { return mean - half_width; }
+  double hi() const { return mean + half_width; }
+  bool contains(double x) const { return x >= lo() && x <= hi(); }
+};
+
+/// Batch-means interval estimate for a (possibly autocorrelated) stationary
+/// sequence of per-operation costs: the series is cut into `num_batches`
+/// equal batches whose means are treated as approximately independent.
+/// `z` is the normal critical value (1.96 ~ 95 %).
+ConfidenceInterval batch_means_ci(const std::vector<double>& samples,
+                                  std::size_t num_batches, double z = 1.96);
+
+/// Interval from independent replications (one value per seed).
+ConfidenceInterval replication_ci(const std::vector<double>& replicates,
+                                  double z = 1.96);
+
+/// The paper's Table 7 discrepancy: 100 * (acc_analytic - acc_sim) /
+/// acc_analytic, in percent.  Returns 0 when both are (near) zero and +/-100
+/// when only the analytic value vanishes.
+double relative_discrepancy_percent(double analytical, double simulated);
+
+/// Runs `replications` evaluations of `experiment` (seed passed in) and
+/// returns the replication confidence interval of the results.
+ConfidenceInterval replicate(std::size_t replications,
+                             const std::function<double(std::uint64_t)>&
+                                 experiment,
+                             double z = 1.96);
+
+}  // namespace drsm::stats

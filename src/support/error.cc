@@ -1,0 +1,11 @@
+#include "support/error.h"
+
+namespace drsm::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  throw Error(std::string("DRSM_CHECK failed: (") + expr + ") at " + file +
+              ":" + std::to_string(line) + (msg.empty() ? "" : ": " + msg));
+}
+
+}  // namespace drsm::detail

@@ -1,0 +1,35 @@
+// Error handling used across drsm.
+//
+// Internal invariants are enforced with DRSM_CHECK (always on, including in
+// release builds: the simulator's correctness claims rest on these holding),
+// and user-facing argument validation throws drsm::Error with a formatted
+// message.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace drsm {
+
+/// Exception thrown for invalid arguments and violated preconditions on the
+/// public API.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace drsm
+
+/// Always-on invariant check.  `msg` may use string concatenation; it is
+/// only evaluated on failure.
+#define DRSM_CHECK(expr, msg)                                          \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::drsm::detail::check_failed(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,127 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+namespace drsm {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  DRSM_CHECK(lo <= hi, "empty uniform range");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  DRSM_CHECK(n > 0, "uniform_index(0)");
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+bool Rng::bernoulli(double p) {
+  DRSM_CHECK(p >= 0.0 && p <= 1.0, "bernoulli p out of [0,1]");
+  return uniform() < p;
+}
+
+double Rng::exponential(double rate) {
+  DRSM_CHECK(rate > 0.0, "exponential rate must be positive");
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+Rng Rng::split(std::uint64_t stream_id) const {
+  std::uint64_t mix = seed_;
+  const std::uint64_t a = splitmix64(mix);
+  mix ^= stream_id * 0xD1342543DE82EF95ULL + 0x2545F4914F6CDD1DULL;
+  const std::uint64_t b = splitmix64(mix);
+  return Rng(a ^ rotl(b, 32) ^ stream_id);
+}
+
+CategoricalSampler::CategoricalSampler(const std::vector<double>& weights) {
+  DRSM_CHECK(!weights.empty(), "categorical needs at least one outcome");
+  double total = 0.0;
+  for (double w : weights) {
+    DRSM_CHECK(w >= 0.0, "categorical weight must be non-negative");
+    total += w;
+  }
+  DRSM_CHECK(total > 0.0, "categorical weights sum to zero");
+
+  const std::size_t k = weights.size();
+  norm_.resize(k);
+  for (std::size_t i = 0; i < k; ++i) norm_[i] = weights[i] / total;
+
+  // Walker/Vose alias construction.
+  prob_.assign(k, 0.0);
+  alias_.assign(k, 0);
+  std::vector<double> scaled(k);
+  std::vector<std::size_t> small, large;
+  for (std::size_t i = 0; i < k; ++i) {
+    scaled[i] = norm_[i] * static_cast<double>(k);
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::size_t i : large) prob_[i] = 1.0;
+  for (std::size_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+std::size_t CategoricalSampler::sample(Rng& rng) const {
+  const std::size_t cell = rng.uniform_index(prob_.size());
+  return rng.uniform() < prob_[cell] ? cell : alias_[cell];
+}
+
+double CategoricalSampler::probability(std::size_t i) const {
+  DRSM_CHECK(i < norm_.size(), "categorical index out of range");
+  return norm_[i];
+}
+
+}  // namespace drsm

@@ -1,0 +1,54 @@
+#include "support/text.h"
+
+#include <cstdio>
+
+#include "support/error.h"
+
+namespace drsm {
+
+std::string strfmt(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  DRSM_CHECK(needed >= 0, "vsnprintf failed");
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  va_end(args2);
+  return out;
+}
+
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows) {
+  const std::size_t cols = header.size();
+  std::vector<std::size_t> width(cols, 0);
+  for (std::size_t c = 0; c < cols; ++c) width[c] = header[c].size();
+  for (const auto& row : rows) {
+    DRSM_CHECK(row.size() == cols, "table row width mismatch");
+    for (std::size_t c = 0; c < cols; ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      out += "| ";
+      out += row[c];
+      out.append(width[c] - row[c].size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+
+  std::string out;
+  emit_row(header, out);
+  for (std::size_t c = 0; c < cols; ++c) {
+    out += "|";
+    out.append(width[c] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& row : rows) emit_row(row, out);
+  return out;
+}
+
+}  // namespace drsm

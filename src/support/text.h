@@ -1,0 +1,18 @@
+// Small text-formatting helpers (libstdc++ 12 does not ship std::format).
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace drsm {
+
+/// printf-style formatting into a std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Renders a simple aligned ASCII table: header row plus data rows.  Used by
+/// the benchmark harness to print paper-style tables.
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace drsm

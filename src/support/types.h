@@ -1,0 +1,29 @@
+// Fundamental identifier and cost types shared by every drsm subsystem.
+//
+// The paper's system has N clients (indices 1..N) and one sequencer
+// (index N+1).  We use 0-based indices internally: clients are 0..N-1 and
+// the sequencer is node N; `NodeId` is wide enough for any realistic N.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace drsm {
+
+/// Index of a node (client or sequencer) in the distributed system.
+using NodeId = std::uint32_t;
+
+/// Index of a shared object (the paper's data block index j = 1..M).
+using ObjectId = std::uint32_t;
+
+/// Communication cost in the paper's abstract units: a message token costs
+/// 1 unit, user information adds S units, write parameters add P units.
+using Cost = double;
+
+/// Simulated time (discrete-event clock).
+using SimTime = std::uint64_t;
+
+/// Sentinel for "no node" (e.g. no current owner).
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+}  // namespace drsm

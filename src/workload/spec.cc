@@ -1,0 +1,162 @@
+#include "workload/spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+#include "support/text.h"
+
+namespace drsm::workload {
+
+using fsm::OpKind;
+
+std::vector<NodeId> WorkloadSpec::roster() const {
+  std::vector<NodeId> nodes;
+  for (const EventSpec& e : events) nodes.push_back(e.node);
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+std::vector<double> WorkloadSpec::probabilities() const {
+  std::vector<double> probs;
+  probs.reserve(events.size());
+  for (const EventSpec& e : events) probs.push_back(e.probability);
+  return probs;
+}
+
+void WorkloadSpec::validate() const {
+  DRSM_CHECK(!events.empty(), "workload has no events");
+  double sum = 0.0;
+  for (const EventSpec& e : events) {
+    DRSM_CHECK(e.probability >= -1e-12 && e.probability <= 1.0 + 1e-12,
+               "event probability out of [0,1]");
+    sum += e.probability;
+  }
+  DRSM_CHECK(std::fabs(sum - 1.0) < 1e-9,
+             strfmt("workload probabilities sum to %.12f", sum));
+}
+
+WorkloadSpec ideal_workload(double p) {
+  DRSM_CHECK(p >= 0.0 && p <= 1.0, "ideal_workload: p out of [0,1]");
+  WorkloadSpec spec;
+  spec.name = "ideal";
+  spec.events = {{0, OpKind::kWrite, p}, {0, OpKind::kRead, 1.0 - p}};
+  spec.validate();
+  return spec;
+}
+
+WorkloadSpec read_disturbance(double p, double sigma, std::size_t a) {
+  DRSM_CHECK(p >= 0.0 && sigma >= 0.0, "read_disturbance: negative parameter");
+  const double ar = 1.0 - p - static_cast<double>(a) * sigma;
+  DRSM_CHECK(ar >= -1e-12,
+             strfmt("read_disturbance: p + a*sigma = %.6f exceeds 1",
+                    p + static_cast<double>(a) * sigma));
+  WorkloadSpec spec;
+  spec.name = "read-disturbance";
+  spec.events.push_back({0, OpKind::kWrite, p});
+  spec.events.push_back({0, OpKind::kRead, std::max(0.0, ar)});
+  for (std::size_t k = 1; k <= a; ++k)
+    spec.events.push_back({static_cast<NodeId>(k), OpKind::kRead, sigma});
+  spec.validate();
+  return spec;
+}
+
+WorkloadSpec read_disturbance_heterogeneous(
+    double p, const std::vector<double>& sigmas) {
+  double total = 0.0;
+  for (double sigma : sigmas) {
+    DRSM_CHECK(sigma >= 0.0, "negative sigma_k");
+    total += sigma;
+  }
+  const double ar = 1.0 - p - total;
+  DRSM_CHECK(p >= 0.0 && ar >= -1e-12,
+             strfmt("read_disturbance_heterogeneous: p + sum(sigma) = %.6f "
+                    "exceeds 1",
+                    p + total));
+  WorkloadSpec spec;
+  spec.name = "read-disturbance-heterogeneous";
+  spec.events.push_back({0, OpKind::kWrite, p});
+  spec.events.push_back({0, OpKind::kRead, std::max(0.0, ar)});
+  for (std::size_t k = 0; k < sigmas.size(); ++k)
+    spec.events.push_back(
+        {static_cast<NodeId>(k + 1), OpKind::kRead, sigmas[k]});
+  spec.validate();
+  return spec;
+}
+
+WorkloadSpec write_disturbance_heterogeneous(
+    double p, const std::vector<double>& xis) {
+  double total = 0.0;
+  for (double xi : xis) {
+    DRSM_CHECK(xi >= 0.0, "negative xi_k");
+    total += xi;
+  }
+  const double ar = 1.0 - p - total;
+  DRSM_CHECK(p >= 0.0 && ar >= -1e-12,
+             strfmt("write_disturbance_heterogeneous: p + sum(xi) = %.6f "
+                    "exceeds 1",
+                    p + total));
+  WorkloadSpec spec;
+  spec.name = "write-disturbance-heterogeneous";
+  spec.events.push_back({0, OpKind::kWrite, p});
+  spec.events.push_back({0, OpKind::kRead, std::max(0.0, ar)});
+  for (std::size_t k = 0; k < xis.size(); ++k)
+    spec.events.push_back(
+        {static_cast<NodeId>(k + 1), OpKind::kWrite, xis[k]});
+  spec.validate();
+  return spec;
+}
+
+WorkloadSpec write_disturbance(double p, double xi, std::size_t a) {
+  DRSM_CHECK(p >= 0.0 && xi >= 0.0, "write_disturbance: negative parameter");
+  const double ar = 1.0 - p - static_cast<double>(a) * xi;
+  DRSM_CHECK(ar >= -1e-12,
+             strfmt("write_disturbance: p + a*xi = %.6f exceeds 1",
+                    p + static_cast<double>(a) * xi));
+  WorkloadSpec spec;
+  spec.name = "write-disturbance";
+  spec.events.push_back({0, OpKind::kWrite, p});
+  spec.events.push_back({0, OpKind::kRead, std::max(0.0, ar)});
+  for (std::size_t k = 1; k <= a; ++k)
+    spec.events.push_back({static_cast<NodeId>(k), OpKind::kWrite, xi});
+  spec.validate();
+  return spec;
+}
+
+WorkloadSpec read_disturbance_with_eject(double p, double sigma,
+                                         std::size_t a, double e) {
+  DRSM_CHECK(p >= 0.0 && sigma >= 0.0 && e >= 0.0,
+             "read_disturbance_with_eject: negative parameter");
+  const double ar = 1.0 - p - static_cast<double>(a) * sigma - e;
+  DRSM_CHECK(ar >= -1e-12,
+             strfmt("read_disturbance_with_eject: p + a*sigma + e = %.6f "
+                    "exceeds 1",
+                    p + static_cast<double>(a) * sigma + e));
+  WorkloadSpec spec;
+  spec.name = "read-disturbance-with-eject";
+  spec.events.push_back({0, OpKind::kWrite, p});
+  spec.events.push_back({0, OpKind::kRead, std::max(0.0, ar)});
+  spec.events.push_back({0, OpKind::kEject, e});
+  for (std::size_t k = 1; k <= a; ++k)
+    spec.events.push_back({static_cast<NodeId>(k), OpKind::kRead, sigma});
+  spec.validate();
+  return spec;
+}
+
+WorkloadSpec multiple_activity_centers(double p, std::size_t beta) {
+  DRSM_CHECK(beta >= 1, "multiple_activity_centers: beta must be >= 1");
+  DRSM_CHECK(p >= 0.0 && p <= 1.0, "multiple_activity_centers: p out of [0,1]");
+  WorkloadSpec spec;
+  spec.name = "multiple-activity-centers";
+  const double b = static_cast<double>(beta);
+  for (std::size_t k = 0; k < beta; ++k) {
+    spec.events.push_back({static_cast<NodeId>(k), OpKind::kWrite, p / b});
+    spec.events.push_back(
+        {static_cast<NodeId>(k), OpKind::kRead, (1.0 - p) / b});
+  }
+  spec.validate();
+  return spec;
+}
+
+}  // namespace drsm::workload

@@ -1,0 +1,86 @@
+// Workload characterization (Section 4.2).
+//
+// The paper models the computation as a stochastic steady state in which
+// every operation is one independent trial from a fixed sample space of
+// events.  An *ideal* workload touches each object from exactly one node
+// (its activity center); three parameterized deviations are studied:
+//
+//   read disturbance      — the activity center reads (prob 1-p-a*sigma)
+//                           and writes (p); each of `a` other clients reads
+//                           with probability sigma;
+//   write disturbance     — the activity center reads (1-p-a*xi) and
+//                           writes (p); each of `a` other clients writes
+//                           with probability xi;
+//   multiple activity centers — beta clients each read ((1-p)/beta) and
+//                           write (p/beta).
+//
+// Node convention: the activity center is client 0; disturbing clients are
+// 1..a; with multiple activity centers the centers are clients 0..beta-1.
+// The sequencer (node N) issues no operations in any of these workloads —
+// traces tr5/tr6 have probability zero, exactly as in the paper's Section 5.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fsm/token.h"
+#include "support/types.h"
+
+namespace drsm::workload {
+
+/// One outcome of the per-operation sample space.
+struct EventSpec {
+  NodeId node = 0;
+  fsm::OpKind op = fsm::OpKind::kRead;
+  double probability = 0.0;
+};
+
+/// A complete per-operation sample space.
+struct WorkloadSpec {
+  std::string name;
+  std::vector<EventSpec> events;
+
+  /// Distinct client nodes that appear in the sample space, sorted.
+  std::vector<NodeId> roster() const;
+
+  /// Probabilities of the event list (aligned with `events`).
+  std::vector<double> probabilities() const;
+
+  /// Throws drsm::Error unless probabilities are in [0,1] and sum to 1
+  /// within tolerance.
+  void validate() const;
+};
+
+/// Ideal workload: only the activity center (client 0) operates;
+/// write probability p.
+WorkloadSpec ideal_workload(double p);
+
+/// Read disturbance: requires p + a*sigma <= 1 and a >= 0.
+WorkloadSpec read_disturbance(double p, double sigma, std::size_t a);
+
+/// The paper's *general* read disturbance (Section 4.2 before the
+/// homogeneous simplification): disturbing client k reads with its own
+/// probability sigma_k.  Requires p + sum(sigmas) <= 1.
+WorkloadSpec read_disturbance_heterogeneous(
+    double p, const std::vector<double>& sigmas);
+
+/// General write disturbance: client k writes with probability xi_k.
+WorkloadSpec write_disturbance_heterogeneous(
+    double p, const std::vector<double>& xis);
+
+/// Write disturbance: requires p + a*xi <= 1 and a >= 0.
+WorkloadSpec write_disturbance(double p, double xi, std::size_t a);
+
+/// Multiple activity centers: beta >= 1 centers share total write
+/// probability p (homogeneous case of Section 4.2).
+WorkloadSpec multiple_activity_centers(double p, std::size_t beta);
+
+/// Extension (paper conclusion: eject operation / free memory pool): read
+/// disturbance where the activity center additionally ejects its replica
+/// with probability e per operation — the analytic counterpart of a
+/// bounded replica pool.  Requires p + a*sigma + e <= 1 and a protocol
+/// with an eject operation (the Write-Through family).
+WorkloadSpec read_disturbance_with_eject(double p, double sigma,
+                                         std::size_t a, double e);
+
+}  // namespace drsm::workload

@@ -1,0 +1,26 @@
+// Plain-text persistence for operation traces, so recorded workloads (the
+// stand-in for the paper's "real distributed computation") can be captured
+// once and re-analysed or replayed later.
+//
+// Format (one record per line, '#' comments allowed):
+//   drsm-trace v1
+//   clients <N>
+//   objects <M>
+//   <node> <object> <r|w|e|s>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/generator.h"
+
+namespace drsm::workload {
+
+void save_trace(std::ostream& out, const OperationTrace& trace);
+void save_trace_file(const std::string& path, const OperationTrace& trace);
+
+/// Throws drsm::Error on malformed input.
+OperationTrace load_trace(std::istream& in);
+OperationTrace load_trace_file(const std::string& path);
+
+}  // namespace drsm::workload

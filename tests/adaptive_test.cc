@@ -1,0 +1,208 @@
+// Tests for the self-tuning extension: parameter estimation, the analytic
+// classifier, and the protocol-switching shared memory.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "adaptive/selector.h"
+#include "support/rng.h"
+#include "workload/generator.h"
+
+namespace drsm {
+namespace {
+
+using adaptive::AdaptiveSelector;
+using adaptive::AdaptiveSharedMemory;
+using adaptive::WorkloadEstimator;
+using fsm::OpKind;
+using protocols::ProtocolKind;
+
+sim::SystemConfig make_config(std::size_t n, double s, double p) {
+  sim::SystemConfig config;
+  config.num_clients = n;
+  config.costs.s = s;
+  config.costs.p = p;
+  return config;
+}
+
+TEST(WorkloadEstimator, WindowedFrequencies) {
+  WorkloadEstimator estimator(2, /*window=*/4);
+  estimator.observe(0, OpKind::kWrite);
+  estimator.observe(0, OpKind::kWrite);
+  estimator.observe(1, OpKind::kRead);
+  estimator.observe(0, OpKind::kRead);
+  auto spec = estimator.empirical_spec();
+  // Node 0: 1 read + 2 writes; node 1: 1 read.
+  double node0_write = 0.0, node1_read = 0.0;
+  for (const auto& e : spec.events) {
+    if (e.node == 0 && e.op == OpKind::kWrite) node0_write = e.probability;
+    if (e.node == 1 && e.op == OpKind::kRead) node1_read = e.probability;
+  }
+  EXPECT_DOUBLE_EQ(node0_write, 0.5);
+  EXPECT_DOUBLE_EQ(node1_read, 0.25);
+
+  // Rolling: a fifth observation evicts the first.
+  estimator.observe(1, OpKind::kRead);
+  spec = estimator.empirical_spec();
+  for (const auto& e : spec.events) {
+    if (e.node == 0 && e.op == OpKind::kWrite) {
+      EXPECT_DOUBLE_EQ(e.probability, 0.25);
+    }
+  }
+}
+
+TEST(AdaptiveSelector, PicksUpdateProtocolForReadSharedWorkload) {
+  // Many readers, rare writes, small write parameters, huge objects:
+  // broadcasting updates (Dragon) beats every invalidate protocol because
+  // re-fetching S-sized objects dominates.
+  AdaptiveSelector selector(make_config(4, 10000.0, 1.0));
+  const auto spec = workload::read_disturbance(0.05, 0.3, 3);
+  const auto decision = selector.classify(spec);
+  EXPECT_EQ(decision.protocol, ProtocolKind::kDragon)
+      << protocols::to_string(decision.protocol);
+}
+
+TEST(AdaptiveSelector, PicksOwnershipProtocolForWriteHeavyWorkload) {
+  // A single hot writer: the ownership protocols (Write-Once, Synapse,
+  // Illinois, Berkeley) all run it for free; the classifier must pick one
+  // of them, never a write-through or update protocol.
+  AdaptiveSelector selector(make_config(4, 100.0, 30.0));
+  const auto decision = selector.classify(workload::ideal_workload(0.9));
+  EXPECT_NEAR(decision.predicted_acc, 0.0, 1e-9);
+  const ProtocolKind ownership[] = {
+      ProtocolKind::kWriteOnce, ProtocolKind::kSynapse,
+      ProtocolKind::kIllinois, ProtocolKind::kBerkeley};
+  EXPECT_NE(std::find(std::begin(ownership), std::end(ownership),
+                      decision.protocol),
+            std::end(ownership))
+      << protocols::to_string(decision.protocol);
+  // With write disturbance and cheap object transfers (S < P), migrating
+  // ownership to each writer beats forwarding every write's parameters:
+  // Berkeley is the unique winner.
+  AdaptiveSelector cheap_transfer(make_config(4, 4.0, 30.0));
+  const auto contended = cheap_transfer.classify(
+      workload::write_disturbance(0.6, 0.1, 2));
+  EXPECT_EQ(contended.protocol, ProtocolKind::kBerkeley)
+      << protocols::to_string(contended.protocol);
+}
+
+TEST(AdaptiveSelector, AgreesWithAccSolverBestProtocol) {
+  const auto config = make_config(5, 200.0, 30.0);
+  AdaptiveSelector selector(config);
+  analytic::AccSolver solver(config);
+  const auto spec = workload::write_disturbance(0.2, 0.1, 2);
+  EXPECT_EQ(selector.classify(spec).protocol, solver.best_protocol(spec));
+}
+
+TEST(AdaptiveSharedMemory, SwitchesWhenThePhaseChanges) {
+  AdaptiveSharedMemory::Options options;
+  options.memory.protocol = ProtocolKind::kWriteThrough;
+  options.memory.num_clients = 3;
+  options.memory.num_objects = 2;
+  options.memory.costs.s = 10000.0;
+  options.memory.costs.p = 1.0;
+  options.epoch_ops = 256;
+  options.window = 512;
+  // Restrict to one update and one invalidate/ownership protocol so the
+  // expected decisions are unambiguous.
+  options.candidates = {ProtocolKind::kDragon, ProtocolKind::kBerkeley};
+  AdaptiveSharedMemory memory(options);
+
+  Rng rng(5);
+  std::uint64_t value = 0;
+  // Phase 1: widely shared reads with occasional writes -> Dragon.
+  workload::GlobalSequenceGenerator phase1(
+      workload::read_disturbance(0.05, 0.3, 2), 11, 2);
+  for (int i = 0; i < 2000; ++i) {
+    const auto op = phase1.next();
+    if (op.op == OpKind::kWrite)
+      memory.write(op.node, op.object, ++value);
+    else
+      memory.read(op.node, op.object);
+  }
+  EXPECT_EQ(memory.current_protocol(), ProtocolKind::kDragon);
+
+  // Phase 2: single hot writer -> Berkeley.
+  workload::GlobalSequenceGenerator phase2(workload::ideal_workload(0.8),
+                                           13, 2);
+  for (int i = 0; i < 2000; ++i) {
+    const auto op = phase2.next();
+    if (op.op == OpKind::kWrite)
+      memory.write(op.node, op.object, ++value);
+    else
+      memory.read(op.node, op.object);
+  }
+  EXPECT_EQ(memory.current_protocol(), ProtocolKind::kBerkeley);
+  EXPECT_GE(memory.switches(), 2u);  // WT -> Dragon -> Berkeley
+  EXPECT_GT(memory.epochs(), 0u);
+}
+
+TEST(AdaptiveSharedMemory, PerObjectModeSpecializesEachObject) {
+  // Object 0: private read-write at client 0; object 1: one writer, broad
+  // readers with huge objects.  Per-object adaptation should settle on an
+  // ownership protocol for object 0 and an update protocol for object 1.
+  AdaptiveSharedMemory::Options options;
+  options.memory.protocol = ProtocolKind::kWriteThrough;
+  options.memory.num_clients = 4;
+  options.memory.num_objects = 2;
+  options.memory.costs.s = 8000.0;
+  options.memory.costs.p = 2.0;
+  options.epoch_ops = 256;
+  options.window = 512;
+  options.min_observations = 64;
+  options.per_object = true;
+  AdaptiveSharedMemory memory(options);
+
+  Rng rng(41);
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8000; ++i) {
+    if (rng.bernoulli(0.5)) {
+      // Private object.
+      if (rng.bernoulli(0.6))
+        memory.write(0, 0, ++value);
+      else
+        memory.read(0, 0);
+    } else {
+      // Shared object: rare writes by client 0, reads everywhere.
+      if (rng.bernoulli(0.08))
+        memory.write(0, 1, ++value);
+      else
+        memory.read(static_cast<NodeId>(rng.uniform_index(4)), 1);
+    }
+  }
+  const ProtocolKind ownership[] = {
+      ProtocolKind::kWriteOnce, ProtocolKind::kSynapse,
+      ProtocolKind::kIllinois, ProtocolKind::kBerkeley};
+  EXPECT_NE(std::find(std::begin(ownership), std::end(ownership),
+                      memory.object_protocol(0)),
+            std::end(ownership))
+      << protocols::to_string(memory.object_protocol(0));
+  EXPECT_TRUE(memory.object_protocol(1) == ProtocolKind::kDragon ||
+              memory.object_protocol(1) == ProtocolKind::kFirefly)
+      << protocols::to_string(memory.object_protocol(1));
+  EXPECT_NE(memory.object_protocol(0), memory.object_protocol(1));
+}
+
+TEST(AdaptiveSharedMemory, ValuesSurviveSwitches) {
+  AdaptiveSharedMemory::Options options;
+  options.memory.protocol = ProtocolKind::kWriteThrough;
+  options.memory.num_clients = 2;
+  options.memory.num_objects = 1;
+  options.epoch_ops = 64;
+  options.candidates = {ProtocolKind::kWriteThrough,
+                        ProtocolKind::kBerkeley};
+  AdaptiveSharedMemory memory(options);
+  std::uint64_t latest = 0;
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const NodeId node = static_cast<NodeId>(rng.uniform_index(2));
+    if (rng.bernoulli(0.5)) {
+      memory.write(node, 0, ++latest);
+    } else if (latest != 0) {
+      ASSERT_EQ(memory.read(node, 0), latest) << "step " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace drsm

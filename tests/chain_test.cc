@@ -1,0 +1,370 @@
+// Anchor tests: the exact Markov-chain engine must reproduce every closed
+// form the paper states (and every closed form we derived with the paper's
+// methodology) to near machine precision.
+#include <gtest/gtest.h>
+
+#include "analytic/chain.h"
+#include "analytic/closed_form.h"
+#include "analytic/solver.h"
+#include "workload/spec.h"
+
+namespace drsm {
+namespace {
+
+using analytic::AccSolver;
+using analytic::ProtocolChain;
+using protocols::ProtocolKind;
+namespace cf = analytic::closed_form;
+
+sim::SystemConfig make_config(std::size_t n, double s, double p) {
+  sim::SystemConfig config;
+  config.num_clients = n;
+  config.costs.s = s;
+  config.costs.p = p;
+  return config;
+}
+
+constexpr double kTol = 1e-9;
+
+// ---------------------------------------------------------------------------
+// Write-Through: eqn (3), read disturbance.
+// ---------------------------------------------------------------------------
+
+TEST(ChainVsClosedForm, WriteThroughReadDisturbanceMatchesEqn3) {
+  const std::size_t n = 5, a = 2;
+  const double s = 100.0, p_cost = 30.0;
+  AccSolver solver(make_config(n, s, p_cost));
+  for (double p : {0.0, 0.1, 0.3, 0.5, 0.8}) {
+    for (double sigma : {0.0, 0.05, 0.1, 0.2}) {
+      if (p + a * sigma > 1.0) continue;
+      const auto spec = workload::read_disturbance(p, sigma, a);
+      const double chain_acc = solver.acc(ProtocolKind::kWriteThrough, spec);
+      const double closed =
+          cf::wt_read_disturbance(p, sigma, a, n, s, p_cost);
+      EXPECT_NEAR(chain_acc, closed, kTol)
+          << "p=" << p << " sigma=" << sigma;
+    }
+  }
+}
+
+TEST(ChainVsClosedForm, WriteThroughWriteDisturbanceMatchesEqn4) {
+  const std::size_t n = 6, a = 3;
+  const double s = 50.0, p_cost = 10.0;
+  AccSolver solver(make_config(n, s, p_cost));
+  for (double p : {0.0, 0.2, 0.4, 0.6}) {
+    for (double xi : {0.0, 0.05, 0.1}) {
+      if (p + a * xi > 1.0) continue;
+      const auto spec = workload::write_disturbance(p, xi, a);
+      const double chain_acc = solver.acc(ProtocolKind::kWriteThrough, spec);
+      const double closed =
+          cf::wt_write_disturbance(p, xi, a, n, s, p_cost);
+      EXPECT_NEAR(chain_acc, closed, kTol) << "p=" << p << " xi=" << xi;
+    }
+  }
+}
+
+TEST(ChainVsClosedForm, WriteThroughMultipleAcMatchesEqn5) {
+  const std::size_t n = 6;
+  const double s = 100.0, p_cost = 30.0;
+  AccSolver solver(make_config(n, s, p_cost));
+  for (std::size_t beta : {1u, 2u, 4u}) {
+    for (double p : {0.0, 0.1, 0.3, 0.7, 1.0}) {
+      const auto spec = workload::multiple_activity_centers(p, beta);
+      const double chain_acc = solver.acc(ProtocolKind::kWriteThrough, spec);
+      const double closed = cf::wt_multiple_ac(p, beta, n, s, p_cost);
+      EXPECT_NEAR(chain_acc, closed, kTol) << "p=" << p << " beta=" << beta;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ideal workload: Section 5.1 limits for all eight protocols.
+// ---------------------------------------------------------------------------
+
+class IdealWorkloadTest
+    : public ::testing::TestWithParam<protocols::ProtocolKind> {};
+
+TEST_P(IdealWorkloadTest, ChainMatchesSection51Limit) {
+  const std::size_t n = 4;
+  const double s = 100.0, p_cost = 30.0;
+  AccSolver solver(make_config(n, s, p_cost));
+  for (double p : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+    const auto spec = workload::ideal_workload(p);
+    const double chain_acc = solver.acc(GetParam(), spec);
+    const double closed = cf::ideal_acc(GetParam(), p, n, s, p_cost);
+    EXPECT_NEAR(chain_acc, closed, kTol)
+        << protocols::to_string(GetParam()) << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, IdealWorkloadTest,
+                         ::testing::ValuesIn(protocols::kAllProtocols),
+                         [](const auto& info) {
+                           std::string name =
+                               protocols::to_string(info.param);
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// p = 0: every protocol reaches an all-valid steady state with acc = 0.
+// ---------------------------------------------------------------------------
+
+class ZeroWriteTest
+    : public ::testing::TestWithParam<protocols::ProtocolKind> {};
+
+TEST_P(ZeroWriteTest, ReadOnlyWorkloadCostsNothing) {
+  AccSolver solver(make_config(6, 1000.0, 30.0));
+  const auto spec = workload::read_disturbance(0.0, 0.2, 3);
+  EXPECT_NEAR(solver.acc(GetParam(), spec), 0.0, kTol)
+      << protocols::to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ZeroWriteTest,
+                         ::testing::ValuesIn(protocols::kAllProtocols),
+                         [](const auto& info) {
+                           std::string name =
+                               protocols::to_string(info.param);
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Derived closed forms vs chain.
+// ---------------------------------------------------------------------------
+
+TEST(ChainVsClosedForm, WtvReadDisturbance) {
+  const std::size_t n = 5, a = 2;
+  const double s = 100.0, p_cost = 30.0;
+  AccSolver solver(make_config(n, s, p_cost));
+  for (double p : {0.0, 0.1, 0.4, 0.8}) {
+    for (double sigma : {0.0, 0.05, 0.1}) {
+      if (p + a * sigma > 1.0) continue;
+      const auto spec = workload::read_disturbance(p, sigma, a);
+      EXPECT_NEAR(solver.acc(ProtocolKind::kWriteThroughV, spec),
+                  cf::wtv_read_disturbance(p, sigma, a, n, s, p_cost), kTol)
+          << "p=" << p << " sigma=" << sigma;
+    }
+  }
+}
+
+TEST(ChainVsClosedForm, WtvWriteDisturbance) {
+  const std::size_t n = 5, a = 2;
+  const double s = 100.0, p_cost = 30.0;
+  AccSolver solver(make_config(n, s, p_cost));
+  for (double p : {0.0, 0.1, 0.4}) {
+    for (double xi : {0.0, 0.05, 0.15}) {
+      if (p + a * xi > 1.0) continue;
+      const auto spec = workload::write_disturbance(p, xi, a);
+      EXPECT_NEAR(solver.acc(ProtocolKind::kWriteThroughV, spec),
+                  cf::wtv_write_disturbance(p, xi, a, n, s, p_cost), kTol)
+          << "p=" << p << " xi=" << xi;
+    }
+  }
+}
+
+TEST(ChainVsClosedForm, BerkeleyReadDisturbance) {
+  const std::size_t n = 7, a = 3;
+  const double s = 200.0, p_cost = 30.0;
+  AccSolver solver(make_config(n, s, p_cost));
+  for (double p : {0.0, 0.1, 0.3, 0.6}) {
+    for (double sigma : {0.0, 0.05, 0.1}) {
+      if (p + a * sigma > 1.0) continue;
+      const auto spec = workload::read_disturbance(p, sigma, a);
+      EXPECT_NEAR(
+          solver.acc(ProtocolKind::kBerkeley, spec),
+          cf::berkeley_read_disturbance(p, sigma, a, n, s, p_cost), kTol)
+          << "p=" << p << " sigma=" << sigma;
+    }
+  }
+}
+
+TEST(ChainVsClosedForm, DragonAndFireflyAreFlatInSigma) {
+  const std::size_t n = 5, a = 2;
+  const double s = 100.0, p_cost = 30.0;
+  AccSolver solver(make_config(n, s, p_cost));
+  for (double p : {0.1, 0.4}) {
+    for (double sigma : {0.0, 0.1, 0.2}) {
+      if (p + a * sigma > 1.0) continue;
+      const auto spec = workload::read_disturbance(p, sigma, a);
+      EXPECT_NEAR(solver.acc(ProtocolKind::kDragon, spec),
+                  cf::dragon_acc(p, n, p_cost), kTol);
+      EXPECT_NEAR(solver.acc(ProtocolKind::kFirefly, spec),
+                  cf::firefly_acc(p, n, p_cost), kTol);
+    }
+  }
+}
+
+TEST(ChainVsClosedForm, SynapseReadDisturbanceSingleDisturber) {
+  const std::size_t n = 5;
+  const double s = 100.0, p_cost = 30.0;
+  AccSolver solver(make_config(n, s, p_cost));
+  for (double p : {0.05, 0.2, 0.5, 0.8}) {
+    for (double sigma : {0.05, 0.1, 0.19}) {
+      if (p + sigma > 1.0) continue;
+      const auto spec = workload::read_disturbance(p, sigma, 1);
+      EXPECT_NEAR(
+          solver.acc(ProtocolKind::kSynapse, spec),
+          cf::synapse_read_disturbance_a1(p, sigma, n, s, p_cost), kTol)
+          << "p=" << p << " sigma=" << sigma;
+    }
+  }
+}
+
+TEST(ChainVsClosedForm, IllinoisReadDisturbanceSingleDisturber) {
+  const std::size_t n = 5;
+  const double s = 100.0, p_cost = 30.0;
+  AccSolver solver(make_config(n, s, p_cost));
+  for (double p : {0.05, 0.2, 0.5, 0.8}) {
+    for (double sigma : {0.05, 0.1, 0.19}) {
+      if (p + sigma > 1.0) continue;
+      const auto spec = workload::read_disturbance(p, sigma, 1);
+      EXPECT_NEAR(
+          solver.acc(ProtocolKind::kIllinois, spec),
+          cf::illinois_read_disturbance_a1(p, sigma, n, s, p_cost), kTol)
+          << "p=" << p << " sigma=" << sigma;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The general (heterogeneous) disturbance model of Section 4.2, before the
+// paper's homogeneous simplification.
+// ---------------------------------------------------------------------------
+
+TEST(ChainVsClosedForm, WtHeterogeneousReadDisturbance) {
+  const std::size_t n = 6;
+  const double s = 100.0, p_cost = 30.0;
+  AccSolver solver(make_config(n, s, p_cost));
+  const std::vector<std::vector<double>> sigma_sets = {
+      {0.1}, {0.05, 0.15}, {0.02, 0.08, 0.2}, {0.0, 0.1, 0.0}};
+  for (const auto& sigmas : sigma_sets) {
+    for (double p : {0.0, 0.1, 0.3}) {
+      double total = 0.0;
+      for (double sigma : sigmas) total += sigma;
+      if (p + total > 1.0) continue;
+      const auto spec = workload::read_disturbance_heterogeneous(p, sigmas);
+      EXPECT_NEAR(solver.acc(ProtocolKind::kWriteThrough, spec),
+                  cf::wt_read_disturbance_heterogeneous(p, sigmas, n, s,
+                                                        p_cost),
+                  kTol)
+          << "p=" << p << " |sigmas|=" << sigmas.size();
+    }
+  }
+}
+
+TEST(ChainVsClosedForm, HeterogeneousReducesToHomogeneous) {
+  const std::size_t n = 6, a = 3;
+  AccSolver solver(make_config(n, 100.0, 30.0));
+  const double p = 0.25, sigma = 0.08;
+  const auto hetero = workload::read_disturbance_heterogeneous(
+      p, std::vector<double>(a, sigma));
+  const auto homo = workload::read_disturbance(p, sigma, a);
+  for (ProtocolKind kind : protocols::kAllProtocols) {
+    EXPECT_NEAR(solver.acc(kind, hetero), solver.acc(kind, homo), kTol)
+        << protocols::to_string(kind);
+  }
+}
+
+TEST(ChainVsClosedForm, HeterogeneousWriteDisturbanceReducesToHomogeneous) {
+  const std::size_t n = 6, a = 3;
+  AccSolver solver(make_config(n, 100.0, 30.0));
+  const double p = 0.2, xi = 0.06;
+  const auto hetero = workload::write_disturbance_heterogeneous(
+      p, std::vector<double>(a, xi));
+  const auto homo = workload::write_disturbance(p, xi, a);
+  for (ProtocolKind kind : protocols::kAllProtocols) {
+    EXPECT_NEAR(solver.acc(kind, hetero), solver.acc(kind, homo), kTol)
+        << protocols::to_string(kind);
+  }
+  // Skew matters: concentrating the same total write disturbance on one
+  // client is cheaper for the ownership protocols (fewer owner changes).
+  const auto skewed = workload::write_disturbance_heterogeneous(
+      p, {3 * xi, 0.0, 0.0});
+  EXPECT_LT(solver.acc(ProtocolKind::kBerkeley, skewed),
+            solver.acc(ProtocolKind::kBerkeley, homo));
+}
+
+// ---------------------------------------------------------------------------
+// Trace probabilities (Section 4.3) sum to one.
+// ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// Per-trace probabilities pi_1..pi_4 (Section 4.3), extracted from the
+// chain's stationary distribution by classifying each (state, event) pair
+// into the paper's traces, and compared with the derived formulas.
+// ---------------------------------------------------------------------------
+
+TEST(TraceProbabilities, ChainRecoversSection43TraceProbabilities) {
+  const std::size_t n = 6, a = 2;
+  const sim::SystemConfig config = make_config(n, 100.0, 30.0);
+  for (double p : {0.2, 0.5}) {
+    for (double sigma : {0.1, 0.2}) {
+      if (p + a * sigma > 1.0) continue;
+      const auto spec = workload::read_disturbance(p, sigma, a);
+      analytic::ProtocolChain chain(ProtocolKind::kWriteThrough, config,
+                                    spec);
+      const auto probs = spec.probabilities();
+      const auto pi_states = chain.stationary(probs);
+
+      // WT state keys: one byte per machine (clients 0..a ascending, then
+      // the sequencer); byte 0 is the activity center (0=INVALID,
+      // 1=VALID), bytes 1..a the disturbers.
+      double pi1 = 0.0, pi2 = 0.0, pi3 = 0.0, pi4 = 0.0;
+      for (std::size_t s = 0; s < chain.num_states(); ++s) {
+        if (pi_states[s] == 0.0) continue;
+        const auto& key = chain.state_key(s);
+        for (std::size_t e = 0; e < spec.events.size(); ++e) {
+          const auto& event = spec.events[e];
+          const double weight = pi_states[s] * probs[e];
+          const bool issuer_valid = key[event.node] != 0;
+          if (event.op == fsm::OpKind::kRead) {
+            (issuer_valid ? pi1 : pi2) += weight;
+          } else {
+            (issuer_valid ? pi3 : pi4) += weight;
+          }
+        }
+      }
+      const auto expected =
+          cf::wt_trace_probabilities_read_disturbance(p, sigma, a);
+      EXPECT_NEAR(pi1, expected.pi1, 1e-9) << "p=" << p << " s=" << sigma;
+      EXPECT_NEAR(pi2, expected.pi2, 1e-9);
+      EXPECT_NEAR(pi3, expected.pi3, 1e-9);
+      EXPECT_NEAR(pi4, expected.pi4, 1e-9);
+    }
+  }
+}
+
+TEST(TraceProbabilities, ReadDisturbanceSumsToOne) {
+  for (double p : {0.0, 0.2, 0.5}) {
+    for (double sigma : {0.0, 0.1, 0.2}) {
+      if (p + 2 * sigma > 1.0) continue;
+      const auto pi = cf::wt_trace_probabilities_read_disturbance(p, sigma, 2);
+      EXPECT_NEAR(pi.pi1 + pi.pi2 + pi.pi3 + pi.pi4, 1.0, kTol);
+    }
+  }
+}
+
+TEST(TraceProbabilities, WriteDisturbanceSumsToOne) {
+  for (double p : {0.0, 0.2, 0.5}) {
+    for (double xi : {0.0, 0.1}) {
+      if (p + 2 * xi > 1.0) continue;
+      const auto pi = cf::wt_trace_probabilities_write_disturbance(p, xi, 2);
+      EXPECT_NEAR(pi.pi1 + pi.pi2 + pi.pi3 + pi.pi4, 1.0, kTol);
+    }
+  }
+}
+
+TEST(TraceProbabilities, MultipleAcSumsToOne) {
+  for (double p : {0.0, 0.3, 1.0}) {
+    for (std::size_t beta : {1u, 3u, 5u}) {
+      const auto pi = cf::wt_trace_probabilities_multiple_ac(p, beta);
+      EXPECT_NEAR(pi.pi1 + pi.pi2 + pi.pi3 + pi.pi4, 1.0, kTol);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace drsm

@@ -1,0 +1,219 @@
+// Section 5.1's comparative conclusions, verified against the exact chain
+// engine.  Where the paper gives an exact line (WT vs WTV, Dragon vs
+// Berkeley) we check it point-wise; where our protocol adaptation can only
+// match the *structure* (Synapse vs WTV — the paper's exact Synapse trace
+// costs are not recoverable from the text), we verify the region layout and
+// monotone boundary (see EXPERIMENTS.md for the quantitative comparison).
+#include <gtest/gtest.h>
+
+#include "analytic/closed_form.h"
+#include "analytic/solver.h"
+#include "workload/spec.h"
+
+namespace drsm {
+namespace {
+
+using analytic::AccSolver;
+using protocols::ProtocolKind;
+namespace cf = analytic::closed_form;
+
+sim::SystemConfig make_config(std::size_t n, double s, double p) {
+  sim::SystemConfig config;
+  config.num_clients = n;
+  config.costs.s = s;
+  config.costs.p = p;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// "A line p = -a*sigma*S/(S+2) + S/(S+2) separates two regions where
+//  Write-Through-V or Write-Through protocol incur minimum acc."
+// ---------------------------------------------------------------------------
+
+TEST(Crossover, WtVsWtvLineIsExact) {
+  const std::size_t n = 10, a = 2;
+  const double s = 100.0, p_cost = 30.0;
+  AccSolver solver(make_config(n, s, p_cost));
+  for (double sigma : {0.02, 0.05, 0.1}) {
+    const double p_star = cf::wt_wtv_boundary(sigma, a, s);
+    ASSERT_GT(p_star, 0.0);
+    ASSERT_LT(p_star + a * sigma, 1.0);
+
+    const auto at = [&](double p) {
+      const auto spec = workload::read_disturbance(p, sigma, a);
+      return std::make_pair(solver.acc(ProtocolKind::kWriteThrough, spec),
+                            solver.acc(ProtocolKind::kWriteThroughV, spec));
+    };
+
+    // On the line the two protocols tie.
+    auto [wt_on, wtv_on] = at(p_star);
+    EXPECT_NEAR(wt_on, wtv_on, 1e-6) << "sigma=" << sigma;
+
+    // Below the line WTV wins, above WT wins.
+    auto [wt_below, wtv_below] = at(p_star * 0.5);
+    EXPECT_LT(wtv_below, wt_below);
+    auto [wt_above, wtv_above] = at(std::min(1.0 - a * sigma, p_star * 1.5));
+    EXPECT_LT(wt_above, wtv_above);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// "Protocol Berkeley incurs the minimum communication cost in comparison
+//  with Write-Through, Write-Through-V, Write-Once, Illinois and Synapse."
+// ---------------------------------------------------------------------------
+
+TEST(Crossover, BerkeleyMinimalAmongInvalidateProtocolsUnderReadDisturbance) {
+  const std::size_t n = 10, a = 3;
+  AccSolver solver(make_config(n, 100.0, 30.0));
+  const ProtocolKind rivals[] = {
+      ProtocolKind::kWriteThrough, ProtocolKind::kWriteThroughV,
+      ProtocolKind::kWriteOnce, ProtocolKind::kIllinois,
+      ProtocolKind::kSynapse};
+  for (double p : {0.05, 0.2, 0.5, 0.8}) {
+    for (double sigma : {0.02, 0.05}) {
+      if (p + a * sigma > 1.0) continue;
+      const auto spec = workload::read_disturbance(p, sigma, a);
+      const double berkeley = solver.acc(ProtocolKind::kBerkeley, spec);
+      for (ProtocolKind rival : rivals) {
+        EXPECT_LE(berkeley, solver.acc(rival, spec) + 1e-9)
+            << protocols::to_string(rival) << " p=" << p
+            << " sigma=" << sigma;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// "Protocol Illinois incurs acc lower than the Synapse scheme."
+// ---------------------------------------------------------------------------
+
+TEST(Crossover, IllinoisNeverWorseThanSynapse) {
+  const std::size_t n = 8, a = 2;
+  AccSolver solver(make_config(n, 100.0, 30.0));
+  for (double p : {0.0, 0.1, 0.3, 0.6, 0.9}) {
+    for (double sigma : {0.0, 0.05, 0.15}) {
+      if (p + a * sigma > 1.0) continue;
+      const auto spec = workload::read_disturbance(p, sigma, a);
+      EXPECT_LE(solver.acc(ProtocolKind::kIllinois, spec),
+                solver.acc(ProtocolKind::kSynapse, spec) + 1e-9)
+          << "p=" << p << " sigma=" << sigma;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// "For Np > S+2 the Berkeley protocol incurs acc lower than the Dragon
+//  protocol.  For NP < S+2 and a = 1, the line p = sigma*(S+2-NP)/...
+//  separates two regions."
+// ---------------------------------------------------------------------------
+
+TEST(Crossover, BerkeleyBeatsDragonEverywhereWhenNpExceedsSPlus2) {
+  const std::size_t n = 10;
+  const double s = 100.0, p_cost = 30.0;  // N*P = 300 > S+2 = 102
+  AccSolver solver(make_config(n, s, p_cost));
+  for (double p : {0.05, 0.3, 0.7}) {
+    for (double sigma : {0.05, 0.2}) {
+      if (p + sigma > 1.0) continue;
+      const auto spec = workload::read_disturbance(p, sigma, 1);
+      EXPECT_LE(solver.acc(ProtocolKind::kBerkeley, spec),
+                solver.acc(ProtocolKind::kDragon, spec) + 1e-9)
+          << "p=" << p << " sigma=" << sigma;
+    }
+  }
+}
+
+TEST(Crossover, DragonVsBerkeleyLineWhenNpBelowSPlus2) {
+  const std::size_t n = 5;
+  const double s = 1000.0, p_cost = 30.0;  // N*P = 150 < S+2 = 1002
+  AccSolver solver(make_config(n, s, p_cost));
+  for (double sigma : {0.1, 0.3}) {
+    const double p_star = cf::dragon_berkeley_boundary(sigma, n, s, p_cost);
+    ASSERT_GT(p_star, 0.0);
+    if (p_star + sigma >= 1.0) continue;
+
+    const auto at = [&](double p) {
+      const auto spec = workload::read_disturbance(p, sigma, 1);
+      return std::make_pair(solver.acc(ProtocolKind::kDragon, spec),
+                            solver.acc(ProtocolKind::kBerkeley, spec));
+    };
+    auto [drg_on, ber_on] = at(p_star);
+    EXPECT_NEAR(drg_on, ber_on, 1e-6) << "sigma=" << sigma;
+    auto [drg_below, ber_below] = at(p_star * 0.5);
+    EXPECT_LT(drg_below, ber_below);  // Dragon wins below the line
+    auto [drg_above, ber_above] = at(std::min(1.0 - sigma, p_star * 1.5));
+    EXPECT_LT(ber_above, drg_above);  // Berkeley wins above
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Synapse vs WTV region structure (paper: a line through the origin with
+// WTV winning at small p / large sigma when P < S+N, and Synapse winning
+// everywhere once P is large enough).
+// ---------------------------------------------------------------------------
+
+TEST(Crossover, SynapseVsWtvRegionStructure) {
+  const std::size_t n = 10;
+  const double s = 100.0, p_cost = 30.0;  // P < S+N
+  AccSolver solver(make_config(n, s, p_cost));
+
+  // Write-heavy, barely disturbed: Synapse executes writes locally and wins.
+  {
+    const auto spec = workload::read_disturbance(0.6, 0.01, 1);
+    EXPECT_LT(solver.acc(ProtocolKind::kSynapse, spec),
+              solver.acc(ProtocolKind::kWriteThroughV, spec));
+  }
+  // Read-disturbance-heavy, few writes: every disturber read hits Synapse's
+  // expensive dirty-flush path and WTV wins.
+  {
+    const auto spec = workload::read_disturbance(0.01, 0.3, 1);
+    EXPECT_LT(solver.acc(ProtocolKind::kWriteThroughV, spec),
+              solver.acc(ProtocolKind::kSynapse, spec));
+  }
+}
+
+TEST(Crossover, SynapseBeatsWtvEverywhereForLargeP) {
+  const std::size_t n = 5;
+  const double s = 20.0, p_cost = 200.0;  // P >> S+N (and > 3S+7)
+  AccSolver solver(make_config(n, s, p_cost));
+  for (double p : {0.05, 0.3, 0.7}) {
+    for (double sigma : {0.02, 0.1, 0.25}) {
+      if (p + 2 * sigma > 1.0) continue;
+      const auto spec = workload::read_disturbance(p, sigma, 2);
+      EXPECT_LE(solver.acc(ProtocolKind::kSynapse, spec),
+                solver.acc(ProtocolKind::kWriteThroughV, spec) + 1e-9)
+          << "p=" << p << " sigma=" << sigma;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Monotonicity sanity: for the invalidate protocols acc grows with the
+// write probability under a fixed disturbance.
+// ---------------------------------------------------------------------------
+
+class MonotonicityTest
+    : public ::testing::TestWithParam<protocols::ProtocolKind> {};
+
+TEST_P(MonotonicityTest, AccNondecreasingInPUnderIdealWorkload) {
+  AccSolver solver(make_config(6, 100.0, 30.0));
+  double prev = -1.0;
+  for (double p : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    const double acc =
+        solver.acc(GetParam(), workload::ideal_workload(p));
+    EXPECT_GE(acc, prev - 1e-12) << "p=" << p;
+    prev = acc;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, MonotonicityTest,
+                         ::testing::ValuesIn(protocols::kAllProtocols),
+                         [](const auto& info) {
+                           std::string name =
+                               protocols::to_string(info.param);
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace drsm

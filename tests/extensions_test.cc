@@ -1,0 +1,225 @@
+// Tests for the paper's proposed extensions: the eject operation in the
+// analytic model, the bounded free-memory-pool (LRU replica eviction),
+// and the sensitivity analysis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/closed_form.h"
+#include "analytic/sensitivity.h"
+#include "analytic/solver.h"
+#include "dsm/memory_pool.h"
+#include "support/rng.h"
+#include "workload/spec.h"
+
+namespace drsm {
+namespace {
+
+using protocols::ProtocolKind;
+namespace cf = analytic::closed_form;
+
+sim::SystemConfig make_config(std::size_t n, double s, double p) {
+  sim::SystemConfig config;
+  config.num_clients = n;
+  config.costs.s = s;
+  config.costs.p = p;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Eject extension in the analytic model.
+// ---------------------------------------------------------------------------
+
+TEST(EjectExtension, ChainMatchesDerivedClosedForm) {
+  const std::size_t n = 5, a = 2;
+  const double s = 100.0, p_cost = 30.0;
+  analytic::AccSolver solver(make_config(n, s, p_cost));
+  for (double p : {0.0, 0.1, 0.4}) {
+    for (double sigma : {0.0, 0.05, 0.1}) {
+      for (double e : {0.0, 0.05, 0.2}) {
+        if (p + a * sigma + e > 1.0) continue;
+        const auto spec =
+            workload::read_disturbance_with_eject(p, sigma, a, e);
+        EXPECT_NEAR(solver.acc(ProtocolKind::kWriteThrough, spec),
+                    cf::wt_read_disturbance_with_eject(p, sigma, a, e, n, s,
+                                                       p_cost),
+                    1e-9)
+            << "p=" << p << " sigma=" << sigma << " e=" << e;
+      }
+    }
+  }
+}
+
+TEST(EjectExtension, ZeroEjectReducesToPlainReadDisturbance) {
+  const std::size_t n = 5, a = 2;
+  analytic::AccSolver solver(make_config(n, 100.0, 30.0));
+  for (ProtocolKind kind :
+       {ProtocolKind::kWriteThrough, ProtocolKind::kWriteThroughV}) {
+    const double with_eject = solver.acc(
+        kind, workload::read_disturbance_with_eject(0.3, 0.1, a, 0.0));
+    const double plain =
+        solver.acc(kind, workload::read_disturbance(0.3, 0.1, a));
+    EXPECT_NEAR(with_eject, plain, 1e-9) << protocols::to_string(kind);
+  }
+}
+
+TEST(EjectExtension, EjectingMonotonicallyIncreasesCost) {
+  analytic::AccSolver solver(make_config(5, 100.0, 30.0));
+  double prev = -1.0;
+  for (double e : {0.0, 0.1, 0.2, 0.3}) {
+    const double acc = solver.acc(
+        ProtocolKind::kWriteThroughV,
+        workload::read_disturbance_with_eject(0.2, 0.1, 2, e));
+    EXPECT_GT(acc, prev);
+    prev = acc;
+  }
+}
+
+TEST(EjectExtension, UnsupportedProtocolsAreRejected) {
+  analytic::AccSolver solver(make_config(4, 100.0, 30.0));
+  const auto spec = workload::read_disturbance_with_eject(0.2, 0.1, 1, 0.1);
+  EXPECT_THROW(solver.acc(ProtocolKind::kDragon, spec), Error);
+  EXPECT_THROW(solver.acc(ProtocolKind::kBerkeley, spec), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded free memory pool.
+// ---------------------------------------------------------------------------
+
+dsm::CapacityManagedMemory::Options pool_options(std::size_t capacity,
+                                                 std::size_t objects) {
+  dsm::CapacityManagedMemory::Options options;
+  options.memory.protocol = ProtocolKind::kWriteThroughV;
+  options.memory.num_clients = 2;
+  options.memory.num_objects = objects;
+  options.memory.costs.s = 100.0;
+  options.memory.costs.p = 30.0;
+  options.replicas_per_client = capacity;
+  return options;
+}
+
+TEST(MemoryPool, EnforcesCapacityWithLruEviction) {
+  dsm::CapacityManagedMemory memory(pool_options(2, 4));
+  memory.write(0, 0, 1);
+  memory.write(0, 1, 2);
+  EXPECT_EQ(memory.resident(0), 2u);
+  // Touching a third object evicts the LRU one (object 0).
+  memory.write(0, 2, 3);
+  EXPECT_EQ(memory.resident(0), 2u);
+  EXPECT_EQ(memory.evictions(0), 1u);
+  EXPECT_STREQ(memory.memory().state_name(0, 0), "INVALID");
+  EXPECT_STREQ(memory.memory().state_name(0, 1), "VALID");
+  EXPECT_STREQ(memory.memory().state_name(0, 2), "VALID");
+  // Recency matters: touch 1, then add 3 -> 2 is the victim.
+  memory.read(0, 1);
+  memory.write(0, 3, 4);
+  EXPECT_STREQ(memory.memory().state_name(0, 2), "INVALID");
+  EXPECT_STREQ(memory.memory().state_name(0, 1), "VALID");
+}
+
+TEST(MemoryPool, ValuesStayCorrectUnderEviction) {
+  dsm::CapacityManagedMemory memory(pool_options(1, 6));
+  Rng rng(33);
+  std::vector<std::uint64_t> truth(6, 0);
+  std::uint64_t value = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const NodeId node = static_cast<NodeId>(rng.uniform_index(2));
+    const ObjectId object = static_cast<ObjectId>(rng.uniform_index(6));
+    if (rng.bernoulli(0.5)) {
+      memory.write(node, object, ++value);
+      truth[object] = value;
+    } else if (truth[object] != 0) {
+      ASSERT_EQ(memory.read(node, object), truth[object]) << "step " << i;
+    }
+  }
+  EXPECT_GT(memory.total_evictions(), 0u);
+}
+
+TEST(MemoryPool, SmallerPoolsCostMore) {
+  const auto run = [](std::size_t capacity) {
+    dsm::CapacityManagedMemory memory(pool_options(capacity, 8));
+    Rng rng(44);
+    std::uint64_t value = 0;
+    for (int i = 0; i < 4000; ++i) {
+      const NodeId node = static_cast<NodeId>(rng.uniform_index(2));
+      const ObjectId object = static_cast<ObjectId>(rng.uniform_index(8));
+      if (rng.bernoulli(0.2))
+        memory.write(node, object, ++value);
+      else
+        memory.read(node, object);
+    }
+    return memory.memory().average_cost();
+  };
+  const double unbounded = run(0);
+  const double four = run(4);
+  const double one = run(1);
+  EXPECT_LT(unbounded, four);
+  EXPECT_LT(four, one);
+}
+
+TEST(MemoryPool, RejectsProtocolsWithoutEject) {
+  auto options = pool_options(2, 4);
+  options.memory.protocol = ProtocolKind::kBerkeley;
+  EXPECT_THROW(dsm::CapacityManagedMemory memory(options), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Sensitivity analysis.
+// ---------------------------------------------------------------------------
+
+TEST(Sensitivity, MatchesAnalyticDerivativesForWriteThrough) {
+  // For WT under read disturbance, acc is affine in S with slope pi2
+  // and affine in P with slope p (eqn 3), giving exact expectations.
+  const std::size_t n = 6, a = 2;
+  const double s = 100.0, p_cost = 30.0;
+  const double p = 0.3, sigma = 0.1;
+  analytic::OperatingPoint point{analytic::Deviation::kReadDisturbance, p,
+                                 sigma, a};
+  const auto sens = analytic::acc_sensitivity(
+      ProtocolKind::kWriteThrough, make_config(n, s, p_cost), point);
+
+  const auto pi = cf::wt_trace_probabilities_read_disturbance(p, sigma, a);
+  EXPECT_NEAR(sens.wrt_s, pi.pi2, 1e-6);
+  EXPECT_NEAR(sens.wrt_p_cost, p, 1e-6);
+
+  // d acc / d p via the closed form, central difference with the same step.
+  const double h = 1e-4;
+  const double expected_dp =
+      (cf::wt_read_disturbance(p + h, sigma, a, n, s, p_cost) -
+       cf::wt_read_disturbance(p - h, sigma, a, n, s, p_cost)) /
+      (2 * h);
+  EXPECT_NEAR(sens.wrt_p, expected_dp, 1e-4);
+}
+
+TEST(Sensitivity, UpdateProtocolsIgnoreSAndDisturbance) {
+  analytic::OperatingPoint point{analytic::Deviation::kReadDisturbance, 0.3,
+                                 0.1, 2};
+  const auto sens = analytic::acc_sensitivity(
+      ProtocolKind::kDragon, make_config(6, 100.0, 30.0), point);
+  EXPECT_NEAR(sens.wrt_s, 0.0, 1e-9);
+  EXPECT_NEAR(sens.wrt_disturbance, 0.0, 1e-9);
+  EXPECT_NEAR(sens.wrt_p, 6 * 31.0, 1e-6);   // acc = p*N*(P+1)
+  EXPECT_NEAR(sens.wrt_p_cost, 0.3 * 6, 1e-6);
+}
+
+TEST(Sensitivity, ElasticityIsZeroWhereAccVanishes) {
+  analytic::OperatingPoint point{analytic::Deviation::kReadDisturbance, 0.3,
+                                 0.0, 0};
+  const auto el = analytic::acc_elasticity(
+      ProtocolKind::kBerkeley, make_config(5, 100.0, 30.0), point);
+  EXPECT_DOUBLE_EQ(el.wrt_p, 0.0);
+  EXPECT_DOUBLE_EQ(el.wrt_s, 0.0);
+}
+
+TEST(Sensitivity, BoundaryOperatingPointsUseOneSidedDifferences) {
+  // p at the simplex edge: p + a*sigma = 1.
+  analytic::OperatingPoint point{analytic::Deviation::kReadDisturbance, 0.8,
+                                 0.1, 2};
+  const auto sens = analytic::acc_sensitivity(
+      ProtocolKind::kWriteThrough, make_config(5, 100.0, 30.0), point);
+  EXPECT_TRUE(std::isfinite(sens.wrt_p));
+  EXPECT_TRUE(std::isfinite(sens.wrt_disturbance));
+}
+
+}  // namespace
+}  // namespace drsm

@@ -1,0 +1,250 @@
+// Tests for the formal Mealy-machine layer: the cost model of Section 4.1,
+// the token five-tuple, and — most importantly — the equivalence of the
+// paper's Write-Through transition tables (Tables 1-3) with the hand-coded
+// Write-Through machines, exercised over randomized operation sequences.
+#include <gtest/gtest.h>
+
+#include "fsm/table.h"
+#include "fsm/token.h"
+#include "protocols/protocol.h"
+#include "sim/sequential.h"
+#include "support/rng.h"
+
+namespace drsm {
+namespace {
+
+using fsm::CostModel;
+using fsm::MsgType;
+using fsm::OpKind;
+using fsm::ParamPresence;
+
+TEST(CostModel, Section41MessageCosts) {
+  CostModel costs;
+  costs.s = 5000.0;
+  costs.p = 30.0;
+  EXPECT_DOUBLE_EQ(costs.message_cost(ParamPresence::kNone), 1.0);
+  EXPECT_DOUBLE_EQ(costs.message_cost(ParamPresence::kReadParams), 1.0);
+  EXPECT_DOUBLE_EQ(costs.message_cost(ParamPresence::kWriteParams), 31.0);
+  EXPECT_DOUBLE_EQ(costs.message_cost(ParamPresence::kUserInfo), 5001.0);
+}
+
+TEST(Token, DebugStringsAreStable) {
+  fsm::Message msg;
+  msg.token.type = MsgType::kReadPer;
+  msg.token.initiator = 2;
+  msg.token.object = 7;
+  msg.token.queue = fsm::QueueKind::kDistributed;
+  msg.token.params = ParamPresence::kNone;
+  EXPECT_EQ(msg.debug_string(),
+            "(R-PER, i=2, j=7, d, 0) value=0 version=0");
+}
+
+TEST(TransitionTable, RejectsUnknownTransitions) {
+  const fsm::TransitionTable& table = fsm::write_through_client_table();
+  // The paper marks e.g. (VALID, R-GNT) as an error.
+  EXPECT_FALSE(table.contains(1, MsgType::kReadGnt));
+  EXPECT_TRUE(table.contains(0, MsgType::kReadGnt));
+  EXPECT_THROW(table.at(1, MsgType::kReadGnt), Error);
+}
+
+TEST(TransitionTable, WriteThroughClientShape) {
+  const fsm::TransitionTable& table = fsm::write_through_client_table();
+  EXPECT_EQ(table.num_states(), 2);
+  EXPECT_EQ(table.start_state(), 0);
+  EXPECT_EQ(table.state_name(0), "INVALID");
+  EXPECT_EQ(table.state_name(1), "VALID");
+  // Write from either state lands in INVALID.
+  EXPECT_EQ(table.at(0, MsgType::kWriteReq).next_state, 0);
+  EXPECT_EQ(table.at(1, MsgType::kWriteReq).next_state, 0);
+  // A grant validates the copy.
+  EXPECT_EQ(table.at(0, MsgType::kReadGnt).next_state, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence: interpreting the formal tables == the hand-written machines,
+// over randomized operation sequences, comparing per-operation costs,
+// message counts, returned values and copy states.
+// ---------------------------------------------------------------------------
+
+sim::SequentialRuntime make_table_runtime(const sim::SystemConfig& config,
+                                          std::vector<NodeId> roster) {
+  const auto factory = [&config](NodeId node) {
+    const bool is_home =
+        node == static_cast<NodeId>(config.num_clients);
+    return std::make_unique<fsm::TableMachine>(
+        is_home ? &fsm::write_through_sequencer_table()
+                : &fsm::write_through_client_table());
+  };
+  return sim::SequentialRuntime(factory, config, std::move(roster));
+}
+
+TEST(TableEquivalence, FormalTablesMatchHandWrittenWriteThrough) {
+  sim::SystemConfig config;
+  config.num_clients = 4;
+  config.costs.s = 100.0;
+  config.costs.p = 30.0;
+  const std::vector<NodeId> roster = {0, 1, 2};
+
+  sim::SequentialRuntime table_rt = make_table_runtime(config, roster);
+  sim::SequentialRuntime hand_rt(protocols::ProtocolKind::kWriteThrough,
+                                 config, roster);
+
+  Rng rng(42);
+  std::uint64_t value = 0;
+  for (int step = 0; step < 4000; ++step) {
+    // Random node (clients from the roster or the sequencer), random op.
+    const NodeId node =
+        rng.bernoulli(0.2) ? static_cast<NodeId>(config.num_clients)
+                           : static_cast<NodeId>(rng.uniform_index(3));
+    const OpKind op = rng.bernoulli(0.4) ? OpKind::kWrite : OpKind::kRead;
+    const std::uint64_t write_value = ++value;
+
+    const sim::OpResult a = table_rt.execute(node, op, write_value);
+    const sim::OpResult b = hand_rt.execute(node, op, write_value);
+
+    ASSERT_DOUBLE_EQ(a.cost, b.cost) << "step " << step;
+    ASSERT_EQ(a.messages, b.messages) << "step " << step;
+    if (op == OpKind::kRead) {
+      ASSERT_EQ(a.read_value, b.read_value) << "step " << step;
+      // Sequential semantics: reads return the latest written value.
+      ASSERT_EQ(a.read_value, table_rt.latest_value()) << "step " << step;
+    }
+    for (NodeId check : roster) {
+      ASSERT_STREQ(table_rt.state_name(check), hand_rt.state_name(check))
+          << "step " << step << " node " << check;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The formal paradigm extends to the other buffering-free protocols
+// (WTV, Dragon, Firefly): interpreted tables == hand-written machines.
+// ---------------------------------------------------------------------------
+
+struct TablePair {
+  protocols::ProtocolKind kind;
+  const fsm::TransitionTable* client;
+  const fsm::TransitionTable* sequencer;
+};
+
+class TableParadigmTest : public ::testing::TestWithParam<TablePair> {};
+
+TEST_P(TableParadigmTest, FormalTablesMatchHandWrittenMachines) {
+  sim::SystemConfig config;
+  config.num_clients = 4;
+  config.costs.s = 100.0;
+  config.costs.p = 30.0;
+  const std::vector<NodeId> roster = {0, 1, 2};
+  const TablePair& pair = GetParam();
+
+  const auto factory = [&](NodeId node) {
+    const bool is_home = node == static_cast<NodeId>(config.num_clients);
+    return std::make_unique<fsm::TableMachine>(is_home ? pair.sequencer
+                                                       : pair.client);
+  };
+  sim::SequentialRuntime table_rt(factory, config, roster);
+  sim::SequentialRuntime hand_rt(pair.kind, config, roster);
+
+  Rng rng(91 + static_cast<std::uint64_t>(pair.kind));
+  std::uint64_t value = 0;
+  for (int step = 0; step < 3000; ++step) {
+    const NodeId node =
+        rng.bernoulli(0.2) ? static_cast<NodeId>(config.num_clients)
+                           : static_cast<NodeId>(rng.uniform_index(3));
+    const OpKind op = rng.bernoulli(0.4) ? OpKind::kWrite : OpKind::kRead;
+    const std::uint64_t write_value = ++value;
+
+    const sim::OpResult a = table_rt.execute(node, op, write_value);
+    const sim::OpResult b = hand_rt.execute(node, op, write_value);
+    ASSERT_DOUBLE_EQ(a.cost, b.cost)
+        << protocols::to_string(pair.kind) << " step " << step;
+    ASSERT_EQ(a.messages, b.messages);
+    if (op == OpKind::kRead) {
+      ASSERT_EQ(a.read_value, b.read_value) << "step " << step;
+      ASSERT_EQ(a.read_value, table_rt.latest_value());
+    }
+    for (NodeId check : roster)
+      ASSERT_STREQ(table_rt.state_name(check), hand_rt.state_name(check))
+          << protocols::to_string(pair.kind) << " step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paradigm, TableParadigmTest,
+    ::testing::Values(
+        TablePair{protocols::ProtocolKind::kWriteThrough,
+                  &fsm::write_through_client_table(),
+                  &fsm::write_through_sequencer_table()},
+        TablePair{protocols::ProtocolKind::kWriteThroughV,
+                  &fsm::write_through_v_client_table(),
+                  &fsm::write_through_v_sequencer_table()},
+        TablePair{protocols::ProtocolKind::kDragon,
+                  &fsm::dragon_client_table(),
+                  &fsm::dragon_sequencer_table()},
+        TablePair{protocols::ProtocolKind::kFirefly,
+                  &fsm::firefly_client_table(),
+                  &fsm::firefly_sequencer_table()}),
+    [](const auto& info) {
+      std::string name = protocols::to_string(info.param.kind);
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(TableParadigm, EjectAndSyncThroughWtvTables) {
+  sim::SystemConfig config;
+  config.num_clients = 3;
+  config.costs.s = 100.0;
+  config.costs.p = 30.0;
+  const auto factory = [&](NodeId node) {
+    const bool is_home = node == static_cast<NodeId>(config.num_clients);
+    return std::make_unique<fsm::TableMachine>(
+        is_home ? &fsm::write_through_v_sequencer_table()
+                : &fsm::write_through_v_client_table());
+  };
+  sim::SequentialRuntime rt(factory, config, {0, 1});
+  rt.execute(0, OpKind::kWrite, 9);
+  EXPECT_STREQ(rt.state_name(0), "VALID");
+  EXPECT_DOUBLE_EQ(rt.execute(0, OpKind::kEject).cost, 0.0);
+  EXPECT_STREQ(rt.state_name(0), "INVALID");
+  EXPECT_EQ(rt.execute(0, OpKind::kRead).read_value, 9u);
+  EXPECT_DOUBLE_EQ(rt.execute(1, OpKind::kSync).cost, 2.0);
+}
+
+TEST(TableMachine, EncodesCopyState) {
+  fsm::TableMachine machine(&fsm::write_through_client_table());
+  std::vector<std::uint8_t> out;
+  machine.encode(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0);  // INVALID start state
+  EXPECT_STREQ(machine.state_name(), "INVALID");
+}
+
+TEST(Protocols, NamesRoundTrip) {
+  for (protocols::ProtocolKind kind : protocols::kAllProtocols) {
+    EXPECT_EQ(protocols::protocol_from_string(protocols::to_string(kind)),
+              kind);
+  }
+  EXPECT_EQ(protocols::protocol_from_string("WT"),
+            protocols::ProtocolKind::kWriteThrough);
+  EXPECT_EQ(protocols::protocol_from_string("Berkeley"),
+            protocols::ProtocolKind::kBerkeley);
+  EXPECT_THROW(protocols::protocol_from_string("mesi"), Error);
+}
+
+TEST(Protocols, ExtensionSupportMatrix) {
+  using protocols::ProtocolKind;
+  EXPECT_TRUE(protocols::supports(ProtocolKind::kWriteThrough,
+                                  OpKind::kEject));
+  EXPECT_TRUE(protocols::supports(ProtocolKind::kWriteThroughV,
+                                  OpKind::kSync));
+  EXPECT_FALSE(protocols::supports(ProtocolKind::kDragon, OpKind::kEject));
+  EXPECT_FALSE(protocols::supports(ProtocolKind::kBerkeley, OpKind::kSync));
+  for (protocols::ProtocolKind kind : protocols::kAllProtocols) {
+    EXPECT_TRUE(protocols::supports(kind, OpKind::kRead));
+    EXPECT_TRUE(protocols::supports(kind, OpKind::kWrite));
+  }
+}
+
+}  // namespace
+}  // namespace drsm

@@ -1,0 +1,218 @@
+// Integration tests across the whole stack: analytic model vs lockstep
+// simulation vs concurrent discrete-event simulation — the paper's
+// Section 5.2 methodology (Table 7) as a test.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/solver.h"
+#include "sim/event_sim.h"
+#include "sim/sequential.h"
+#include "stats/summary.h"
+#include "workload/generator.h"
+
+namespace drsm {
+namespace {
+
+using protocols::ProtocolKind;
+
+sim::SystemConfig table7_config() {
+  // Table 7: N=3 clients, a=2 read disturbers, P=30, S=100, M=20 objects.
+  sim::SystemConfig config;
+  config.num_clients = 3;
+  config.costs.s = 100.0;
+  config.costs.p = 30.0;
+  config.num_objects = 20;
+  return config;
+}
+
+/// Lockstep simulation: one sampled global operation at a time, run to
+/// quiescence — the regime in which the analysis is exact, so measurement
+/// converges to the analytic value with only sampling noise.
+double lockstep_acc(ProtocolKind kind, const workload::WorkloadSpec& spec,
+                    std::size_t ops, std::size_t warmup,
+                    std::uint64_t seed) {
+  sim::SystemConfig config = table7_config();
+  config.num_objects = 1;
+  sim::SequentialRuntime runtime(kind, config, spec.roster());
+  workload::GlobalSequenceGenerator gen(spec, seed);
+  Cost cost = 0.0;
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < warmup; ++i) {
+    const auto op = gen.next();
+    runtime.execute(op.node, op.op, ++value);
+  }
+  for (std::size_t i = 0; i < ops; ++i) {
+    const auto op = gen.next();
+    cost += runtime.execute(op.node, op.op, ++value).cost;
+  }
+  return cost / static_cast<double>(ops);
+}
+
+class LockstepConvergenceTest
+    : public ::testing::TestWithParam<protocols::ProtocolKind> {};
+
+TEST_P(LockstepConvergenceTest, AllDeviationsConvergeToAnalyticAcc) {
+  sim::SystemConfig config = table7_config();
+  config.num_objects = 1;
+  analytic::AccSolver solver(config);
+  const ProtocolKind kind = GetParam();
+
+  std::vector<workload::WorkloadSpec> specs = {
+      workload::read_disturbance(0.2, 0.2, 2),
+      workload::read_disturbance(0.6, 0.1, 2),
+      workload::write_disturbance(0.3, 0.1, 2),
+      workload::multiple_activity_centers(0.4, 3),
+  };
+  for (const auto& spec : specs) {
+    const double predicted = solver.acc(kind, spec);
+    const auto ci = stats::replicate(6, [&](std::uint64_t seed) {
+      return lockstep_acc(kind, spec, 20000, 500, seed * 7919);
+    });
+    EXPECT_TRUE(std::fabs(ci.mean - predicted) <
+                std::max(3.0 * ci.half_width, 0.02 * predicted + 1e-6))
+        << protocols::to_string(kind) << " workload=" << spec.name
+        << " predicted=" << predicted << " measured=" << ci.mean << " +-"
+        << ci.half_width;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, LockstepConvergenceTest,
+                         ::testing::ValuesIn(protocols::kAllProtocols),
+                         [](const auto& info) {
+                           std::string name =
+                               protocols::to_string(info.param);
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+TEST(Integration, ConcurrentSimulationStaysWithinPaperDiscrepancyBand) {
+  // The paper's Table 7 reports < +-8 % between analysis and its Ada
+  // simulator for Write-Once and Write-Through-V at N=3, a=2.
+  const sim::SystemConfig config = table7_config();
+  analytic::AccSolver solver(
+      {config.num_clients, config.costs, 1});
+  for (ProtocolKind kind :
+       {ProtocolKind::kWriteOnce, ProtocolKind::kWriteThroughV}) {
+    for (double p : {0.2, 0.4}) {
+      const double sigma = 0.2;
+      const auto spec = workload::read_disturbance(p, sigma, 2);
+      const double predicted = solver.acc(kind, spec);
+      ASSERT_GT(predicted, 0.0);
+
+      sim::SimOptions options;
+      options.max_ops = 40000;
+      options.warmup_ops = 500;
+      options.seed = 101;
+      sim::EventSimulator simulator(kind, config, options);
+      workload::ConcurrentDriver driver(spec, 102, config.num_objects);
+      const sim::SimStats stats = simulator.run(driver);
+      const double discrepancy =
+          stats::relative_discrepancy_percent(predicted, stats.acc());
+      EXPECT_LT(std::fabs(discrepancy), 10.0)
+          << protocols::to_string(kind) << " p=" << p
+          << " predicted=" << predicted << " measured=" << stats.acc();
+    }
+  }
+}
+
+TEST(Integration, AnalyticVarianceMatchesSimulatedVariance) {
+  // The chain's per-operation cost variance must match the empirical
+  // variance of lockstep-simulated per-op costs.
+  sim::SystemConfig config = table7_config();
+  config.num_objects = 1;
+  const auto spec = workload::read_disturbance(0.3, 0.2, 2);
+  analytic::ProtocolChain chain(ProtocolKind::kWriteOnce, config, spec);
+  const auto probs = spec.probabilities();
+  const double predicted_var = chain.cost_variance(probs);
+  const double predicted_mean = chain.average_cost(probs);
+  ASSERT_GT(predicted_var, 0.0);
+
+  sim::SequentialRuntime runtime(ProtocolKind::kWriteOnce, config,
+                                 spec.roster());
+  workload::GlobalSequenceGenerator gen(spec, 1234);
+  stats::RunningStats observed;
+  std::uint64_t value = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto op = gen.next();
+    runtime.execute(op.node, op.op, ++value);
+  }
+  for (int i = 0; i < 60000; ++i) {
+    const auto op = gen.next();
+    observed.add(runtime.execute(op.node, op.op, ++value).cost);
+  }
+  EXPECT_NEAR(observed.mean(), predicted_mean, 0.03 * predicted_mean);
+  EXPECT_NEAR(observed.variance(), predicted_var, 0.05 * predicted_var);
+}
+
+TEST(Integration, SimulatorPerObjectCostsFollowSkew) {
+  // Zipf-skewed object popularity: the hot object accumulates the most
+  // cost in the simulator's per-object attribution.
+  sim::SystemConfig config = table7_config();
+  config.num_objects = 6;
+  const auto spec = workload::read_disturbance(0.4, 0.2, 2);
+  sim::SimOptions options;
+  options.max_ops = 20000;
+  options.warmup_ops = 0;
+  options.seed = 5;
+  sim::EventSimulator simulator(ProtocolKind::kWriteThroughV, config,
+                                options);
+  workload::ConcurrentDriver driver(spec, 6, config.num_objects, 64.0,
+                                    workload::zipf_weights(6, 1.5));
+  const sim::SimStats stats = simulator.run(driver);
+  ASSERT_EQ(stats.cost_by_object.size(), 6u);
+  double total = 0.0;
+  for (Cost c : stats.cost_by_object) total += c;
+  EXPECT_DOUBLE_EQ(total, stats.measured_cost + stats.warmup_cost);
+  EXPECT_GT(stats.cost_by_object[0], stats.cost_by_object[3]);
+  EXPECT_GT(stats.cost_by_object[0], stats.cost_by_object[5]);
+}
+
+TEST(Integration, EventCostSharesSumToAcc) {
+  sim::SystemConfig config = table7_config();
+  config.num_objects = 1;
+  const auto spec = workload::read_disturbance(0.3, 0.15, 2);
+  for (ProtocolKind kind : protocols::kAllProtocols) {
+    analytic::ProtocolChain chain(kind, config, spec);
+    const auto probs = spec.probabilities();
+    const double acc = chain.average_cost(probs);
+    const auto shares = chain.event_cost_shares(probs);
+    double total = 0.0;
+    for (double s : shares) total += s;
+    EXPECT_NEAR(total, acc, 1e-9) << protocols::to_string(kind);
+  }
+}
+
+TEST(Integration, StationaryDistributionsAreProbabilityVectors) {
+  sim::SystemConfig config = table7_config();
+  config.num_objects = 1;
+  const auto spec = workload::write_disturbance(0.25, 0.1, 2);
+  for (ProtocolKind kind : protocols::kAllProtocols) {
+    analytic::ProtocolChain chain(kind, config, spec);
+    const auto pi = chain.stationary(spec.probabilities());
+    double sum = 0.0;
+    for (double v : pi) {
+      EXPECT_GE(v, -1e-12);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << protocols::to_string(kind);
+  }
+}
+
+TEST(Integration, ChainCachingReturnsConsistentResults) {
+  sim::SystemConfig config = table7_config();
+  config.num_objects = 1;
+  analytic::AccSolver solver(config);
+  const auto spec_a = workload::read_disturbance(0.3, 0.1, 2);
+  const auto spec_b = workload::read_disturbance(0.5, 0.05, 2);
+  // Same structure, different probabilities: one chain, two solves.
+  const double a1 = solver.acc(ProtocolKind::kSynapse, spec_a);
+  const double b = solver.acc(ProtocolKind::kSynapse, spec_b);
+  const double a2 = solver.acc(ProtocolKind::kSynapse, spec_a);
+  EXPECT_DOUBLE_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+}
+
+}  // namespace
+}  // namespace drsm

@@ -1,0 +1,188 @@
+// Unit tests for the linear-algebra substrate: dense ops, LU solves,
+// sparse CSR, and the stationary-distribution solvers (direct and power
+// iteration) that the analytic engine rests on.
+#include <gtest/gtest.h>
+
+#include "linalg/lu.h"
+#include "linalg/sparse.h"
+#include "linalg/stationary.h"
+#include "support/rng.h"
+
+namespace drsm::linalg {
+namespace {
+
+TEST(Matrix, IdentityAndMultiply) {
+  Matrix eye = Matrix::identity(3);
+  Vector x = {1.0, 2.0, 3.0};
+  EXPECT_EQ(eye.multiply(x), x);
+  EXPECT_EQ(eye.multiply_transpose(x), x);
+}
+
+TEST(Matrix, MultiplyTransposeIsRowVectorTimesMatrix) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(0, 2) = 3;
+  m(1, 0) = 4;
+  m(1, 1) = 5;
+  m(1, 2) = 6;
+  const Vector y = m.multiply_transpose({1.0, 10.0});
+  EXPECT_DOUBLE_EQ(y[0], 41.0);
+  EXPECT_DOUBLE_EQ(y[1], 52.0);
+  EXPECT_DOUBLE_EQ(y[2], 63.0);
+}
+
+TEST(Matrix, ArithmeticAndNorms) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1;
+  a(1, 1) = -5;
+  b(0, 0) = 2;
+  EXPECT_DOUBLE_EQ((a + b)(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ((a - b)(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 5.0);
+  EXPECT_DOUBLE_EQ(norm1({3.0, -4.0}), 7.0);
+  EXPECT_DOUBLE_EQ(norm2({3.0, -4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0}, {3.0, 4.0}), 11.0);
+}
+
+TEST(Lu, SolvesRandomSystems) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(12);
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += 3.0;  // well-conditioned
+    Vector x_true(n);
+    for (double& v : x_true) v = rng.uniform(-2.0, 2.0);
+    const Vector b = a.multiply(x_true);
+    const Vector x = solve(a, b);
+    EXPECT_LT(max_abs_diff(x, x_true), 1e-9);
+  }
+}
+
+TEST(Lu, PivotsWhenDiagonalVanishes) {
+  Matrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const Vector x = solve(a, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(x[0], 4.0);
+  EXPECT_DOUBLE_EQ(x[1], 3.0);
+}
+
+TEST(Lu, DetectsSingularity) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_THROW(Lu{a}, Error);
+}
+
+TEST(Lu, Determinant) {
+  Matrix a(2, 2);
+  a(0, 0) = 3.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_NEAR(Lu(a).determinant(), 10.0, 1e-12);
+}
+
+TEST(Csr, SumsDuplicatesAndMultiplies) {
+  CsrMatrix m(2, 2,
+              {{0, 0, 1.0}, {0, 0, 2.0}, {0, 1, 5.0}, {1, 1, 4.0}});
+  EXPECT_EQ(m.nonzeros(), 3u);
+  const Vector y = m.multiply({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 8.0);
+  EXPECT_DOUBLE_EQ(y[1], 4.0);
+  const Vector yt = m.multiply_left({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(yt[0], 3.0);
+  EXPECT_DOUBLE_EQ(yt[1], 9.0);
+  const Matrix dense = m.to_dense();
+  EXPECT_DOUBLE_EQ(dense(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(dense(0, 1), 5.0);
+}
+
+Matrix random_stochastic(std::size_t n, Rng& rng) {
+  Matrix p(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      p(r, c) = rng.uniform() + 0.01;  // strictly positive -> ergodic
+      sum += p(r, c);
+    }
+    for (std::size_t c = 0; c < n; ++c) p(r, c) /= sum;
+  }
+  return p;
+}
+
+TEST(Stationary, DirectSolveFixedPoint) {
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 2 + rng.uniform_index(20);
+    const Matrix p = random_stochastic(n, rng);
+    const Vector pi = stationary_distribution(p);
+    EXPECT_NEAR(norm1(pi), 1.0, 1e-9);
+    EXPECT_LT(max_abs_diff(p.multiply_transpose(pi), pi), 1e-9);
+  }
+}
+
+TEST(Stationary, PowerIterationMatchesDirect) {
+  Rng rng(37);
+  const Matrix p = random_stochastic(40, rng);
+  const Vector direct = stationary_distribution(p);
+  StationaryOptions options;
+  options.direct_limit = 1;  // force power iteration
+  const Vector iterative = stationary_distribution(p, options);
+  EXPECT_LT(max_abs_diff(direct, iterative), 1e-8);
+}
+
+TEST(Stationary, TwoStateChainHasKnownSolution) {
+  // P = [[1-a, a], [b, 1-b]] -> pi = (b, a)/(a+b).
+  const double a = 0.3, b = 0.1;
+  Matrix p(2, 2);
+  p(0, 0) = 1 - a;
+  p(0, 1) = a;
+  p(1, 0) = b;
+  p(1, 1) = 1 - b;
+  const Vector pi = stationary_distribution(p);
+  EXPECT_NEAR(pi[0], b / (a + b), 1e-12);
+  EXPECT_NEAR(pi[1], a / (a + b), 1e-12);
+}
+
+TEST(Stationary, HandlesTransientStates) {
+  // State 0 drains into the recurrent pair {1, 2}.
+  Matrix p(3, 3);
+  p(0, 1) = 1.0;
+  p(1, 1) = 0.5;
+  p(1, 2) = 0.5;
+  p(2, 1) = 1.0;
+  const Vector pi = stationary_distribution(p);
+  EXPECT_NEAR(pi[0], 0.0, 1e-9);
+  EXPECT_NEAR(pi[1], 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(pi[2], 1.0 / 3.0, 1e-9);
+}
+
+TEST(Stationary, PeriodicChainNeedsDampingAndGetsIt) {
+  // Two-cycle: without damping power iteration would oscillate.
+  Matrix p(2, 2);
+  p(0, 1) = 1.0;
+  p(1, 0) = 1.0;
+  StationaryOptions options;
+  options.direct_limit = 1;
+  const Vector pi = stationary_distribution(p, options);
+  EXPECT_NEAR(pi[0], 0.5, 1e-8);
+  EXPECT_NEAR(pi[1], 0.5, 1e-8);
+}
+
+TEST(Stationary, CheckStochasticCatchesBadRows) {
+  CsrMatrix good(2, 2, {{0, 0, 0.5}, {0, 1, 0.5}, {1, 0, 1.0}});
+  EXPECT_NO_THROW(check_stochastic(good));
+  CsrMatrix bad(2, 2, {{0, 0, 0.7}, {1, 1, 1.0}});
+  EXPECT_THROW(check_stochastic(bad), Error);
+}
+
+}  // namespace
+}  // namespace drsm::linalg

@@ -1,0 +1,209 @@
+// The lumped read-disturbance chains must agree exactly with the generic
+// product-space engine (small a), with the paper's closed forms (any a),
+// and must scale to disturber counts far beyond the generic engine.
+#include <gtest/gtest.h>
+
+#include "analytic/closed_form.h"
+#include "analytic/lumped.h"
+#include "analytic/solver.h"
+#include "workload/spec.h"
+
+namespace drsm {
+namespace {
+
+using protocols::ProtocolKind;
+namespace cf = analytic::closed_form;
+
+class LumpedVsGenericTest
+    : public ::testing::TestWithParam<protocols::ProtocolKind> {};
+
+TEST_P(LumpedVsGenericTest, MatchesProductSpaceEngine) {
+  const std::size_t n = 12;
+  const double s = 300.0, p_cost = 30.0;
+  analytic::AccSolver solver({n, {s, p_cost}, 1});
+  for (std::size_t a : {1u, 2u, 4u}) {
+    for (double p : {0.0, 0.1, 0.4, 0.8}) {
+      for (double sigma : {0.0, 0.02, 0.05}) {
+        if (p + a * sigma > 1.0) continue;
+        const double generic =
+            solver.acc(GetParam(), workload::read_disturbance(p, sigma, a));
+        const double lumped = analytic::lumped_read_disturbance_acc(
+            GetParam(), n, s, p_cost, p, sigma, a);
+        ASSERT_NEAR(generic, lumped, 1e-9)
+            << protocols::to_string(GetParam()) << " a=" << a << " p=" << p
+            << " sigma=" << sigma;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, LumpedVsGenericTest,
+                         ::testing::ValuesIn(protocols::kAllProtocols),
+                         [](const auto& info) {
+                           std::string name =
+                               protocols::to_string(info.param);
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+class LumpedWdVsGenericTest
+    : public ::testing::TestWithParam<protocols::ProtocolKind> {};
+
+TEST_P(LumpedWdVsGenericTest, MatchesProductSpaceEngine) {
+  const std::size_t n = 10;
+  const double s = 250.0, p_cost = 20.0;
+  analytic::AccSolver solver({n, {s, p_cost}, 1});
+  for (std::size_t a : {1u, 2u, 4u}) {
+    for (double p : {0.0, 0.1, 0.4, 0.7}) {
+      for (double xi : {0.0, 0.02, 0.07}) {
+        if (p + a * xi > 1.0) continue;
+        const double generic =
+            solver.acc(GetParam(), workload::write_disturbance(p, xi, a));
+        const double lumped = analytic::lumped_write_disturbance_acc(
+            GetParam(), n, s, p_cost, p, xi, a);
+        ASSERT_NEAR(generic, lumped, 1e-9)
+            << protocols::to_string(GetParam()) << " a=" << a << " p=" << p
+            << " xi=" << xi;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, LumpedWdVsGenericTest,
+                         ::testing::ValuesIn(protocols::kAllProtocols),
+                         [](const auto& info) {
+                           std::string name =
+                               protocols::to_string(info.param);
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+TEST(LumpedWd, MatchesEqn4AndClosedFormsAtLargeA) {
+  const std::size_t n = 300, a = 150;
+  const double s = 2000.0, p_cost = 30.0;
+  for (double p : {0.05, 0.3}) {
+    for (double xi : {0.001, 0.003}) {
+      EXPECT_NEAR(
+          analytic::lumped_write_disturbance_acc(
+              ProtocolKind::kWriteThrough, n, s, p_cost, p, xi, a),
+          cf::wt_write_disturbance(p, xi, a, n, s, p_cost), 1e-6)
+          << "p=" << p << " xi=" << xi;
+      EXPECT_NEAR(
+          analytic::lumped_write_disturbance_acc(
+              ProtocolKind::kWriteThroughV, n, s, p_cost, p, xi, a),
+          cf::wtv_write_disturbance(p, xi, a, n, s, p_cost), 1e-6);
+    }
+  }
+}
+
+TEST(LumpedWd, NoDisturbersReducesToIdealWorkload) {
+  for (ProtocolKind kind : protocols::kAllProtocols) {
+    EXPECT_NEAR(analytic::lumped_write_disturbance_acc(kind, 8, 100.0, 30.0,
+                                                       0.4, 0.25, 0),
+                cf::ideal_acc(kind, 0.4, 8, 100.0, 30.0), 1e-9)
+        << protocols::to_string(kind);
+  }
+}
+
+class LumpedMacVsGenericTest
+    : public ::testing::TestWithParam<protocols::ProtocolKind> {};
+
+TEST_P(LumpedMacVsGenericTest, MatchesProductSpaceEngine) {
+  const std::size_t n = 9;
+  const double s = 350.0, p_cost = 25.0;
+  analytic::AccSolver solver({n, {s, p_cost}, 1});
+  for (std::size_t beta : {1u, 2u, 3u}) {
+    for (double p : {0.0, 0.15, 0.5, 0.9}) {
+      const double generic = solver.acc(
+          GetParam(), workload::multiple_activity_centers(p, beta));
+      const double lumped = analytic::lumped_multiple_ac_acc(
+          GetParam(), n, s, p_cost, p, beta);
+      ASSERT_NEAR(generic, lumped, 1e-9)
+          << protocols::to_string(GetParam()) << " beta=" << beta
+          << " p=" << p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, LumpedMacVsGenericTest,
+                         ::testing::ValuesIn(protocols::kAllProtocols),
+                         [](const auto& info) {
+                           std::string name =
+                               protocols::to_string(info.param);
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+TEST(LumpedMac, MatchesEqn5AtLargeBeta) {
+  const std::size_t n = 600;
+  const double s = 2000.0, p_cost = 30.0;
+  for (std::size_t beta : {10u, 50u, 400u}) {
+    for (double p : {0.05, 0.4, 0.9}) {
+      EXPECT_NEAR(analytic::lumped_multiple_ac_acc(
+                      ProtocolKind::kWriteThrough, n, s, p_cost, p, beta),
+                  cf::wt_multiple_ac(p, beta, n, s, p_cost), 1e-6)
+          << "beta=" << beta << " p=" << p;
+    }
+  }
+}
+
+TEST(Lumped, MatchesClosedFormsAtLargeA) {
+  // The generic engine cannot reach a = 200 (2^200 states); the closed
+  // forms can, and the lumped chains must match them.
+  const std::size_t n = 500, a = 200;
+  const double s = 5000.0, p_cost = 30.0;
+  for (double p : {0.05, 0.3, 0.6}) {
+    for (double sigma : {0.0005, 0.001, 0.0015}) {
+      EXPECT_NEAR(analytic::lumped_read_disturbance_acc(
+                      ProtocolKind::kWriteThrough, n, s, p_cost, p, sigma, a),
+                  cf::wt_read_disturbance(p, sigma, a, n, s, p_cost), 1e-6)
+          << "p=" << p << " sigma=" << sigma;
+      EXPECT_NEAR(analytic::lumped_read_disturbance_acc(
+                      ProtocolKind::kWriteThroughV, n, s, p_cost, p, sigma,
+                      a),
+                  cf::wtv_read_disturbance(p, sigma, a, n, s, p_cost), 1e-6);
+      EXPECT_NEAR(analytic::lumped_read_disturbance_acc(
+                      ProtocolKind::kBerkeley, n, s, p_cost, p, sigma, a),
+                  cf::berkeley_read_disturbance(p, sigma, a, n, s, p_cost),
+                  1e-6);
+    }
+  }
+}
+
+TEST(Lumped, HandlesDegenerateProbabilities) {
+  for (ProtocolKind kind : protocols::kAllProtocols) {
+    // Pure reads: everything converges to free hits.
+    EXPECT_NEAR(analytic::lumped_read_disturbance_acc(kind, 8, 100.0, 30.0,
+                                                      0.0, 0.1, 3),
+                0.0, 1e-9)
+        << protocols::to_string(kind);
+    // Pure writes (p = 1).
+    const double acc = analytic::lumped_read_disturbance_acc(
+        kind, 8, 100.0, 30.0, 1.0, 0.0, 3);
+    EXPECT_GE(acc, 0.0);
+    EXPECT_NEAR(acc, cf::ideal_acc(kind, 1.0, 8, 100.0, 30.0), 1e-9);
+  }
+}
+
+TEST(Lumped, ScalesToThousandsOfDisturbers) {
+  // a = 5000 disturbers: O(a) states, still exact.
+  const double acc = analytic::lumped_read_disturbance_acc(
+      ProtocolKind::kSynapse, 10000, 1000.0, 30.0, 0.2, 0.0001, 5000);
+  EXPECT_GT(acc, 0.0);
+  // Sanity: monotone in sigma at this scale.
+  const double acc_more = analytic::lumped_read_disturbance_acc(
+      ProtocolKind::kSynapse, 10000, 1000.0, 30.0, 0.2, 0.00012, 5000);
+  EXPECT_GT(acc_more, acc);
+}
+
+TEST(Lumped, RejectsInvalidParameters) {
+  EXPECT_THROW(analytic::lumped_read_disturbance_acc(
+                   ProtocolKind::kWriteThrough, 8, 100.0, 30.0, 0.8, 0.2, 3),
+               Error);
+}
+
+}  // namespace
+}  // namespace drsm

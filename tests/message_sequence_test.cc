@@ -1,0 +1,154 @@
+// Message-sequence regression tests: the exact wire protocol of each
+// ownership protocol's characteristic operations, captured through the
+// sequential runtime's observer.  These freeze the protocol definitions
+// documented in docs/PROTOCOLS.md.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "protocols/protocol.h"
+#include "sim/sequential.h"
+
+namespace drsm {
+namespace {
+
+using fsm::MsgType;
+using fsm::OpKind;
+using protocols::ProtocolKind;
+
+constexpr std::size_t kN = 3;
+constexpr NodeId kHome = kN;
+
+struct Hop {
+  MsgType type;
+  NodeId src;
+  NodeId dst;
+
+  bool operator==(const Hop&) const = default;
+};
+
+class Recorder {
+ public:
+  explicit Recorder(ProtocolKind kind)
+      : runtime_(kind, make_config(), {0, 1, 2}) {
+    runtime_.set_observer(
+        [this](NodeId src, NodeId dst, const fsm::Message& msg) {
+          hops_.push_back({msg.token.type, src, dst});
+        });
+  }
+
+  static sim::SystemConfig make_config() {
+    sim::SystemConfig config;
+    config.num_clients = kN;
+    config.costs.s = 100.0;
+    config.costs.p = 30.0;
+    return config;
+  }
+
+  std::vector<Hop> run(NodeId node, OpKind op) {
+    hops_.clear();
+    runtime_.execute(node, op, ++value_);
+    return hops_;
+  }
+
+ private:
+  sim::SequentialRuntime runtime_;
+  std::vector<Hop> hops_;
+  std::uint64_t value_ = 1000;
+};
+
+TEST(MessageSequence, SynapseDirtyReadFlushNackRetry) {
+  Recorder rec(ProtocolKind::kSynapse);
+  rec.run(0, OpKind::kWrite);  // client 0 -> DIRTY
+  const auto hops = rec.run(1, OpKind::kRead);
+  const std::vector<Hop> expected = {
+      {MsgType::kReadPer, 1, kHome},      // ask
+      {MsgType::kRecallInval, kHome, 0},  // recall the dirty copy
+      {MsgType::kFlushData, 0, kHome},    // flush (S+1)
+      {MsgType::kNack, kHome, 1},         // try again
+      {MsgType::kReadPer, 1, kHome},      // retry
+      {MsgType::kReadGnt, kHome, 1},      // grant (S+1)
+  };
+  EXPECT_EQ(hops, expected);
+}
+
+TEST(MessageSequence, IllinoisDirtyReadForwardedNoRetry) {
+  Recorder rec(ProtocolKind::kIllinois);
+  rec.run(0, OpKind::kWrite);
+  const auto hops = rec.run(1, OpKind::kRead);
+  const std::vector<Hop> expected = {
+      {MsgType::kReadPer, 1, kHome},
+      {MsgType::kRecallShared, kHome, 0},  // old owner keeps VALID
+      {MsgType::kFlushData, 0, kHome},
+      {MsgType::kReadGnt, kHome, 1},
+  };
+  EXPECT_EQ(hops, expected);
+}
+
+TEST(MessageSequence, IllinoisValidUpgradeIsTokenOnly) {
+  Recorder rec(ProtocolKind::kIllinois);
+  rec.run(0, OpKind::kRead);  // client 0 -> VALID
+  const auto hops = rec.run(0, OpKind::kWrite);
+  const std::vector<Hop> expected = {
+      {MsgType::kWritePer, 0, kHome},
+      {MsgType::kInval, kHome, 1},
+      {MsgType::kInval, kHome, 2},
+      {MsgType::kWriteGnt, kHome, 0},  // bare token: no data refetch
+  };
+  EXPECT_EQ(hops, expected);
+}
+
+TEST(MessageSequence, BerkeleyOwnershipMigration) {
+  Recorder rec(ProtocolKind::kBerkeley);
+  rec.run(0, OpKind::kRead);  // fetch from the home owner -> VALID
+  const auto hops = rec.run(0, OpKind::kWrite);
+  const std::vector<Hop> expected = {
+      {MsgType::kWritePer, 0, kHome},   // ask the current owner
+      {MsgType::kOwnerXfer, kHome, 0},  // bare transfer (copy was VALID)
+      {MsgType::kInval, 0, 1},          // the new owner broadcasts
+      {MsgType::kInval, 0, 2},
+      {MsgType::kInval, 0, kHome},
+  };
+  EXPECT_EQ(hops, expected);
+}
+
+TEST(MessageSequence, BerkeleyReadsGoStraightToTheOwner) {
+  Recorder rec(ProtocolKind::kBerkeley);
+  rec.run(0, OpKind::kWrite);  // ownership migrates to client 0
+  const auto hops = rec.run(1, OpKind::kRead);
+  const std::vector<Hop> expected = {
+      {MsgType::kReadPer, 1, 0},  // directly to the owner, not the home
+      {MsgType::kReadGnt, 0, 1},
+  };
+  EXPECT_EQ(hops, expected);
+}
+
+TEST(MessageSequence, WriteOnceWriteThroughIsAcknowledged) {
+  Recorder rec(ProtocolKind::kWriteOnce);
+  rec.run(0, OpKind::kRead);  // -> VALID
+  const auto hops = rec.run(0, OpKind::kWrite);
+  const std::vector<Hop> expected = {
+      {MsgType::kWritePer, 0, kHome},  // carries the write parameters
+      {MsgType::kInval, kHome, 1},
+      {MsgType::kInval, kHome, 2},
+      {MsgType::kWriteGnt, kHome, 0},  // the RESERVED acknowledgement
+  };
+  EXPECT_EQ(hops, expected);
+  // The second write is silent.
+  EXPECT_TRUE(rec.run(0, OpKind::kWrite).empty());
+}
+
+TEST(MessageSequence, FireflyWriteEndsWithCompletionToken) {
+  Recorder rec(ProtocolKind::kFirefly);
+  const auto hops = rec.run(0, OpKind::kWrite);
+  const std::vector<Hop> expected = {
+      {MsgType::kUpdate, 0, kHome},
+      {MsgType::kUpdate, kHome, 1},
+      {MsgType::kUpdate, kHome, 2},
+      {MsgType::kAck, kHome, 0},
+  };
+  EXPECT_EQ(hops, expected);
+}
+
+}  // namespace
+}  // namespace drsm

@@ -1,0 +1,283 @@
+// Per-protocol trace-cost tests: each protocol's characteristic operation
+// sequences must incur exactly the message costs derived in DESIGN.md
+// (Write-Through's are the paper's Section 4.1 traces tr1-tr6), plus a
+// randomized sequential-consistency property over all eight protocols.
+#include <gtest/gtest.h>
+
+#include "protocols/protocol.h"
+#include "sim/sequential.h"
+#include "support/rng.h"
+
+namespace drsm {
+namespace {
+
+using fsm::OpKind;
+using protocols::ProtocolKind;
+using sim::SequentialRuntime;
+
+constexpr std::size_t kN = 4;     // clients
+constexpr double kS = 100.0;
+constexpr double kP = 30.0;
+constexpr NodeId kHome = kN;
+
+SequentialRuntime make_runtime(ProtocolKind kind) {
+  sim::SystemConfig config;
+  config.num_clients = kN;
+  config.costs.s = kS;
+  config.costs.p = kP;
+  return SequentialRuntime(kind, config, {0, 1, 2});
+}
+
+double cost(SequentialRuntime& rt, NodeId node, OpKind op,
+            std::uint64_t value = 0) {
+  static std::uint64_t counter = 1000;
+  if (op == OpKind::kWrite && value == 0) value = ++counter;
+  return rt.execute(node, op, value).cost;
+}
+
+// ---------------------------------------------------------------------------
+// Write-Through: the paper's six traces.
+// ---------------------------------------------------------------------------
+
+TEST(WriteThrough, PaperTraceCosts) {
+  auto rt = make_runtime(ProtocolKind::kWriteThrough);
+  // tr2: client read on INVALID copy = S+2.
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kRead), kS + 2);
+  EXPECT_STREQ(rt.state_name(0), "VALID");
+  // tr1: read on VALID copy is free.
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kRead), 0.0);
+  // tr3: write on VALID copy = P+N, copy becomes INVALID.
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kWrite), kP + kN);
+  EXPECT_STREQ(rt.state_name(0), "INVALID");
+  // tr4: write on INVALID copy = P+N too.
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kWrite), kP + kN);
+  // tr5: sequencer read is local.
+  EXPECT_DOUBLE_EQ(cost(rt, kHome, OpKind::kRead), 0.0);
+  // tr6: sequencer write invalidates all N clients.
+  EXPECT_DOUBLE_EQ(cost(rt, kHome, OpKind::kWrite), kN);
+}
+
+TEST(WriteThrough, WriteInvalidatesEveryOtherClient) {
+  auto rt = make_runtime(ProtocolKind::kWriteThrough);
+  cost(rt, 1, OpKind::kRead);
+  cost(rt, 2, OpKind::kRead);
+  EXPECT_STREQ(rt.state_name(1), "VALID");
+  cost(rt, 0, OpKind::kWrite);
+  EXPECT_STREQ(rt.state_name(1), "INVALID");
+  EXPECT_STREQ(rt.state_name(2), "INVALID");
+  // Both re-reads miss.
+  EXPECT_DOUBLE_EQ(cost(rt, 1, OpKind::kRead), kS + 2);
+  EXPECT_DOUBLE_EQ(cost(rt, 2, OpKind::kRead), kS + 2);
+}
+
+TEST(WriteThrough, EjectAndSyncExtensions) {
+  auto rt = make_runtime(ProtocolKind::kWriteThrough);
+  cost(rt, 0, OpKind::kRead);
+  EXPECT_STREQ(rt.state_name(0), "VALID");
+  // Eject is a local action: free, copy INVALID, next read misses.
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kEject), 0.0);
+  EXPECT_STREQ(rt.state_name(0), "INVALID");
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kRead), kS + 2);
+  // Sync is a token round trip through the sequencer.
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kSync), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Write-Through-V: two-phase write, writer's copy stays VALID.
+// ---------------------------------------------------------------------------
+
+TEST(WriteThroughV, TraceCosts) {
+  auto rt = make_runtime(ProtocolKind::kWriteThroughV);
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kRead), kS + 2);
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kWrite), kP + kN + 2);
+  EXPECT_STREQ(rt.state_name(0), "VALID");
+  // Read after own write is free — the defining difference from WT.
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kRead), 0.0);
+  // Other clients were invalidated.
+  EXPECT_DOUBLE_EQ(cost(rt, 1, OpKind::kRead), kS + 2);
+  EXPECT_DOUBLE_EQ(cost(rt, kHome, OpKind::kWrite), kN);
+}
+
+// ---------------------------------------------------------------------------
+// Write-Once.
+// ---------------------------------------------------------------------------
+
+TEST(WriteOnce, WriteOnceThenLocal) {
+  auto rt = make_runtime(ProtocolKind::kWriteOnce);
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kRead), kS + 2);
+  // First write: write-through, P+N+1 (params + N-1 invalidations + ack),
+  // copy RESERVED.
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kWrite), kP + kN + 1);
+  EXPECT_STREQ(rt.state_name(0), "RESERVED");
+  // Second write: local, copy DIRTY.
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kWrite), 0.0);
+  EXPECT_STREQ(rt.state_name(0), "DIRTY");
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kWrite), 0.0);
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kRead), 0.0);
+}
+
+TEST(WriteOnce, RecallCosts) {
+  auto rt = make_runtime(ProtocolKind::kWriteOnce);
+  cost(rt, 0, OpKind::kRead);
+  cost(rt, 0, OpKind::kWrite);  // RESERVED
+  // Read while the owner is RESERVED: recall answered with a clean token.
+  EXPECT_DOUBLE_EQ(cost(rt, 1, OpKind::kRead), kS + 4);
+  EXPECT_STREQ(rt.state_name(0), "VALID");
+
+  cost(rt, 0, OpKind::kWrite);            // write-through again -> RESERVED
+  cost(rt, 0, OpKind::kWrite);            // silent RESERVED -> DIRTY
+  // Read while the owner is DIRTY: recall flushes the data.
+  EXPECT_DOUBLE_EQ(cost(rt, 2, OpKind::kRead), 2 * kS + 4);
+  EXPECT_STREQ(rt.state_name(0), "VALID");
+}
+
+TEST(WriteOnce, WriteMissCosts) {
+  auto rt = make_runtime(ProtocolKind::kWriteOnce);
+  // Write miss with no owner: exclusive fetch.
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kWrite), kS + kN + 1);
+  EXPECT_STREQ(rt.state_name(0), "DIRTY");
+  // Write miss while another client is DIRTY.
+  EXPECT_DOUBLE_EQ(cost(rt, 1, OpKind::kWrite), 2 * kS + kN + 3);
+  EXPECT_STREQ(rt.state_name(0), "INVALID");
+  EXPECT_STREQ(rt.state_name(1), "DIRTY");
+  // Sequencer write recalls the dirty copy then invalidates everyone.
+  EXPECT_DOUBLE_EQ(cost(rt, kHome, OpKind::kWrite), kS + kN + 2);
+  // No owner anymore: plain invalidation broadcast.
+  EXPECT_DOUBLE_EQ(cost(rt, kHome, OpKind::kWrite), kN);
+}
+
+// ---------------------------------------------------------------------------
+// Synapse: flush + NACK + retry on dirty misses.
+// ---------------------------------------------------------------------------
+
+TEST(Synapse, TraceCosts) {
+  auto rt = make_runtime(ProtocolKind::kSynapse);
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kRead), kS + 2);
+  // Write on VALID: full exclusive acquisition (no invalidate-only path).
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kWrite), kS + kN + 1);
+  EXPECT_STREQ(rt.state_name(0), "DIRTY");
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kWrite), 0.0);
+  // Dirty read by another client: flush + NACK + retry = 2S+6.
+  EXPECT_DOUBLE_EQ(cost(rt, 1, OpKind::kRead), 2 * kS + 6);
+  EXPECT_STREQ(rt.state_name(0), "INVALID");  // Synapse owner invalidates
+  EXPECT_STREQ(rt.state_name(1), "VALID");
+  // Write while another client is dirty: 2S+N+5.
+  cost(rt, 1, OpKind::kWrite);  // client 1 -> DIRTY (S+N+1)
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kWrite), 2 * kS + kN + 5);
+}
+
+// ---------------------------------------------------------------------------
+// Illinois: dirty misses served in one forwarded round; invalidate-only
+// write upgrades.
+// ---------------------------------------------------------------------------
+
+TEST(Illinois, TraceCosts) {
+  auto rt = make_runtime(ProtocolKind::kIllinois);
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kRead), kS + 2);
+  // Upgrade in place: bare-token grant.
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kWrite), kN + 1);
+  EXPECT_STREQ(rt.state_name(0), "DIRTY");
+  // Dirty read: recall keeps the old owner's copy VALID; no retry round.
+  EXPECT_DOUBLE_EQ(cost(rt, 1, OpKind::kRead), 2 * kS + 4);
+  EXPECT_STREQ(rt.state_name(0), "VALID");
+  // Write from VALID again: N+1.
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kWrite), kN + 1);
+  // Write miss while dirty elsewhere: 2S+N+3.
+  EXPECT_DOUBLE_EQ(cost(rt, 1, OpKind::kWrite), 2 * kS + kN + 3);
+  // Write miss with no dirty copy: S+N+1.
+  cost(rt, 2, OpKind::kRead);   // 2S+4: flush client 1
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kWrite), kS + kN + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Berkeley: ownership (and the sequencer role) migrate to the writer.
+// ---------------------------------------------------------------------------
+
+TEST(Berkeley, OwnershipMigration) {
+  auto rt = make_runtime(ProtocolKind::kBerkeley);
+  // Home starts as the DIRTY owner.
+  EXPECT_STREQ(rt.state_name(kHome), "DIRTY");
+  // Read miss: fetch from the owner, owner -> SHARED-DIRTY.
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kRead), kS + 2);
+  EXPECT_STREQ(rt.state_name(kHome), "SHARED-DIRTY");
+  // Write from a VALID copy: bare ownership transfer + broadcast = N+2.
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kWrite), kN + 2);
+  EXPECT_STREQ(rt.state_name(0), "DIRTY");
+  EXPECT_STREQ(rt.state_name(kHome), "INVALID");
+  // Owner writes in DIRTY: free.
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kWrite), 0.0);
+  // Another client reads from the *new* owner: S+2.
+  EXPECT_DOUBLE_EQ(cost(rt, 1, OpKind::kRead), kS + 2);
+  EXPECT_STREQ(rt.state_name(0), "SHARED-DIRTY");
+  // Owner re-sharpens exclusivity: invalidation broadcast costs N.
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kWrite), kN);
+  EXPECT_STREQ(rt.state_name(0), "DIRTY");
+  // Write miss elsewhere: data + ownership transfer = S+N+2.
+  EXPECT_DOUBLE_EQ(cost(rt, 2, OpKind::kWrite), kS + kN + 2);
+  EXPECT_STREQ(rt.state_name(2), "DIRTY");
+  EXPECT_STREQ(rt.state_name(0), "INVALID");
+}
+
+// ---------------------------------------------------------------------------
+// Dragon / Firefly: write-update broadcasts.
+// ---------------------------------------------------------------------------
+
+TEST(Dragon, UpdateBroadcastCosts) {
+  auto rt = make_runtime(ProtocolKind::kDragon);
+  // Reads are always local.
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kRead), 0.0);
+  EXPECT_DOUBLE_EQ(cost(rt, 1, OpKind::kRead), 0.0);
+  // Client write: params to the sequencer + rebroadcast = N(P+1).
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kWrite), kN * (kP + 1));
+  // Sequencer write: broadcast to all N clients.
+  EXPECT_DOUBLE_EQ(cost(rt, kHome, OpKind::kWrite), kN * (kP + 1));
+}
+
+TEST(Firefly, UpdateBroadcastWithCompletionToken) {
+  auto rt = make_runtime(ProtocolKind::kFirefly);
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kRead), 0.0);
+  EXPECT_DOUBLE_EQ(cost(rt, 0, OpKind::kWrite), kN * (kP + 1) + 1);
+  EXPECT_DOUBLE_EQ(cost(rt, kHome, OpKind::kWrite), kN * (kP + 1));
+}
+
+// ---------------------------------------------------------------------------
+// Sequential consistency property: under atomic execution, every read at
+// every node returns the value of the globally latest write — for all
+// eight protocols, over randomized operation sequences.
+// ---------------------------------------------------------------------------
+
+class ReadLatestTest
+    : public ::testing::TestWithParam<protocols::ProtocolKind> {};
+
+TEST_P(ReadLatestTest, EveryReadReturnsTheLatestWrite) {
+  auto rt = make_runtime(GetParam());
+  Rng rng(7 + static_cast<std::uint64_t>(GetParam()));
+  std::uint64_t value = 0;
+  const std::vector<NodeId> nodes = {0, 1, 2, kHome};
+  // Seed an initial value so the first read is well-defined.
+  rt.execute(kHome, OpKind::kWrite, ++value);
+  for (int step = 0; step < 5000; ++step) {
+    const NodeId node = nodes[rng.uniform_index(nodes.size())];
+    if (rng.bernoulli(0.35)) {
+      rt.execute(node, OpKind::kWrite, ++value);
+    } else {
+      const sim::OpResult result = rt.execute(node, OpKind::kRead);
+      ASSERT_EQ(result.read_value, rt.latest_value())
+          << protocols::to_string(GetParam()) << " step " << step
+          << " node " << node;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ReadLatestTest,
+                         ::testing::ValuesIn(protocols::kAllProtocols),
+                         [](const auto& info) {
+                           std::string name =
+                               protocols::to_string(info.param);
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace drsm

@@ -1,0 +1,70 @@
+// Unit tests for the statistics module.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/summary.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace drsm::stats {
+namespace {
+
+TEST(RunningStats, MomentsMatchDirectComputation) {
+  RunningStats s;
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(BatchMeans, CoversTrueMeanOfIidData) {
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 10000; ++i) samples.push_back(rng.uniform(0.0, 2.0));
+  const ConfidenceInterval ci = batch_means_ci(samples, 20);
+  EXPECT_TRUE(ci.contains(1.0)) << ci.lo() << " .. " << ci.hi();
+  EXPECT_LT(ci.half_width, 0.05);
+}
+
+TEST(BatchMeans, RejectsDegenerateBatching) {
+  EXPECT_THROW(batch_means_ci({1.0, 2.0, 3.0}, 1), Error);
+  EXPECT_THROW(batch_means_ci({1.0}, 2), Error);
+}
+
+TEST(ReplicationCi, ShrinksWithMoreReplicates) {
+  Rng rng(5);
+  std::vector<double> few, many;
+  for (int i = 0; i < 4; ++i) few.push_back(rng.uniform(0.0, 1.0));
+  for (int i = 0; i < 64; ++i) many.push_back(rng.uniform(0.0, 1.0));
+  EXPECT_GT(replication_ci(few).half_width,
+            replication_ci(many).half_width);
+}
+
+TEST(Discrepancy, MatchesTable7Definition) {
+  // 100 * (acc_a - acc_s) / acc_a.
+  EXPECT_DOUBLE_EQ(relative_discrepancy_percent(100.0, 92.0), 8.0);
+  EXPECT_DOUBLE_EQ(relative_discrepancy_percent(100.0, 108.0), -8.0);
+  EXPECT_DOUBLE_EQ(relative_discrepancy_percent(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(relative_discrepancy_percent(0.0, 1.0), -100.0);
+}
+
+TEST(Replicate, RunsExperimentPerSeed) {
+  const ConfidenceInterval ci = replicate(8, [](std::uint64_t seed) {
+    return static_cast<double>(seed);
+  });
+  EXPECT_DOUBLE_EQ(ci.mean, 4.5);  // mean of 1..8
+}
+
+}  // namespace
+}  // namespace drsm::stats

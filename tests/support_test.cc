@@ -1,0 +1,129 @@
+// Unit tests for support: RNG determinism and statistical sanity,
+// categorical (alias-method) sampling, formatting helpers, error checks.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/error.h"
+#include "support/rng.h"
+#include "support/text.h"
+
+namespace drsm {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(11);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 70000; ++i) ++counts[rng.uniform_index(7)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 450);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), Error);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.01);
+  EXPECT_THROW(rng.bernoulli(1.5), Error);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 50000; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / 50000.0, 0.5, 0.02);
+  EXPECT_THROW(rng.exponential(0.0), Error);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndReproducible) {
+  Rng base(99);
+  Rng s1 = base.split(1);
+  Rng s2 = base.split(2);
+  Rng s1_again = base.split(1);
+  EXPECT_NE(s1.next(), s2.next());
+  Rng s1_ref = Rng(99).split(1);
+  (void)s1_again;
+  Rng s1_b = Rng(99).split(1);
+  EXPECT_EQ(s1_ref.next(), s1_b.next());
+}
+
+TEST(Categorical, MatchesWeights) {
+  CategoricalSampler sampler({1.0, 2.0, 7.0});
+  EXPECT_NEAR(sampler.probability(0), 0.1, 1e-12);
+  EXPECT_NEAR(sampler.probability(1), 0.2, 1e-12);
+  EXPECT_NEAR(sampler.probability(2), 0.7, 1e-12);
+  Rng rng(23);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_NEAR(counts[0] / 100000.0, 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / 100000.0, 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / 100000.0, 0.7, 0.01);
+}
+
+TEST(Categorical, HandlesZeroWeightOutcomes) {
+  CategoricalSampler sampler({0.0, 1.0, 0.0});
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(sampler.sample(rng), 1u);
+}
+
+TEST(Categorical, RejectsDegenerateInput) {
+  EXPECT_THROW(CategoricalSampler({}), Error);
+  EXPECT_THROW(CategoricalSampler({0.0, 0.0}), Error);
+  EXPECT_THROW(CategoricalSampler({-1.0, 2.0}), Error);
+}
+
+TEST(Text, Strfmt) {
+  EXPECT_EQ(strfmt("x=%d y=%.2f", 3, 1.5), "x=3 y=1.50");
+  EXPECT_EQ(strfmt("%s", "plain"), "plain");
+}
+
+TEST(Text, RenderTableAligns) {
+  const std::string table =
+      render_table({"a", "bb"}, {{"1", "2"}, {"333", "4"}});
+  EXPECT_NE(table.find("| a   | bb |"), std::string::npos);
+  EXPECT_NE(table.find("| 333 | 4  |"), std::string::npos);
+}
+
+TEST(Error, CheckMacroThrowsWithContext) {
+  try {
+    DRSM_CHECK(1 == 2, "numbers disagree");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("numbers disagree"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace drsm

@@ -1,0 +1,147 @@
+// Tests for the threaded runtime: the eight protocols under genuine
+// parallel execution (one thread per node, real mutex/cv message passing —
+// the paper's multitasking-simulator design point).
+#include <gtest/gtest.h>
+
+#include "analytic/solver.h"
+#include "sim/threaded.h"
+#include "workload/generator.h"
+
+namespace drsm {
+namespace {
+
+using protocols::ProtocolKind;
+
+sim::SystemConfig make_config(std::size_t n, std::size_t objects = 1) {
+  sim::SystemConfig config;
+  config.num_clients = n;
+  config.costs.s = 100.0;
+  config.costs.p = 30.0;
+  config.num_objects = objects;
+  return config;
+}
+
+class ThreadedTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(ThreadedTest, CompletesMixedWorkloadWithCoherenceChecksOn) {
+  const sim::SystemConfig config = make_config(4, 3);
+  const auto spec = workload::write_disturbance(0.25, 0.1, 3);
+  workload::GlobalSequenceGenerator gen(
+      spec, 17 + static_cast<std::uint64_t>(GetParam()),
+      config.num_objects);
+  const auto trace = gen.record(5000, config.num_clients);
+
+  for (int run = 0; run < 3; ++run) {
+    workload::TraceReplayDriver driver(trace);
+    sim::ThreadedOptions options;
+    options.total_ops = trace.entries.size();
+    options.warmup_ops = 200;
+    const sim::ThreadedStats stats =
+        sim::run_threaded(GetParam(), config, options, driver);
+    EXPECT_EQ(stats.total_ops, trace.entries.size())
+        << protocols::to_string(GetParam()) << " run " << run;
+    EXPECT_GE(stats.acc(), 0.0);
+    EXPECT_GT(stats.messages, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ThreadedTest,
+                         ::testing::ValuesIn(protocols::kAllProtocols),
+                         [](const auto& info) {
+                           std::string name =
+                               protocols::to_string(info.param);
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+TEST(Threaded, BatchingCollapsesConflictMissesButNotFixedWriteCosts) {
+  // With zero think time each node drains its own operation stream as
+  // fast as the scheduler allows, so consecutive same-node operations
+  // batch together.  The workload *mix* is preserved but the global
+  // interleaving the analysis assumes is not: conflict misses (whose cost
+  // depends on what other nodes did in between) nearly vanish for the
+  // ownership protocols, while per-write fixed costs (WT-V's P+N+2 per
+  // write, paid regardless of interleaving) survive intact.  This is the
+  // threaded runtime's characteristic deviation from the model — the
+  // opposite end of the spectrum from the lockstep driver.
+  const sim::SystemConfig config = make_config(3);
+  const auto spec = workload::read_disturbance(0.4, 0.2, 2);
+  analytic::AccSolver solver(config);
+
+  const auto run = [&](ProtocolKind kind) {
+    workload::GlobalSequenceGenerator gen(spec, 23);
+    const auto trace = gen.record(20000, config.num_clients);
+    workload::TraceReplayDriver driver(trace);
+    sim::ThreadedOptions options;
+    options.total_ops = trace.entries.size();
+    options.warmup_ops = 500;
+    return sim::run_threaded(kind, config, options, driver);
+  };
+
+  // Ownership protocols: batching makes almost everything an owner hit.
+  for (ProtocolKind kind :
+       {ProtocolKind::kWriteOnce, ProtocolKind::kBerkeley}) {
+    const double predicted = solver.acc(kind, spec);
+    const double measured = run(kind).acc();
+    EXPECT_LT(measured, 0.2 * predicted)
+        << protocols::to_string(kind) << " predicted " << predicted;
+  }
+
+  // WT-V: every write still costs P+N+2 = 36, so acc >= p * 36 whatever
+  // the interleaving; only the read-miss share can collapse.
+  const double wtv = run(ProtocolKind::kWriteThroughV).acc();
+  EXPECT_GT(wtv, 0.4 * (config.costs.p + 3 + 2) * 0.9);
+  EXPECT_LT(wtv, solver.acc(ProtocolKind::kWriteThroughV, spec));
+}
+
+TEST(Threaded, SingleIssuerMatchesAnalyticClosely) {
+  // One issuing node -> no overlap even with threads: the measurement
+  // should sit near the analytic ideal-workload cost.
+  const sim::SystemConfig config = make_config(4);
+  const auto spec = workload::ideal_workload(0.3);
+  analytic::AccSolver solver(config);
+  const double predicted =
+      solver.acc(ProtocolKind::kWriteThrough, spec);
+
+  workload::GlobalSequenceGenerator gen(spec, 29);
+  const auto trace = gen.record(20000, config.num_clients);
+  workload::TraceReplayDriver driver(trace);
+  sim::ThreadedOptions options;
+  options.total_ops = trace.entries.size();
+  options.warmup_ops = 500;
+  const sim::ThreadedStats stats = sim::run_threaded(
+      ProtocolKind::kWriteThrough, config, options, driver);
+  EXPECT_NEAR(stats.acc(), predicted, 0.05 * predicted);
+}
+
+TEST(Threaded, UnsupportedOperationSurfacesAsError) {
+  workload::OperationTrace trace;
+  trace.num_clients = 2;
+  trace.num_objects = 1;
+  trace.entries = {{0, 0, fsm::OpKind::kEject}};  // Dragon: unsupported
+  workload::TraceReplayDriver driver(trace);
+  sim::ThreadedOptions options;
+  options.total_ops = 1;
+  EXPECT_THROW(sim::run_threaded(ProtocolKind::kDragon, make_config(2),
+                                 options, driver),
+               Error);
+}
+
+TEST(Threaded, DriverExhaustionTerminatesCleanly) {
+  // The trace is shorter than the ops budget: quiescence must still be
+  // detected through the exhausted-driver path.
+  workload::OperationTrace trace;
+  trace.num_clients = 2;
+  trace.num_objects = 1;
+  trace.entries = {{0, 0, fsm::OpKind::kWrite}, {1, 0, fsm::OpKind::kRead}};
+  workload::TraceReplayDriver driver(trace);
+  sim::ThreadedOptions options;
+  options.total_ops = 100;  // more than the trace holds
+  const sim::ThreadedStats stats = sim::run_threaded(
+      ProtocolKind::kWriteThrough, make_config(2), options, driver);
+  EXPECT_EQ(stats.total_ops, 2u);
+}
+
+}  // namespace
+}  // namespace drsm
