@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disturbers.dir/bench_disturbers.cc.o"
+  "CMakeFiles/bench_disturbers.dir/bench_disturbers.cc.o.d"
+  "bench_disturbers"
+  "bench_disturbers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disturbers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_pool.dir/bench_memory_pool.cc.o"
+  "CMakeFiles/bench_memory_pool.dir/bench_memory_pool.cc.o.d"
+  "bench_memory_pool"
+  "bench_memory_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

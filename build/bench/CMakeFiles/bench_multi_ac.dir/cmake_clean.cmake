@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_ac.dir/bench_multi_ac.cc.o"
+  "CMakeFiles/bench_multi_ac.dir/bench_multi_ac.cc.o.d"
+  "bench_multi_ac"
+  "bench_multi_ac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_ac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_dsm.dir/adaptive_dsm.cpp.o"
+  "CMakeFiles/adaptive_dsm.dir/adaptive_dsm.cpp.o.d"
+  "adaptive_dsm"
+  "adaptive_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

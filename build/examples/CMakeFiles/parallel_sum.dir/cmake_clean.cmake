@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_sum.dir/parallel_sum.cpp.o"
+  "CMakeFiles/parallel_sum.dir/parallel_sum.cpp.o.d"
+  "parallel_sum"
+  "parallel_sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

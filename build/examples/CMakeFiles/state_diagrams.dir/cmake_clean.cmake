@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_diagrams.dir/state_diagrams.cpp.o"
+  "CMakeFiles/state_diagrams.dir/state_diagrams.cpp.o.d"
+  "state_diagrams"
+  "state_diagrams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_diagrams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adaptive/selector.cc" "src/CMakeFiles/drsm.dir/adaptive/selector.cc.o" "gcc" "src/CMakeFiles/drsm.dir/adaptive/selector.cc.o.d"
+  "/root/repo/src/analytic/chain.cc" "src/CMakeFiles/drsm.dir/analytic/chain.cc.o" "gcc" "src/CMakeFiles/drsm.dir/analytic/chain.cc.o.d"
+  "/root/repo/src/analytic/closed_form.cc" "src/CMakeFiles/drsm.dir/analytic/closed_form.cc.o" "gcc" "src/CMakeFiles/drsm.dir/analytic/closed_form.cc.o.d"
+  "/root/repo/src/analytic/lumped.cc" "src/CMakeFiles/drsm.dir/analytic/lumped.cc.o" "gcc" "src/CMakeFiles/drsm.dir/analytic/lumped.cc.o.d"
+  "/root/repo/src/analytic/predictor.cc" "src/CMakeFiles/drsm.dir/analytic/predictor.cc.o" "gcc" "src/CMakeFiles/drsm.dir/analytic/predictor.cc.o.d"
+  "/root/repo/src/analytic/sensitivity.cc" "src/CMakeFiles/drsm.dir/analytic/sensitivity.cc.o" "gcc" "src/CMakeFiles/drsm.dir/analytic/sensitivity.cc.o.d"
+  "/root/repo/src/analytic/solver.cc" "src/CMakeFiles/drsm.dir/analytic/solver.cc.o" "gcc" "src/CMakeFiles/drsm.dir/analytic/solver.cc.o.d"
+  "/root/repo/src/dsm/dsm.cc" "src/CMakeFiles/drsm.dir/dsm/dsm.cc.o" "gcc" "src/CMakeFiles/drsm.dir/dsm/dsm.cc.o.d"
+  "/root/repo/src/dsm/memory_pool.cc" "src/CMakeFiles/drsm.dir/dsm/memory_pool.cc.o" "gcc" "src/CMakeFiles/drsm.dir/dsm/memory_pool.cc.o.d"
+  "/root/repo/src/fsm/table.cc" "src/CMakeFiles/drsm.dir/fsm/table.cc.o" "gcc" "src/CMakeFiles/drsm.dir/fsm/table.cc.o.d"
+  "/root/repo/src/fsm/token.cc" "src/CMakeFiles/drsm.dir/fsm/token.cc.o" "gcc" "src/CMakeFiles/drsm.dir/fsm/token.cc.o.d"
+  "/root/repo/src/linalg/lu.cc" "src/CMakeFiles/drsm.dir/linalg/lu.cc.o" "gcc" "src/CMakeFiles/drsm.dir/linalg/lu.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/drsm.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/drsm.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/sparse.cc" "src/CMakeFiles/drsm.dir/linalg/sparse.cc.o" "gcc" "src/CMakeFiles/drsm.dir/linalg/sparse.cc.o.d"
+  "/root/repo/src/linalg/stationary.cc" "src/CMakeFiles/drsm.dir/linalg/stationary.cc.o" "gcc" "src/CMakeFiles/drsm.dir/linalg/stationary.cc.o.d"
+  "/root/repo/src/protocols/berkeley.cc" "src/CMakeFiles/drsm.dir/protocols/berkeley.cc.o" "gcc" "src/CMakeFiles/drsm.dir/protocols/berkeley.cc.o.d"
+  "/root/repo/src/protocols/dragon.cc" "src/CMakeFiles/drsm.dir/protocols/dragon.cc.o" "gcc" "src/CMakeFiles/drsm.dir/protocols/dragon.cc.o.d"
+  "/root/repo/src/protocols/firefly.cc" "src/CMakeFiles/drsm.dir/protocols/firefly.cc.o" "gcc" "src/CMakeFiles/drsm.dir/protocols/firefly.cc.o.d"
+  "/root/repo/src/protocols/illinois.cc" "src/CMakeFiles/drsm.dir/protocols/illinois.cc.o" "gcc" "src/CMakeFiles/drsm.dir/protocols/illinois.cc.o.d"
+  "/root/repo/src/protocols/protocol.cc" "src/CMakeFiles/drsm.dir/protocols/protocol.cc.o" "gcc" "src/CMakeFiles/drsm.dir/protocols/protocol.cc.o.d"
+  "/root/repo/src/protocols/synapse.cc" "src/CMakeFiles/drsm.dir/protocols/synapse.cc.o" "gcc" "src/CMakeFiles/drsm.dir/protocols/synapse.cc.o.d"
+  "/root/repo/src/protocols/write_once.cc" "src/CMakeFiles/drsm.dir/protocols/write_once.cc.o" "gcc" "src/CMakeFiles/drsm.dir/protocols/write_once.cc.o.d"
+  "/root/repo/src/protocols/write_through.cc" "src/CMakeFiles/drsm.dir/protocols/write_through.cc.o" "gcc" "src/CMakeFiles/drsm.dir/protocols/write_through.cc.o.d"
+  "/root/repo/src/protocols/write_through_v.cc" "src/CMakeFiles/drsm.dir/protocols/write_through_v.cc.o" "gcc" "src/CMakeFiles/drsm.dir/protocols/write_through_v.cc.o.d"
+  "/root/repo/src/sim/event_sim.cc" "src/CMakeFiles/drsm.dir/sim/event_sim.cc.o" "gcc" "src/CMakeFiles/drsm.dir/sim/event_sim.cc.o.d"
+  "/root/repo/src/sim/sequential.cc" "src/CMakeFiles/drsm.dir/sim/sequential.cc.o" "gcc" "src/CMakeFiles/drsm.dir/sim/sequential.cc.o.d"
+  "/root/repo/src/sim/threaded.cc" "src/CMakeFiles/drsm.dir/sim/threaded.cc.o" "gcc" "src/CMakeFiles/drsm.dir/sim/threaded.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/CMakeFiles/drsm.dir/stats/summary.cc.o" "gcc" "src/CMakeFiles/drsm.dir/stats/summary.cc.o.d"
+  "/root/repo/src/support/error.cc" "src/CMakeFiles/drsm.dir/support/error.cc.o" "gcc" "src/CMakeFiles/drsm.dir/support/error.cc.o.d"
+  "/root/repo/src/support/rng.cc" "src/CMakeFiles/drsm.dir/support/rng.cc.o" "gcc" "src/CMakeFiles/drsm.dir/support/rng.cc.o.d"
+  "/root/repo/src/support/text.cc" "src/CMakeFiles/drsm.dir/support/text.cc.o" "gcc" "src/CMakeFiles/drsm.dir/support/text.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/drsm.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/drsm.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/spec.cc" "src/CMakeFiles/drsm.dir/workload/spec.cc.o" "gcc" "src/CMakeFiles/drsm.dir/workload/spec.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/CMakeFiles/drsm.dir/workload/trace_io.cc.o" "gcc" "src/CMakeFiles/drsm.dir/workload/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumped_test.dir/lumped_test.cc.o"
+  "CMakeFiles/lumped_test.dir/lumped_test.cc.o.d"
+  "lumped_test"
+  "lumped_test.pdb"
+  "lumped_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumped_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

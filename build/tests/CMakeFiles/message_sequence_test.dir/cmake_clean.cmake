@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_sequence_test.dir/message_sequence_test.cc.o"
+  "CMakeFiles/message_sequence_test.dir/message_sequence_test.cc.o.d"
+  "message_sequence_test"
+  "message_sequence_test.pdb"
+  "message_sequence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_sequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
