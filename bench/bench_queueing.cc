@@ -21,6 +21,11 @@ using protocols::ProtocolKind;
 constexpr std::size_t kN = 16;
 constexpr NodeId kHome = kN;
 
+obs::MetricsRegistry& registry() {
+  static obs::MetricsRegistry instance;
+  return instance;
+}
+
 sim::SimStats run(ProtocolKind kind, double mean_think_time,
                   const workload::WorkloadSpec& spec) {
   sim::SystemConfig config;
@@ -36,13 +41,15 @@ sim::SimStats run(ProtocolKind kind, double mean_think_time,
   options.latency.max_latency = 2;
   options.latency.processing_time = 4;  // the sequencer is a real server
   sim::EventSimulator simulator(kind, config, options);
+  simulator.set_metrics(&registry());
   workload::ConcurrentDriver driver(spec, 32, 1, mean_think_time);
   return simulator.run(driver);
 }
 
 }  // namespace
 
-void sweep(const char* title, const workload::WorkloadSpec& spec) {
+void sweep(bench::Report& report, const char* title, const char* tag,
+           const workload::WorkloadSpec& spec) {
   std::printf("%s\n", title);
   std::vector<std::vector<std::string>> rows;
   for (double think : {1024.0, 64.0, 16.0}) {
@@ -52,6 +59,15 @@ void sweep(const char* title, const workload::WorkloadSpec& spec) {
       double peak = 0.0;
       for (NodeId node = 0; node <= kN; ++node)
         peak = std::max(peak, stats.utilization(node, 4));
+
+      auto& result = report.add_result();
+      result["workload"] = tag;
+      result["mean_think"] = think;
+      result["protocol"] = bench::short_name(kind);
+      result["sequencer_utilization"] = stats.utilization(kHome, 4);
+      result["peak_utilization"] = peak;
+      result["sim"] = bench::sim_stats_json(stats);
+
       rows.push_back({strfmt("%.0f", think), bench::short_name(kind),
                       strfmt("%.2f", stats.acc()),
                       strfmt("%.1f", stats.mean_latency()),
@@ -72,10 +88,17 @@ int main() {
       "Sequencer queueing: N=%zu clients, S=100, P=30, processing time = 4 "
       "per message\n\n",
       kN);
-  sweep("read disturbance (p=0.2, sigma=0.05, a=15) — Berkeley's home turf:",
-        workload::read_disturbance(0.2, 0.05, kN - 1));
-  sweep("write disturbance (p=0.2, xi=0.05, a=15) — ownership ping-pong:",
-        workload::write_disturbance(0.2, 0.05, kN - 1));
+  bench::Report report("queueing");
+  sweep(report,
+        "read disturbance (p=0.2, sigma=0.05, a=15) — Berkeley's home turf:",
+        "read_disturbance", workload::read_disturbance(0.2, 0.05, kN - 1));
+  sweep(report,
+        "write disturbance (p=0.2, xi=0.05, a=15) — ownership ping-pong:",
+        "write_disturbance", workload::write_disturbance(0.2, 0.05, kN - 1));
+  // Cumulative registry snapshot across all runs: message mix, latency
+  // histogram, and the sequencer queue-depth/utilization time series.
+  report.root()["metrics"] = registry().to_json();
+  report.write();
   std::printf(
       "Observations the paper's cost metric cannot show: (1) acc is flat\n"
       "in offered load, but utilization and queueing latency are not;\n"

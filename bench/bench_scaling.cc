@@ -23,17 +23,28 @@ int main() {
       "Scaling with system size N (read disturbance p=0.3, sigma=0.05, "
       "a=3, S=200, P=30)\n\n");
   const auto spec = workload::read_disturbance(0.3, 0.05, 3);
+  bench::Report report("scaling");
 
   {
     std::printf("analytic acc vs N:\n");
+    obs::MetricsRegistry solver_metrics;
     std::vector<std::vector<std::string>> rows;
     for (std::size_t n : {4ul, 8ul, 16ul, 32ul, 64ul, 128ul}) {
       analytic::AccSolver solver({n, {200.0, 30.0}, 1});
+      solver.set_metrics(&solver_metrics);
       std::vector<std::string> row = {strfmt("%zu", n)};
-      for (ProtocolKind kind : protocols::kAllProtocols)
-        row.push_back(strfmt("%.0f", solver.acc(kind, spec)));
+      for (ProtocolKind kind : protocols::kAllProtocols) {
+        const double acc = solver.acc(kind, spec);
+        auto& result = report.add_result();
+        result["phase"] = "analytic";
+        result["n"] = n;
+        result["protocol"] = bench::short_name(kind);
+        result["acc_analytic"] = acc;
+        row.push_back(strfmt("%.0f", acc));
+      }
       rows.push_back(std::move(row));
     }
+    report.root()["solver_metrics"] = solver_metrics.to_json();
     std::vector<std::string> header = {"N"};
     for (ProtocolKind kind : protocols::kAllProtocols)
       header.push_back(bench::short_name(kind));
@@ -65,6 +76,14 @@ int main() {
           std::chrono::duration<double, std::micro>(
               std::chrono::steady_clock::now() - start)
               .count();
+      auto& result = report.add_result();
+      result["phase"] = "simulator";
+      result["n"] = n;
+      result["protocol"] = bench::short_name(ProtocolKind::kWriteOnce);
+      result["wall_us_per_op"] =
+          elapsed_us /
+          static_cast<double>(stats.measured_ops + stats.warmup_ops);
+      result["sim"] = bench::sim_stats_json(stats);
       rows.push_back({strfmt("%zu", n), strfmt("%.2f", stats.acc()),
                       strfmt("%.2f us",
                              elapsed_us / static_cast<double>(
@@ -79,5 +98,6 @@ int main() {
         "operation grows with N while the analytic solve depends only on "
         "the number of *active* nodes.\n");
   }
+  report.write();
   return 0;
 }

@@ -15,6 +15,8 @@
 #include "analytic/closed_form.h"
 #include "analytic/solver.h"
 #include "bench_util.h"
+#include "sim/event_sim.h"
+#include "workload/generator.h"
 #include "workload/spec.h"
 
 namespace {
@@ -42,6 +44,7 @@ int main() {
   config.costs.s = kS;
   config.costs.p = kP;
   analytic::AccSolver solver(config);
+  bench::Report report("table6");
 
   const std::vector<double> p_values = {0.05, 0.1, 0.2, 0.4, 0.6, 0.8};
   const std::vector<double> sigma_values = {0.0, 0.005, 0.01, 0.02, 0.05};
@@ -60,6 +63,11 @@ int main() {
                                       strfmt("%.3f", sigma)};
       for (ProtocolKind kind : protocols::kAllProtocols) {
         const double acc = solver.acc(kind, spec);
+        auto& result = report.add_result();
+        result["protocol"] = bench::short_name(kind);
+        result["p"] = p;
+        result["sigma"] = sigma;
+        result["acc_analytic"] = acc;
         row.push_back(bench::fmt(acc));
         // Cross-check against the recoverable closed forms.
         double closed = -1.0;
@@ -82,9 +90,11 @@ int main() {
           default:
             break;
         }
-        if (closed >= 0.0)
+        if (closed >= 0.0) {
+          result["acc_closed_form"] = closed;
           max_closed_form_gap =
               std::max(max_closed_form_gap, std::fabs(closed - acc));
+        }
       }
       rows.push_back(std::move(row));
     }
@@ -94,5 +104,34 @@ int main() {
       "Max |closed-form - chain| over all checked cells: %.3g "
       "(machine precision expected)\n",
       max_closed_form_gap);
+
+  // Simulator spot-check of one mid-table cell, so the report also carries
+  // a measured message mix and latency distribution for these parameters.
+  {
+    const double p = 0.2, sigma = 0.01;
+    const auto spec = workload::read_disturbance(p, sigma, kA);
+    for (ProtocolKind kind :
+         {ProtocolKind::kWriteThrough, ProtocolKind::kBerkeley}) {
+      sim::SimOptions options;
+      options.max_ops = 4000;
+      options.warmup_ops = 500;
+      options.seed = 6;
+      sim::EventSimulator simulator(kind, config, options);
+      workload::ConcurrentDriver driver(spec, 61);
+      const sim::SimStats sim_stats = simulator.run(driver);
+      auto& result = report.add_result();
+      result["protocol"] = bench::short_name(kind);
+      result["p"] = p;
+      result["sigma"] = sigma;
+      result["acc_analytic"] = solver.acc(kind, spec);
+      result["sim"] = bench::sim_stats_json(sim_stats);
+      std::printf(
+          "sim spot-check %s (p=%.2f, sigma=%.3f): analytic %.2f, "
+          "simulated %.2f\n",
+          bench::short_name(kind), p, sigma, solver.acc(kind, spec),
+          sim_stats.acc());
+    }
+  }
+  report.write();
   return 0;
 }

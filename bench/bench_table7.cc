@@ -38,20 +38,21 @@ sim::SystemConfig make_config() {
   return config;
 }
 
-double simulate(ProtocolKind kind, const workload::WorkloadSpec& spec,
-                std::size_t warmup_ops, std::size_t measured_ops,
-                std::uint64_t seed) {
+sim::SimStats simulate(ProtocolKind kind, const workload::WorkloadSpec& spec,
+                       std::size_t warmup_ops, std::size_t measured_ops,
+                       std::uint64_t seed) {
   sim::SimOptions options;
   options.warmup_ops = warmup_ops;
   options.max_ops = warmup_ops + measured_ops;
   options.seed = seed;
   sim::EventSimulator simulator(kind, make_config(), options);
   workload::ConcurrentDriver driver(spec, seed ^ 0xBEEF, kM);
-  return simulator.run(driver).acc();
+  return simulator.run(driver);
 }
 
-void run_table(ProtocolKind kind, std::size_t warmup_ops,
-               std::size_t measured_ops, const char* label) {
+void run_table(bench::Report& report, ProtocolKind kind,
+               std::size_t warmup_ops, std::size_t measured_ops,
+               const char* label) {
   std::printf(
       "%s protocol — %s (%zu warmup + %zu measured operations)\n",
       protocols::to_string(kind), label, warmup_ops, measured_ops);
@@ -73,9 +74,19 @@ void run_table(ProtocolKind kind, std::size_t warmup_ops,
       }
       const auto spec = workload::read_disturbance(p, sigma, kA);
       const double analytic_acc = solver.acc(kind, spec);
-      const double sim_acc = simulate(kind, spec, warmup_ops, measured_ops,
-                                      static_cast<std::uint64_t>(
-                                          1000 * p + 10 * sigma + 17));
+      const sim::SimStats sim_stats =
+          simulate(kind, spec, warmup_ops, measured_ops,
+                   static_cast<std::uint64_t>(1000 * p + 10 * sigma + 17));
+      const double sim_acc = sim_stats.acc();
+
+      auto& result = report.add_result();
+      result["protocol"] = bench::short_name(kind);
+      result["run"] = label;
+      result["p"] = p;
+      result["sigma"] = sigma;
+      result["acc_analytic"] = analytic_acc;
+      result["sim"] = bench::sim_stats_json(sim_stats);
+
       if (analytic_acc <= 1e-9) {
         // Zero-cost steady state; any simulated residue is transient cost
         // that leaked past the warmup cut, not a model discrepancy.
@@ -84,6 +95,7 @@ void run_table(ProtocolKind kind, std::size_t warmup_ops,
       }
       const double disc =
           stats::relative_discrepancy_percent(analytic_acc, sim_acc);
+      result["discrepancy_percent"] = disc;
       max_abs_disc = std::max(max_abs_disc, std::fabs(disc));
       row.push_back(strfmt("%.1f/%.1f (%+.1f%%)", analytic_acc, sim_acc,
                            disc));
@@ -104,10 +116,12 @@ int main() {
       "Table 7: analytical vs simulation, N=%zu, a=%zu, P=%.0f, S=%.0f, "
       "M=%zu\n\n",
       kN, kA, kPcost, kScost, kM);
+  bench::Report report("table7");
   for (ProtocolKind kind :
        {ProtocolKind::kWriteOnce, ProtocolKind::kWriteThroughV}) {
-    run_table(kind, 500, 1500, "paper-sized run");
-    run_table(kind, 5000, 60000, "40x longer run");
+    run_table(report, kind, 500, 1500, "paper-sized run");
+    run_table(report, kind, 5000, 60000, "40x longer run");
   }
+  report.write();
   return 0;
 }

@@ -1,49 +1,83 @@
-// Shared helpers for the experiment benches: short protocol names and
-// paper-style grid/table printing.
+// Shared helpers for the experiment benches: short protocol names,
+// paper-style grid/table printing, and machine-readable BENCH_*.json
+// report emission (schema in docs/OBSERVABILITY.md).
 #pragma once
 
-#include <cstdio>
+#include <array>
+#include <chrono>
 #include <string>
 #include <vector>
 
+#include "obs/json.h"
 #include "protocols/protocol.h"
-#include "support/text.h"
+#include "sim/event_sim.h"
+#include "support/text.h"  // strfmt/render_table, used by every bench
 
 namespace drsm::bench {
 
+/// Compact protocol tags, parallel to protocols::kAllProtocols.
+inline constexpr std::array<const char*, protocols::kAllProtocols.size()>
+    kShortNames = {"WT", "WT-V", "WO", "SYN", "ILL", "BER", "DRG", "FF"};
+
+// The table above is indexed by the numeric enum value; this holds only
+// while kAllProtocols enumerates the kinds in declaration order with no
+// gaps.  A new protocol kind fails here until it gets a tag.
+static_assert(
+    [] {
+      for (std::size_t i = 0; i < protocols::kAllProtocols.size(); ++i)
+        if (static_cast<std::size_t>(protocols::kAllProtocols[i]) != i)
+          return false;
+      return true;
+    }(),
+    "kShortNames must parallel kAllProtocols");
+
 inline const char* short_name(protocols::ProtocolKind kind) {
-  using protocols::ProtocolKind;
-  switch (kind) {
-    case ProtocolKind::kWriteThrough: return "WT";
-    case ProtocolKind::kWriteThroughV: return "WT-V";
-    case ProtocolKind::kWriteOnce: return "WO";
-    case ProtocolKind::kSynapse: return "SYN";
-    case ProtocolKind::kIllinois: return "ILL";
-    case ProtocolKind::kBerkeley: return "BER";
-    case ProtocolKind::kDragon: return "DRG";
-    case ProtocolKind::kFirefly: return "FF";
-  }
-  return "?";
+  return kShortNames[static_cast<std::size_t>(kind)];
 }
 
-inline std::string fmt(double v) { return strfmt("%.2f", v); }
+/// Default numeric cell format for the paper-style tables.
+std::string fmt(double v);
 
 /// Prints one surface (rows = p values, columns = second-parameter values).
-inline void print_surface(const std::string& title,
-                          const char* col_param_name,
-                          const std::vector<double>& p_values,
-                          const std::vector<double>& col_values,
-                          const std::vector<std::vector<std::string>>& cells) {
-  std::printf("%s\n", title.c_str());
-  std::vector<std::string> header = {std::string("p \\ ") + col_param_name};
-  for (double c : col_values) header.push_back(strfmt("%.3g", c));
-  std::vector<std::vector<std::string>> rows;
-  for (std::size_t r = 0; r < p_values.size(); ++r) {
-    std::vector<std::string> row = {strfmt("%.2f", p_values[r])};
-    row.insert(row.end(), cells[r].begin(), cells[r].end());
-    rows.push_back(std::move(row));
-  }
-  std::printf("%s\n", render_table(header, rows).c_str());
-}
+void print_surface(const std::string& title, const char* col_param_name,
+                   const std::vector<double>& p_values,
+                   const std::vector<double>& col_values,
+                   const std::vector<std::vector<std::string>>& cells);
+
+/// SimStats rendered as a JSON object: acc, counts, the message mix, and
+/// the latency distribution summary (mean/max and p50/p90/p99 from the
+/// post-warmup histogram).  The standard "sim" block of a bench report.
+obs::JsonValue sim_stats_json(const sim::SimStats& stats);
+
+/// Accumulates one bench's machine-readable report and writes it as
+/// BENCH_<name>.json in the current working directory:
+///
+///   Report report("table7");
+///   auto& row = report.add_result();
+///   row["protocol"] = short_name(kind);
+///   row["acc_analytic"] = acc;
+///   row["sim"] = sim_stats_json(stats);
+///   ...
+///   report.write();   // also records total wall time
+///
+/// Everything is ordered, so successive runs diff cleanly.
+class Report {
+ public:
+  explicit Report(std::string name);
+
+  /// The whole document, for bench-specific top-level fields.
+  obs::JsonValue& root() { return root_; }
+
+  /// Appends an empty object to the "results" array and returns it.
+  obs::JsonValue& add_result();
+
+  /// Writes BENCH_<name>.json (current directory) and prints the path.
+  void write();
+
+ private:
+  std::string name_;
+  obs::JsonValue root_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace drsm::bench

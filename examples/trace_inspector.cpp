@@ -5,11 +5,16 @@
 //
 // Operations run atomically (the analysis regime), so each operation's
 // trace prints as one contiguous block with its exact communication cost.
+// The block is rendered from the structured event stream (obs::
+// TraceRecorder attached via SequentialRuntime::set_sink), so what is
+// printed — messages *and* copy-state transitions — is exactly what the
+// Chrome-trace/JSONL exporters would emit for the same run.
 //
 // Usage: trace_inspector [protocol]     (default: write-through)
 #include <cstdio>
 #include <vector>
 
+#include "obs/trace.h"
 #include "protocols/protocol.h"
 #include "sim/sequential.h"
 
@@ -25,6 +30,33 @@ const char* node_name(NodeId node) {
   return node <= kN ? names[node] : "?";
 }
 
+/// Prints the events recorded since `from`, message sends and state
+/// transitions only (receives duplicate the sends in the atomic regime).
+void print_events(const obs::TraceRecorder& recorder, std::size_t from) {
+  for (std::size_t i = from; i < recorder.size(); ++i) {
+    const obs::TraceEvent& event = recorder.event(i);
+    switch (event.kind) {
+      case obs::EventKind::kMsgSend: {
+        fsm::Message msg;
+        msg.token = event.token;
+        msg.value = event.value;
+        msg.version = event.version;
+        msg.hops = event.hops;
+        msg.sender = event.node;
+        std::printf("     %-9s -> %-9s  %s\n", node_name(event.node),
+                    node_name(event.peer), msg.debug_string().c_str());
+        break;
+      }
+      case obs::EventKind::kStateTransition:
+        std::printf("     %-9s state %s -> %s\n", node_name(event.node),
+                    event.detail, event.detail2);
+        break;
+      default:
+        break;  // op issue/complete framing is printed by the caller
+    }
+  }
+}
+
 struct ScriptOp {
   NodeId node;
   fsm::OpKind op;
@@ -37,16 +69,16 @@ void inspect(protocols::ProtocolKind kind,
   config.costs.s = 100.0;
   config.costs.p = 30.0;
   sim::SequentialRuntime runtime(kind, config, {0, 1, 2});
-  runtime.set_observer([](NodeId src, NodeId dst, const fsm::Message& msg) {
-    std::printf("     %-9s -> %-9s  %s\n", node_name(src), node_name(dst),
-                msg.debug_string().c_str());
-  });
+  obs::TraceRecorder recorder;
+  runtime.set_sink(&recorder);
 
   std::printf("-- %s\n", caption);
   std::uint64_t value = 100;
   for (const ScriptOp& op : script) {
     std::printf("   %s %s:\n", node_name(op.node), fsm::to_string(op.op));
+    const std::size_t mark = recorder.size();
     const sim::OpResult result = runtime.execute(op.node, op.op, ++value);
+    print_events(recorder, mark);
     std::printf("     => cost %.0f, %zu messages\n", result.cost,
                 result.messages);
   }

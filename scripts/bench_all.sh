@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Build Release and run every experiment bench, collecting the
+# machine-readable BENCH_<name>.json reports at the repository root
+# (console output goes to bench_output.txt as in scripts/reproduce.sh).
+#
+# Usage: scripts/bench_all.sh [bench ...]   (default: every bench binary)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+ROOT="$PWD"
+
+BUILD_DIR=build-release
+cmake -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j --target all
+
+if [ "$#" -gt 0 ]; then
+  benches=()
+  for name in "$@"; do benches+=("$BUILD_DIR/bench/$name"); done
+else
+  benches=("$BUILD_DIR"/bench/*)
+fi
+
+{
+  for b in "${benches[@]}"; do
+    if [ -x "$b" ] && [ -f "$b" ]; then
+      echo "===== $(basename "$b") ====="
+      # Benches write BENCH_<name>.json into the working directory; run
+      # them at the repo root so the reports land there.
+      (cd "$ROOT" && "$b")
+      echo
+    fi
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "reports:"
+ls -1 BENCH_*.json 2>/dev/null || echo "  (none emitted)"

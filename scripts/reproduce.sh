@@ -11,6 +11,15 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# The concurrency-heavy suites once more under ThreadSanitizer (skipped
+# with DRSM_SKIP_TSAN=1, e.g. on hosts without TSan runtime support).
+if [ "${DRSM_SKIP_TSAN:-0}" != "1" ]; then
+  cmake -B build-tsan -G Ninja -DDRSM_SANITIZE=thread
+  cmake --build build-tsan --target threaded_test race_test
+  ./build-tsan/tests/threaded_test 2>&1 | tee -a test_output.txt
+  ./build-tsan/tests/race_test 2>&1 | tee -a test_output.txt
+fi
+
 {
   for b in build/bench/*; do
     if [ -x "$b" ] && [ -f "$b" ]; then

@@ -122,7 +122,13 @@ ProtocolChain::SolveResult ProtocolChain::solve(
 
   SolveResult out;
   out.reachable = std::move(reach);
-  out.pi = linalg::stationary_distribution(p_matrix);
+  linalg::StationaryOptions solver_options;
+  linalg::SolveStats solve_stats;
+  solver_options.stats = &solve_stats;
+  out.pi = linalg::stationary_distribution(p_matrix, solver_options);
+  ++telemetry_.solves;
+  telemetry_.power_iterations += solve_stats.iterations;
+  telemetry_.last = solve_stats;
   return out;
 }
 

@@ -82,6 +82,16 @@ class ProtocolChain {
   std::size_t num_states() const { return transitions_.size(); }
   std::size_t num_events() const { return events_.size(); }
 
+  /// Stationary-solver telemetry, accumulated over every solve this chain
+  /// performed (average_cost, cost_variance, stationary, ...).  AccSolver
+  /// publishes this into its metrics registry.
+  struct SolveTelemetry {
+    std::size_t solves = 0;
+    std::size_t power_iterations = 0;  // cumulative across solves
+    linalg::SolveStats last;           // most recent solve
+  };
+  const SolveTelemetry& telemetry() const { return telemetry_; }
+
   /// Deterministic transition: cost and successor of event `e` in state
   /// `s` (exposed for tests).
   struct Transition {
@@ -106,6 +116,7 @@ class ProtocolChain {
   std::vector<workload::EventSpec> events_;
   std::vector<std::vector<Transition>> transitions_;  // [state][event]
   std::vector<std::vector<std::uint8_t>> keys_;       // [state]
+  mutable SolveTelemetry telemetry_;
 };
 
 }  // namespace drsm::analytic

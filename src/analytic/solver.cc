@@ -1,8 +1,25 @@
 #include "analytic/solver.h"
 
+#include <chrono>
+
 #include "support/error.h"
 
 namespace drsm::analytic {
+
+namespace {
+
+/// Millisecond wall-clock bucket ladder: 1us .. ~1s.
+std::vector<double> wall_ms_bounds() {
+  return obs::Histogram::exponential_bounds(0.001, 4.0, 15);
+}
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 AccSolver::Key AccSolver::make_key(protocols::ProtocolKind kind,
                                    const workload::WorkloadSpec& spec) {
@@ -19,17 +36,39 @@ const ProtocolChain& AccSolver::chain(protocols::ProtocolKind kind,
   const Key key = make_key(kind, spec);
   auto it = chains_.find(key);
   if (it == chains_.end()) {
+    const auto start = std::chrono::steady_clock::now();
     it = chains_
              .emplace(key,
                       std::make_unique<ProtocolChain>(kind, config_, spec))
              .first;
+    if (metrics_ != nullptr) {
+      metrics_->counter("analytic.chains_built").inc();
+      metrics_->counter("analytic.chain_states")
+          .inc(it->second->num_states());
+      metrics_->histogram("analytic.chain_build_ms", wall_ms_bounds())
+          .record(ms_since(start));
+    }
   }
   return *it->second;
 }
 
 double AccSolver::acc(protocols::ProtocolKind kind,
                       const workload::WorkloadSpec& spec) {
-  return chain(kind, spec).average_cost(spec.probabilities());
+  const ProtocolChain& c = chain(kind, spec);
+  const auto start = std::chrono::steady_clock::now();
+  const double result = c.average_cost(spec.probabilities());
+  if (metrics_ != nullptr) {
+    const auto& telemetry = c.telemetry();
+    metrics_->counter("analytic.solves").inc();
+    metrics_->counter("analytic.power_iterations")
+        .inc(telemetry.last.iterations);
+    metrics_->gauge("analytic.last_residual").set(telemetry.last.residual);
+    metrics_->gauge("analytic.last_solve_states")
+        .set(static_cast<double>(telemetry.last.states));
+    metrics_->histogram("analytic.solve_ms", wall_ms_bounds())
+        .record(ms_since(start));
+  }
+  return result;
 }
 
 protocols::ProtocolKind AccSolver::best_protocol(

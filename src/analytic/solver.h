@@ -8,12 +8,19 @@
 #include <vector>
 
 #include "analytic/chain.h"
+#include "obs/metrics.h"
 
 namespace drsm::analytic {
 
 class AccSolver {
  public:
   explicit AccSolver(const sim::SystemConfig& config) : config_(config) {}
+
+  /// Attaches a metrics registry: chain enumeration (count, states, build
+  /// time) and every stationary solve (count, power iterations, residual,
+  /// solve time) publish into it.  Pass nullptr to detach.  Metric names
+  /// are listed in docs/OBSERVABILITY.md.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
   /// Exact steady-state average communication cost per operation.
   double acc(protocols::ProtocolKind kind, const workload::WorkloadSpec& spec);
@@ -39,6 +46,7 @@ class AccSolver {
 
   sim::SystemConfig config_;
   std::map<Key, std::unique_ptr<ProtocolChain>> chains_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace drsm::analytic

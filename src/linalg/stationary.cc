@@ -6,8 +6,11 @@ namespace drsm::linalg {
 
 namespace {
 
-Vector solve_direct(const Matrix& p) {
+Vector solve_direct(const Matrix& p, const StationaryOptions& options) {
   const std::size_t n = p.rows();
+  if (options.stats != nullptr)
+    *options.stats = {.states = n, .iterations = 0, .residual = 0.0,
+                      .direct = true};
   // Build A = P^T - I, then overwrite the last row with the normalization
   // constraint sum(pi) = 1.  The resulting system is non-singular for any
   // chain with a unique stationary distribution.
@@ -42,6 +45,9 @@ Vector solve_power(const CsrMatrix& p, const StationaryOptions& options) {
     for (double& v : next) v /= s;
     const double delta = max_abs_diff(next, pi);
     pi = std::move(next);
+    if (options.stats != nullptr)
+      *options.stats = {.states = n, .iterations = it + 1,
+                        .residual = delta, .direct = false};
     if (delta < options.tolerance) return pi;
   }
   throw Error("stationary_distribution: power iteration did not converge");
@@ -52,7 +58,7 @@ Vector solve_power(const CsrMatrix& p, const StationaryOptions& options) {
 Vector stationary_distribution(const Matrix& p,
                                const StationaryOptions& options) {
   DRSM_CHECK(p.rows() == p.cols(), "stationary: matrix must be square");
-  if (p.rows() <= options.direct_limit) return solve_direct(p);
+  if (p.rows() <= options.direct_limit) return solve_direct(p, options);
   // Convert to sparse and iterate.
   std::vector<Triplet> trip;
   for (std::size_t r = 0; r < p.rows(); ++r)
@@ -64,7 +70,8 @@ Vector stationary_distribution(const Matrix& p,
 Vector stationary_distribution(const CsrMatrix& p,
                                const StationaryOptions& options) {
   DRSM_CHECK(p.rows() == p.cols(), "stationary: matrix must be square");
-  if (p.rows() <= options.direct_limit) return solve_direct(p.to_dense());
+  if (p.rows() <= options.direct_limit)
+    return solve_direct(p.to_dense(), options);
   return solve_power(p, options);
 }
 

@@ -14,6 +14,15 @@
 
 namespace drsm::linalg {
 
+/// How a stationary solve went — published into the observability layer
+/// by the analytic engine (see obs/metrics.h and analytic::AccSolver).
+struct SolveStats {
+  std::size_t states = 0;      // chain size actually solved
+  std::size_t iterations = 0;  // power-iteration count (0 for direct)
+  double residual = 0.0;       // final max |pi' - pi| (0 for direct)
+  bool direct = false;         // LU path taken
+};
+
 struct StationaryOptions {
   /// Chains up to this many states use the direct (LU) solver; larger ones
   /// use damped power iteration (far cheaper on the sparse, fast-mixing
@@ -26,6 +35,8 @@ struct StationaryOptions {
   /// Damping applied during power iteration to guarantee aperiodicity:
   /// pi' = (1-d) * pi P + d * pi.  d = 0 disables damping.
   double damping = 0.05;
+  /// When non-null, filled with iteration count / residual / method.
+  SolveStats* stats = nullptr;
 };
 
 /// Stationary distribution of a dense row-stochastic matrix.

@@ -1,0 +1,154 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/error.h"
+#include "support/text.h"
+
+namespace drsm::obs {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          out += strfmt("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  // %.17g round-trips any double but writes 0.1 as 0.10000000000000001;
+  // pick the shortest precision that round-trips instead.
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::string text = strfmt("%.*g", precision, value);
+    if (std::strtod(text.c_str(), nullptr) == value) return text;
+  }
+  return strfmt("%.17g", value);
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue& JsonValue::push_back(JsonValue v) {
+  DRSM_CHECK(kind_ == Kind::kArray || kind_ == Kind::kNull,
+             "JsonValue::push_back on a non-array");
+  kind_ = Kind::kArray;
+  items_.push_back(std::move(v));
+  return items_.back();
+}
+
+JsonValue& JsonValue::operator[](std::string_view key) {
+  DRSM_CHECK(kind_ == Kind::kObject || kind_ == Kind::kNull,
+             "JsonValue::operator[] on a non-object");
+  kind_ = Kind::kObject;
+  for (std::size_t i = 0; i < keys_.size(); ++i)
+    if (keys_[i] == key) return items_[i];
+  keys_.emplace_back(key);
+  items_.emplace_back();
+  return items_.back();
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent > 0;
+  const std::string pad(pretty ? indent * (depth + 1) : 0, ' ');
+  const std::string close_pad(pretty ? indent * depth : 0, ' ');
+  switch (kind_) {
+    case Kind::kNull: out += "null"; return;
+    case Kind::kBool: out += bool_ ? "true" : "false"; return;
+    case Kind::kNumber: out += json_number(num_); return;
+    case Kind::kString:
+      out += '"';
+      out += json_escape(str_);
+      out += '"';
+      return;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ',';
+        if (pretty) {
+          out += '\n';
+          out += pad;
+        }
+        items_[i].dump_to(out, indent, depth + 1);
+      }
+      if (pretty) {
+        out += '\n';
+        out += close_pad;
+      }
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      if (items_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ',';
+        if (pretty) {
+          out += '\n';
+          out += pad;
+        }
+        out += '"';
+        out += json_escape(keys_[i]);
+        out += pretty ? "\": " : "\":";
+        items_[i].dump_to(out, indent, depth + 1);
+      }
+      if (pretty) {
+        out += '\n';
+        out += close_pad;
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+void write_file(const std::string& path, std::string_view text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  DRSM_CHECK(f != nullptr, "cannot open " + path + " for writing");
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const int close_rc = std::fclose(f);
+  DRSM_CHECK(written == text.size() && close_rc == 0,
+             "short write to " + path);
+}
+
+}  // namespace drsm::obs

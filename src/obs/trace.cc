@@ -1,0 +1,208 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+#include "support/error.h"
+#include "support/text.h"
+
+namespace drsm::obs {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kMsgSend: return "msg_send";
+    case EventKind::kMsgRecv: return "msg_recv";
+    case EventKind::kQueueDisable: return "queue_disable";
+    case EventKind::kQueueEnable: return "queue_enable";
+    case EventKind::kOpIssue: return "op_issue";
+    case EventKind::kOpComplete: return "op_complete";
+    case EventKind::kStateTransition: return "state_transition";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  buffer_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void TraceRecorder::on_event(const TraceEvent& event) {
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(event);
+  } else {
+    buffer_[next_] = event;
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+const TraceEvent& TraceRecorder::event(std::size_t i) const {
+  DRSM_CHECK(i < buffer_.size(), "TraceRecorder::event out of range");
+  // next_ is the oldest slot once the ring has wrapped.
+  return buffer_[(next_ + i) % buffer_.size()];
+}
+
+void TraceRecorder::clear() {
+  buffer_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+namespace {
+
+void append_common(std::string& out, const TraceEvent& e) {
+  out += strfmt("\"t\":%s,\"kind\":\"%s\",\"node\":%u",
+                json_number(e.time).c_str(), to_string(e.kind), e.node);
+}
+
+void append_message_fields(std::string& out, const TraceEvent& e) {
+  out += strfmt(
+      ",\"peer\":%u,\"msg_id\":%llu,\"type\":\"%s\",\"initiator\":%u,"
+      "\"object\":%u,\"params\":\"%s\",\"cost\":%s,\"value\":%llu,"
+      "\"version\":%llu",
+      e.peer, static_cast<unsigned long long>(e.msg_id),
+      fsm::to_string(e.token.type), e.token.initiator, e.token.object,
+      fsm::to_string(e.token.params), json_number(e.cost).c_str(),
+      static_cast<unsigned long long>(e.value),
+      static_cast<unsigned long long>(e.version));
+}
+
+}  // namespace
+
+std::string TraceRecorder::to_jsonl() const {
+  std::string out;
+  out.reserve(size() * 96);
+  for (std::size_t i = 0; i < size(); ++i) {
+    const TraceEvent& e = event(i);
+    out += '{';
+    append_common(out, e);
+    switch (e.kind) {
+      case EventKind::kMsgSend:
+      case EventKind::kMsgRecv:
+        append_message_fields(out, e);
+        break;
+      case EventKind::kQueueDisable:
+      case EventKind::kQueueEnable:
+        out += strfmt(",\"object\":%u", e.object);
+        break;
+      case EventKind::kOpIssue:
+        out += strfmt(",\"op\":\"%s\",\"object\":%u", fsm::to_string(e.op),
+                      e.object);
+        break;
+      case EventKind::kOpComplete:
+        out += strfmt(",\"op\":\"%s\",\"object\":%u,\"latency\":%s",
+                      fsm::to_string(e.op), e.object,
+                      json_number(e.cost).c_str());
+        break;
+      case EventKind::kStateTransition:
+        out += strfmt(",\"object\":%u,\"from\":\"%s\",\"to\":\"%s\"",
+                      e.object,
+                      json_escape(e.detail != nullptr ? e.detail : "")
+                          .c_str(),
+                      json_escape(e.detail2 != nullptr ? e.detail2 : "")
+                          .c_str());
+        break;
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string TraceRecorder::to_chrome_trace(double time_scale) const {
+  // Track layout: pid 0 carries one thread per node (operation spans plus
+  // queue/state instants); pid 1 carries the network (async begin/end per
+  // inter-node message, matched by id, one row per message type).
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& record) {
+    if (!first) out += ',';
+    first = false;
+    out += '\n';
+    out += record;
+  };
+
+  NodeId max_node = 0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    const TraceEvent& e = event(i);
+    max_node = std::max(max_node, e.node);
+    if (e.peer != kNoNode) max_node = std::max(max_node, e.peer);
+  }
+  emit("{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\","
+       "\"args\":{\"name\":\"nodes\"}}");
+  emit("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+       "\"args\":{\"name\":\"network\"}}");
+  for (NodeId node = 0; node <= max_node; ++node) {
+    const std::string label =
+        node == max_node ? std::string("sequencer")
+                         : strfmt("client%u", node);
+    emit(strfmt("{\"ph\":\"M\",\"pid\":0,\"tid\":%u,"
+                "\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+                node, label.c_str()));
+  }
+
+  for (std::size_t i = 0; i < size(); ++i) {
+    const TraceEvent& e = event(i);
+    const std::string ts = json_number(e.time * time_scale);
+    switch (e.kind) {
+      case EventKind::kMsgSend:
+      case EventKind::kMsgRecv: {
+        const bool send = e.kind == EventKind::kMsgSend;
+        const NodeId src = send ? e.node : e.peer;
+        const NodeId dst = send ? e.peer : e.node;
+        emit(strfmt(
+            "{\"ph\":\"%s\",\"cat\":\"msg\",\"id\":%llu,\"ts\":%s,"
+            "\"pid\":1,\"tid\":%u,\"name\":\"%s\",\"args\":{\"src\":%u,"
+            "\"dst\":%u,\"object\":%u,\"cost\":%s,\"version\":%llu}}",
+            send ? "b" : "e", static_cast<unsigned long long>(e.msg_id),
+            ts.c_str(), src, fsm::to_string(e.token.type), src, dst,
+            e.token.object, json_number(e.cost).c_str(),
+            static_cast<unsigned long long>(e.version)));
+        break;
+      }
+      case EventKind::kQueueDisable:
+      case EventKind::kQueueEnable:
+        emit(strfmt(
+            "{\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":0,\"tid\":%u,"
+            "\"name\":\"%s\",\"args\":{\"object\":%u}}",
+            ts.c_str(), e.node,
+            e.kind == EventKind::kQueueDisable ? "local queue disabled"
+                                               : "local queue enabled",
+            e.object));
+        break;
+      case EventKind::kOpIssue:
+        emit(strfmt(
+            "{\"ph\":\"B\",\"ts\":%s,\"pid\":0,\"tid\":%u,"
+            "\"name\":\"%s\",\"args\":{\"object\":%u}}",
+            ts.c_str(), e.node, fsm::to_string(e.op), e.object));
+        break;
+      case EventKind::kOpComplete:
+        emit(strfmt("{\"ph\":\"E\",\"ts\":%s,\"pid\":0,\"tid\":%u,"
+                    "\"name\":\"%s\",\"args\":{\"latency\":%s}}",
+                    ts.c_str(), e.node, fsm::to_string(e.op),
+                    json_number(e.cost).c_str()));
+        break;
+      case EventKind::kStateTransition:
+        emit(strfmt(
+            "{\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":0,\"tid\":%u,"
+            "\"name\":\"%s -> %s\",\"args\":{\"object\":%u}}",
+            ts.c_str(), e.node,
+            json_escape(e.detail != nullptr ? e.detail : "?").c_str(),
+            json_escape(e.detail2 != nullptr ? e.detail2 : "?").c_str(),
+            e.object));
+        break;
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+void TraceRecorder::write_jsonl(const std::string& path) const {
+  write_file(path, to_jsonl());
+}
+
+void TraceRecorder::write_chrome_trace(const std::string& path,
+                                       double time_scale) const {
+  write_file(path, to_chrome_trace(time_scale));
+}
+
+}  // namespace drsm::obs

@@ -1,0 +1,106 @@
+// Structured event tracing for the runtimes.
+//
+// Every interesting runtime occurrence — message send/recv, local-queue
+// enable/disable, operation issue/complete, protocol state transition —
+// is one TraceEvent pushed through an EventSink.  The runtimes hold a
+// plain sink pointer that is null by default, so tracing compiled in but
+// disabled costs one branch per event site (verified by bench_micro).
+//
+// TraceRecorder is the standard sink: a fixed-capacity ring buffer (old
+// events are overwritten, never reallocated mid-run) with two exporters:
+//  * JSONL — one JSON object per event, the compact machine-readable form;
+//  * Chrome trace-event JSON — loadable in Perfetto / chrome://tracing,
+//    with one track per node (operation spans, queue and state-transition
+//    instants) and async begin/end pairs per inter-node message.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fsm/token.h"
+#include "support/types.h"
+
+namespace drsm::obs {
+
+enum class EventKind : std::uint8_t {
+  kMsgSend,          // node -> peer, token describes the message
+  kMsgRecv,          // peer -> node delivery (same msg_id as the send)
+  kQueueDisable,     // local queue of (node, object) blocked
+  kQueueEnable,      // local queue of (node, object) unblocked
+  kOpIssue,          // application operation enters the system
+  kOpComplete,       // operation finished; cost holds the latency
+  kStateTransition,  // copy state changed: detail -> detail2
+};
+
+const char* to_string(EventKind kind);
+
+/// One runtime occurrence.  Field meaning varies slightly by kind (see
+/// EventKind); unused fields hold their defaults.  `detail`/`detail2`
+/// point at static strings (protocol state names), never owned text.
+struct TraceEvent {
+  double time = 0.0;       // simulator clock (or op index, sequential)
+  EventKind kind = EventKind::kMsgSend;
+  fsm::OpKind op = fsm::OpKind::kRead;  // op events
+  NodeId node = 0;         // acting node
+  NodeId peer = kNoNode;   // message destination (send) / source (recv)
+  ObjectId object = 0;
+  std::uint64_t msg_id = 0;  // pairs a send with its recv; 0 = none
+  fsm::Token token;        // message events: the paper's five-tuple
+  std::uint64_t value = 0;     // message payload
+  std::uint64_t version = 0;   // message payload version
+  std::uint32_t hops = 0;      // message forwarding count
+  double cost = 0.0;       // message cost, or op latency on kOpComplete
+  const char* detail = nullptr;   // state transition: from-state
+  const char* detail2 = nullptr;  // state transition: to-state
+};
+
+/// Consumer of trace events.  Runtimes call on_event for every occurrence
+/// when (and only when) a sink is attached.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+};
+
+class TraceRecorder final : public EventSink {
+ public:
+  /// `capacity` bounds memory; once full, the oldest events are dropped.
+  explicit TraceRecorder(std::size_t capacity = 1 << 16);
+
+  void on_event(const TraceEvent& event) override;
+
+  /// Events currently retained (<= capacity()).
+  std::size_t size() const { return buffer_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  /// Events overwritten by ring wraparound.
+  std::uint64_t dropped() const { return total_ - buffer_.size(); }
+  /// Total events ever recorded.
+  std::uint64_t total() const { return total_; }
+
+  /// i-th retained event, oldest first.
+  const TraceEvent& event(std::size_t i) const;
+
+  void clear();
+
+  /// One JSON object per line, oldest first.
+  std::string to_jsonl() const;
+
+  /// Chrome trace-event format (the {"traceEvents": [...]} flavour).
+  /// `time_scale` multiplies event times into microseconds-equivalent ts
+  /// values (the viewer's display unit).
+  std::string to_chrome_trace(double time_scale = 1.0) const;
+
+  void write_jsonl(const std::string& path) const;
+  void write_chrome_trace(const std::string& path,
+                          double time_scale = 1.0) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;       // ring write position
+  std::uint64_t total_ = 0;
+  std::vector<TraceEvent> buffer_;
+};
+
+}  // namespace drsm::obs

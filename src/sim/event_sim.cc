@@ -1,6 +1,7 @@
 #include "sim/event_sim.h"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <queue>
 
@@ -29,6 +30,32 @@ struct EventLater {
   }
 };
 
+/// The legacy MessageObserver as a sink: forwards each kMsgSend event to
+/// the callback (rebuilding the fsm::Message the old signature carried)
+/// and passes everything through to the next sink in the chain.
+class ObserverSink final : public obs::EventSink {
+ public:
+  explicit ObserverSink(MessageObserver fn) : fn_(std::move(fn)) {}
+
+  obs::EventSink* next = nullptr;
+
+  void on_event(const obs::TraceEvent& event) override {
+    if (event.kind == obs::EventKind::kMsgSend) {
+      Message msg;
+      msg.token = event.token;
+      msg.value = event.value;
+      msg.version = event.version;
+      msg.hops = event.hops;
+      msg.sender = event.node;
+      fn_(static_cast<SimTime>(event.time), event.node, event.peer, msg);
+    }
+    if (next != nullptr) next->on_event(event);
+  }
+
+ private:
+  MessageObserver fn_;
+};
+
 }  // namespace
 
 struct EventSimulator::Impl {
@@ -36,7 +63,41 @@ struct EventSimulator::Impl {
   protocols::ProtocolKind kind;
   SystemConfig config;
   SimOptions options;
-  MessageObserver observer;
+
+  // -- observability -------------------------------------------------------
+  // `sink` is the head of the active sink chain (observer adapter first,
+  // then the external sink); null when tracing is disabled, so every
+  // event site costs exactly one branch in that case.  The sink pointers
+  // live with the statistics, after the hot simulation state.
+
+  void rewire_sinks() {
+    if (observer_sink != nullptr) {
+      observer_sink->next = external_sink;
+      sink = observer_sink.get();
+    } else {
+      sink = external_sink;
+    }
+  }
+
+  // Emission helpers are cold and out-of-line so the functions on the
+  // critical path stay small enough to inline when tracing is detached.
+  [[gnu::cold, gnu::noinline]] void emit_message_event(
+      obs::EventKind kind_, NodeId node, NodeId peer, const Message& msg,
+      std::uint64_t id, Cost cost) const {
+    obs::TraceEvent event;
+    event.time = static_cast<double>(now);
+    event.kind = kind_;
+    event.node = node;
+    event.peer = peer;
+    event.object = msg.token.object;
+    event.msg_id = id;
+    event.token = msg.token;
+    event.value = msg.value;
+    event.version = msg.version;
+    event.hops = msg.hops;
+    event.cost = cost;
+    sink->on_event(event);
+  }
 
   // -- simulation state ----------------------------------------------------
   Rng rng;
@@ -86,6 +147,15 @@ struct EventSimulator::Impl {
   std::vector<Cost> cost_by_object;
   std::vector<std::size_t> handled_by_node;
 
+  obs::EventSink* sink = nullptr;
+  obs::EventSink* external_sink = nullptr;
+  std::unique_ptr<ObserverSink> observer_sink;
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TimeSeries* seq_depth_series = nullptr;  // resolved at run start
+  obs::TimeSeries* seq_util_series = nullptr;
+  obs::Histogram latency_hist;  // post-warmup, always collected
+  std::uint64_t msg_seq = 0;    // pairs sends with receives
+
   WorkloadDriver* driver = nullptr;
 
   // -- MachineContext ------------------------------------------------------
@@ -128,9 +198,13 @@ struct EventSimulator::Impl {
 
     void disable_local_queue() override {
       impl_.local_disabled[self_][impl_.current_object_] = true;
+      if (impl_.sink != nullptr) [[unlikely]]
+        impl_.emit_queue_event(obs::EventKind::kQueueDisable, self_);
     }
     void enable_local_queue() override {
       impl_.local_disabled[self_][impl_.current_object_] = false;
+      if (impl_.sink != nullptr) [[unlikely]]
+        impl_.emit_queue_event(obs::EventKind::kQueueEnable, self_);
       impl_.try_process(self_);
     }
 
@@ -181,11 +255,47 @@ struct EventSimulator::Impl {
            rng.uniform_index(l.max_latency - l.min_latency + 1);
   }
 
+  [[gnu::cold, gnu::noinline]] void emit_op_event(obs::EventKind kind_,
+                                                  fsm::OpKind op, NodeId node,
+                                                  ObjectId object,
+                                                  double cost) const {
+    obs::TraceEvent event;
+    event.time = static_cast<double>(now);
+    event.kind = kind_;
+    event.op = op;
+    event.node = node;
+    event.object = object;
+    event.cost = cost;
+    sink->on_event(event);
+  }
+
+  [[gnu::cold, gnu::noinline]] void sample_sequencer_series(NodeId dst) {
+    seq_depth_series->sample(static_cast<double>(now),
+                             static_cast<double>(dist_queue[dst].size() + 1));
+    if (now > 0)
+      seq_util_series->sample(
+          static_cast<double>(now),
+          static_cast<double>(handled_by_node[dst]) *
+              static_cast<double>(options.latency.processing_time) /
+              static_cast<double>(now));
+  }
+
+  [[gnu::cold, gnu::noinline]] void emit_queue_event(obs::EventKind kind_,
+                                                     NodeId node) {
+    obs::TraceEvent event;
+    event.time = static_cast<double>(now);
+    event.kind = kind_;
+    event.node = node;
+    event.object = current_object_;
+    sink->on_event(event);
+  }
+
   void send_message(NodeId src, NodeId dst, Message msg) {
     msg.sender = src;
     if (src == dst) {
-      // Local action: free, delivered instantly at the next event.
-      schedule(0, [this, dst, msg] { deliver(dst, msg); });
+      // Local action: free, delivered instantly at the next event; not an
+      // inter-node message, so never traced or queue-depth sampled.
+      schedule(0, [this, dst, msg] { route(dst, msg); });
       return;
     }
     const Cost cost = config.costs.message_cost(msg.token.params);
@@ -200,13 +310,35 @@ struct EventSimulator::Impl {
     SimTime arrival = now + draw_latency();
     arrival = std::max(arrival, channel_front[src][dst]);
     channel_front[src][dst] = arrival;
-    if (observer) observer(now, src, dst, msg);
-    schedule(arrival - now, [this, dst, msg] { deliver(dst, msg); });
+    if (sink == nullptr && seq_depth_series == nullptr) [[likely]] {
+      // Observability detached: the delivery closure and path are exactly
+      // the untraced ones (no message id, no per-delivery checks).
+      schedule(arrival - now, [this, dst, msg] { route(dst, msg); });
+      return;
+    }
+    const std::uint64_t id = ++msg_seq;
+    if (sink != nullptr)
+      emit_message_event(obs::EventKind::kMsgSend, src, dst, msg, id, cost);
+    schedule(arrival - now,
+             [this, dst, msg, id] { deliver_traced(dst, msg, id); });
   }
 
-  void deliver(NodeId dst, const Message& msg) {
+  /// Delivery tail shared by the traced and untraced paths.
+  void route(NodeId dst, const Message& msg) {
     dist_queue[dst].push_back(msg);
     try_process(dst);
+  }
+
+  [[gnu::cold, gnu::noinline]] void deliver_traced(NodeId dst,
+                                                   const Message& msg,
+                                                   std::uint64_t msg_id) {
+    if (sink != nullptr)
+      emit_message_event(obs::EventKind::kMsgRecv, dst, msg.sender, msg,
+                         msg_id, config.costs.message_cost(msg.token.params));
+    if (seq_depth_series != nullptr &&
+        dst == static_cast<NodeId>(config.num_clients))
+      sample_sequencer_series(dst);
+    route(dst, msg);
   }
 
   void try_process(NodeId node) {
@@ -236,7 +368,30 @@ struct EventSimulator::Impl {
     current_object_ = msg.token.object;
     DRSM_CHECK(current_object_ < config.num_objects, "bad object id");
     Ctx ctx(*this, node);
-    machines[node][current_object_]->on_message(ctx, msg);
+    if (sink == nullptr) {
+      machines[node][current_object_]->on_message(ctx, msg);
+      return;
+    }
+    handle_traced(ctx, node, msg);
+  }
+
+  [[gnu::cold, gnu::noinline]] void handle_traced(Ctx& ctx, NodeId node,
+                                                  const Message& msg) {
+    fsm::ProtocolMachine& machine = *machines[node][current_object_];
+    const char* before = machine.state_name();
+    const ObjectId object = current_object_;
+    machine.on_message(ctx, msg);
+    const char* after = machine.state_name();
+    if (before != after && std::strcmp(before, after) != 0) {
+      obs::TraceEvent event;
+      event.time = static_cast<double>(now);
+      event.kind = obs::EventKind::kStateTransition;
+      event.node = node;
+      event.object = object;
+      event.detail = before;
+      event.detail2 = after;
+      sink->on_event(event);
+    }
   }
 
   // -- application processes -----------------------------------------------
@@ -253,6 +408,8 @@ struct EventSimulator::Impl {
   void start_op(NodeId node, const WorkloadDriver::Op& op) {
     DRSM_CHECK(!outstanding[node].active, "node already has an op in flight");
     outstanding[node] = {true, op.object, op.kind, now};
+    if (sink != nullptr) [[unlikely]]
+      emit_op_event(obs::EventKind::kOpIssue, op.kind, node, op.object, 0.0);
 
     Message request;
     switch (op.kind) {
@@ -298,10 +455,15 @@ struct EventSimulator::Impl {
     const OpKind kind = outstanding[node].kind;
     const SimTime latency = now - outstanding[node].issued;
     outstanding[node].active = false;
+    if (sink != nullptr) [[unlikely]]
+      emit_op_event(obs::EventKind::kOpComplete, kind, node,
+                    outstanding[node].object,
+                    static_cast<double>(latency));
 
     ++completed_ops;
     if (completed_ops == options.warmup_ops) cost_at_warmup = total_cost;
     if (completed_ops > options.warmup_ops) {
+      latency_hist.record(static_cast<double>(latency));
       latency_sum += static_cast<double>(latency);
       latency_max = std::max(latency_max, latency);
       if (kind == OpKind::kRead) {
@@ -322,6 +484,10 @@ struct EventSimulator::Impl {
 
   SimStats run(WorkloadDriver& wl) {
     driver = &wl;
+    if (metrics != nullptr) {
+      seq_depth_series = &metrics->series("sim.seq_queue_depth");
+      seq_util_series = &metrics->series("sim.seq_utilization");
+    }
     const std::size_t nodes = config.num_clients + 1;
     for (NodeId node = 0; node < nodes; ++node) issue_next(node);
 
@@ -357,7 +523,29 @@ struct EventSimulator::Impl {
     stats.cost_by_initiator = cost_by_initiator;
     stats.cost_by_object = cost_by_object;
     stats.handled_by_node = handled_by_node;
+    stats.latency_histogram = latency_hist;
+    if (metrics != nullptr) publish_metrics(stats);
     return stats;
+  }
+
+  void publish_metrics(const SimStats& stats) {
+    metrics->counter("sim.runs").inc();
+    metrics->counter("sim.messages").inc(stats.messages);
+    metrics->counter("sim.ops").inc(completed_ops);
+    metrics->counter("sim.reads").inc(stats.reads);
+    metrics->counter("sim.writes").inc(stats.writes);
+    for (const auto& [type, count] : message_mix)
+      metrics->counter(std::string("sim.msg.") + fsm::to_string(type))
+          .inc(count);
+    metrics->gauge("sim.acc").set(stats.acc());
+    metrics->gauge("sim.measured_cost").add(stats.measured_cost);
+    metrics->gauge("sim.end_time").set(static_cast<double>(stats.end_time));
+    metrics->gauge("sim.mean_latency").set(stats.mean_latency());
+    if (options.latency.processing_time > 0)
+      metrics->gauge("sim.seq_utilization_total")
+          .set(stats.utilization(static_cast<NodeId>(config.num_clients),
+                                 options.latency.processing_time));
+    metrics->histogram("sim.latency").merge(latency_hist);
   }
 };
 
@@ -369,7 +557,21 @@ EventSimulator::EventSimulator(protocols::ProtocolKind kind,
 EventSimulator::~EventSimulator() = default;
 
 void EventSimulator::set_observer(MessageObserver observer) {
-  impl_->observer = std::move(observer);
+  if (observer) {
+    impl_->observer_sink = std::make_unique<ObserverSink>(std::move(observer));
+  } else {
+    impl_->observer_sink.reset();
+  }
+  impl_->rewire_sinks();
+}
+
+void EventSimulator::set_sink(obs::EventSink* sink) {
+  impl_->external_sink = sink;
+  impl_->rewire_sinks();
+}
+
+void EventSimulator::set_metrics(obs::MetricsRegistry* metrics) {
+  impl_->metrics = metrics;
 }
 
 SimStats EventSimulator::run(WorkloadDriver& driver) {

@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "fsm/mealy.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "protocols/protocol.h"
 #include "sim/config.h"
 #include "support/rng.h"
@@ -62,6 +64,10 @@ struct SimStats {
   SimTime latency_max = 0;
   double read_latency_sum = 0.0;
   double write_latency_sum = 0.0;
+
+  /// Post-warmup latency distribution (default exponential buckets), the
+  /// source of the percentile fields in BENCH_*.json reports.
+  obs::Histogram latency_histogram;
 
   double mean_latency() const {
     return measured_ops == 0 ? 0.0
@@ -123,7 +129,9 @@ struct SimOptions {
 };
 
 /// Observer invoked for every inter-node message (used by the trace
-/// inspector example and by tests).
+/// inspector example and by tests).  Implemented on top of the structured
+/// event stream: the callback is an EventSink adapter that reconstructs
+/// the fsm::Message from each kMsgSend trace event.
 using MessageObserver = std::function<void(
     SimTime time, NodeId src, NodeId dst, const fsm::Message& msg)>;
 
@@ -137,6 +145,20 @@ class EventSimulator {
   EventSimulator& operator=(const EventSimulator&) = delete;
 
   void set_observer(MessageObserver observer);
+
+  /// Attaches a structured trace sink (typically an obs::TraceRecorder):
+  /// every message send/recv, queue enable/disable, operation
+  /// issue/completion and copy-state transition is delivered to it.  With
+  /// no sink attached the instrumentation is a single null check per
+  /// event site (the zero-overhead path measured by bench_micro).  Pass
+  /// nullptr to detach.  Composes with set_observer.
+  void set_sink(obs::EventSink* sink);
+
+  /// Attaches a metrics registry: the run publishes message/operation
+  /// counters, the message mix, acc/latency summaries, and time series of
+  /// the sequencer's queue depth and utilization.  Metric names are
+  /// listed in docs/OBSERVABILITY.md.  Pass nullptr to detach.
+  void set_metrics(obs::MetricsRegistry* metrics);
 
   /// Runs until max_ops operations completed (or the driver stops issuing
   /// everywhere and the network drains).

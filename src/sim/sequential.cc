@@ -25,12 +25,30 @@ class SequentialRuntime::Context final : public fsm::MachineContext {
   void send(NodeId dest, Message msg) override {
     DRSM_CHECK(dest < num_nodes(), "send: destination out of range");
     msg.sender = self_;
+    std::uint64_t id = 0;
     if (dest != self_) {
-      result_.cost += costs().message_cost(msg.token.params);
+      const Cost cost = costs().message_cost(msg.token.params);
+      result_.cost += cost;
       ++result_.messages;
       if (rt_.observer_) rt_.observer_(self_, dest, msg);
+      if (rt_.sink_ != nullptr) {
+        id = ++rt_.msg_seq_;
+        obs::TraceEvent event;
+        event.time = static_cast<double>(rt_.op_index_);
+        event.kind = obs::EventKind::kMsgSend;
+        event.node = self_;
+        event.peer = dest;
+        event.object = msg.token.object;
+        event.msg_id = id;
+        event.token = msg.token;
+        event.value = msg.value;
+        event.version = msg.version;
+        event.hops = msg.hops;
+        event.cost = cost;
+        rt_.sink_->on_event(event);
+      }
     }
-    rt_.network_.emplace_back(dest, msg);
+    rt_.network_.push_back({dest, msg, id});
   }
 
   void send_except(const std::vector<NodeId>& excluded,
@@ -112,7 +130,9 @@ SequentialRuntime::SequentialRuntime(const SequentialRuntime& other)
       roster_(other.roster_),
       network_(other.network_),
       version_counter_(other.version_counter_),
-      latest_value_(other.latest_value_) {
+      latest_value_(other.latest_value_),
+      op_index_(other.op_index_),
+      msg_seq_(other.msg_seq_) {
   machines_.reserve(other.machines_.size());
   for (const auto& machine : other.machines_)
     machines_.push_back(machine->clone());
@@ -160,8 +180,28 @@ OpResult SequentialRuntime::execute(NodeId node, OpKind op,
   request.value = value;
   request.sender = node;
 
-  target->on_message(ctx, request);
+  if (sink_ != nullptr) {
+    obs::TraceEvent event;
+    event.time = static_cast<double>(op_index_);
+    event.kind = obs::EventKind::kOpIssue;
+    event.op = op;
+    event.node = node;
+    sink_->on_event(event);
+  }
+
+  dispatch(ctx, *target, node, request);
   drain(ctx);
+
+  if (sink_ != nullptr) {
+    obs::TraceEvent event;
+    event.time = static_cast<double>(op_index_ + 1);
+    event.kind = obs::EventKind::kOpComplete;
+    event.op = op;
+    event.node = node;
+    event.cost = result.cost;
+    sink_->on_event(event);
+  }
+  ++op_index_;
 
   if (op == OpKind::kWrite) latest_value_ = value;
   if (op == OpKind::kRead)
@@ -173,12 +213,49 @@ OpResult SequentialRuntime::execute(NodeId node, OpKind op,
 
 void SequentialRuntime::drain(Context& ctx) {
   while (!network_.empty()) {
-    auto [dest, msg] = network_.front();
+    auto [dest, msg, id] = network_.front();
     network_.pop_front();
+    if (sink_ != nullptr && id != 0) {
+      obs::TraceEvent event;
+      event.time = static_cast<double>(op_index_);
+      event.kind = obs::EventKind::kMsgRecv;
+      event.node = dest;
+      event.peer = msg.sender;
+      event.object = msg.token.object;
+      event.msg_id = id;
+      event.token = msg.token;
+      event.value = msg.value;
+      event.version = msg.version;
+      event.hops = msg.hops;
+      sink_->on_event(event);
+    }
     fsm::ProtocolMachine* target = machine(dest);
     if (target == nullptr) continue;  // passive node; cost already charged
     ctx.set_self(dest);
-    target->on_message(ctx, msg);
+    dispatch(ctx, *target, dest, msg);
+  }
+}
+
+/// Runs one message through a machine, reporting the copy-state change (if
+/// any) to the attached sink.
+void SequentialRuntime::dispatch(Context& ctx, fsm::ProtocolMachine& target,
+                                 NodeId node, const fsm::Message& msg) {
+  if (sink_ == nullptr) {
+    target.on_message(ctx, msg);
+    return;
+  }
+  const char* before = target.state_name();
+  target.on_message(ctx, msg);
+  const char* after = target.state_name();
+  if (before != after) {
+    obs::TraceEvent event;
+    event.time = static_cast<double>(op_index_);
+    event.kind = obs::EventKind::kStateTransition;
+    event.node = node;
+    event.object = msg.token.object;
+    event.detail = before;
+    event.detail2 = after;
+    sink_->on_event(event);
   }
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "fsm/mealy.h"
+#include "obs/trace.h"
 #include "protocols/protocol.h"
 #include "sim/config.h"
 
@@ -82,22 +83,39 @@ class SequentialRuntime {
       std::function<void(NodeId, NodeId, const fsm::Message&)>;
   void set_observer(Observer observer) { observer_ = std::move(observer); }
 
+  /// Attaches a structured trace sink.  The time axis is the operation
+  /// index (each execute() call spans one unit): operation issue/complete,
+  /// every inter-node message as a paired send/recv, and copy-state
+  /// transitions are delivered.  With no sink the instrumentation is one
+  /// null check per site.  Pass nullptr to detach.
+  void set_sink(obs::EventSink* sink) { sink_ = sink; }
+
  private:
   class Context;
   friend class Context;
 
   fsm::ProtocolMachine* machine(NodeId node);
   void drain(Context& ctx);
+  void dispatch(Context& ctx, fsm::ProtocolMachine& target, NodeId node,
+                const fsm::Message& msg);
 
   protocols::ProtocolKind kind_;
   bool custom_machines_ = false;
   SystemConfig config_;
   std::vector<NodeId> roster_;  // sorted, home appended
   std::vector<std::unique_ptr<fsm::ProtocolMachine>> machines_;  // by roster_
-  std::deque<std::pair<NodeId, fsm::Message>> network_;
+  struct Pending {
+    NodeId dest = 0;
+    fsm::Message msg;
+    std::uint64_t id = 0;  // send/recv pairing; 0 = untraced
+  };
+  std::deque<Pending> network_;
   std::uint64_t version_counter_ = 0;
   std::uint64_t latest_value_ = 0;
+  std::uint64_t op_index_ = 0;   // trace time axis
+  std::uint64_t msg_seq_ = 0;
   Observer observer_;  // not copied by design (snapshots stay silent)
+  obs::EventSink* sink_ = nullptr;  // likewise not copied
 };
 
 }  // namespace drsm::sim

@@ -269,6 +269,8 @@ ThreadedStats run_threaded(protocols::ProtocolKind kind,
   DRSM_CHECK(config.num_clients >= 1, "need at least one client");
   DRSM_CHECK(config.num_objects >= 1, "need at least one object");
 
+  const auto wall_start = std::chrono::steady_clock::now();
+
   Shared shared;
   shared.kind = kind;
   shared.config = config;
@@ -329,6 +331,25 @@ ThreadedStats run_threaded(protocols::ProtocolKind kind,
       stats.total_ops > options.warmup_ops
           ? stats.total_ops - options.warmup_ops
           : 0;
+
+  if (options.metrics != nullptr) {
+    obs::MetricsRegistry& m = *options.metrics;
+    m.counter("threaded.runs").inc();
+    m.counter("threaded.ops").inc(stats.total_ops);
+    m.counter("threaded.messages").inc(stats.messages);
+    m.gauge("threaded.acc").set(stats.acc());
+    m.gauge("threaded.measured_cost").add(stats.measured_cost);
+    m.gauge("threaded.wall_ms")
+        .set(std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - wall_start)
+                 .count());
+    // Per-node message spread (x = node id): where the protocol-processor
+    // load sits — the fixed-sequencer protocols pile onto node N.
+    obs::TimeSeries& spread = m.series("threaded.node_messages");
+    for (NodeId id = 0; id < node_count; ++id)
+      spread.sample(static_cast<double>(id),
+                    static_cast<double>(shared.nodes[id]->messages));
+  }
   return stats;
 }
 

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "protocols/protocol.h"
 #include "sim/config.h"
 #include "sim/event_sim.h"  // WorkloadDriver
@@ -38,6 +39,12 @@ struct ThreadedOptions {
   std::size_t warmup_ops = 0;
   /// Verify per-node version monotonicity while running.
   bool check_coherence = true;
+  /// Optional metrics registry: after the run joins, run counters, the
+  /// acc/wall-time summary, and the per-node message spread are published
+  /// into it (threaded.* names, see docs/OBSERVABILITY.md).  Publication
+  /// happens entirely after the worker threads join, so attaching a
+  /// registry never perturbs the measured concurrency.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ThreadedStats {
