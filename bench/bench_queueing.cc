@@ -7,9 +7,17 @@
 // Berkeley migrates the sequencer role with ownership and sidesteps the
 // funnel.  This bench sweeps the offered load (shrinking think times) and
 // reports sequencer utilization and mean operation latency.
+//
+// The (think time x protocol) points of each sweep fan out through the
+// sweep engine; every task publishes into a private metrics registry and
+// the registries merge in point order, so the cumulative snapshot is
+// schedule-independent.
+#include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "bench_util.h"
+#include "exec/sweep.h"
 #include "sim/event_sim.h"
 #include "workload/generator.h"
 
@@ -21,13 +29,9 @@ using protocols::ProtocolKind;
 constexpr std::size_t kN = 16;
 constexpr NodeId kHome = kN;
 
-obs::MetricsRegistry& registry() {
-  static obs::MetricsRegistry instance;
-  return instance;
-}
-
 sim::SimStats run(ProtocolKind kind, double mean_think_time,
-                  const workload::WorkloadSpec& spec) {
+                  const workload::WorkloadSpec& spec,
+                  obs::MetricsRegistry* metrics) {
   sim::SystemConfig config;
   config.num_clients = kN;
   config.costs.s = 100.0;
@@ -41,39 +45,58 @@ sim::SimStats run(ProtocolKind kind, double mean_think_time,
   options.latency.max_latency = 2;
   options.latency.processing_time = 4;  // the sequencer is a real server
   sim::EventSimulator simulator(kind, config, options);
-  simulator.set_metrics(&registry());
+  simulator.set_metrics(metrics);
   workload::ConcurrentDriver driver(spec, 32, 1, mean_think_time);
   return simulator.run(driver);
 }
 
+struct PointResult {
+  sim::SimStats stats;
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+};
+
 }  // namespace
 
-void sweep(bench::Report& report, const char* title, const char* tag,
-           const workload::WorkloadSpec& spec) {
+void sweep(bench::Report& report, exec::SweepRunner& runner,
+           obs::MetricsRegistry& registry, const char* title,
+           const char* tag, const workload::WorkloadSpec& spec) {
   std::printf("%s\n", title);
+  const std::vector<double> thinks = {1024.0, 64.0, 16.0};
+  const std::vector<ProtocolKind> kinds = {ProtocolKind::kWriteThrough,
+                                           ProtocolKind::kBerkeley};
+  const auto results = runner.run<PointResult>(
+      thinks.size() * kinds.size(), [&](const exec::SweepTask& task) {
+        PointResult out;
+        out.metrics = std::make_unique<obs::MetricsRegistry>();
+        out.stats = run(kinds[task.index % kinds.size()],
+                        thinks[task.index / kinds.size()], spec,
+                        out.metrics.get());
+        return out;
+      });
+
   std::vector<std::vector<std::string>> rows;
-  for (double think : {1024.0, 64.0, 16.0}) {
-    for (ProtocolKind kind :
-         {ProtocolKind::kWriteThrough, ProtocolKind::kBerkeley}) {
-      const sim::SimStats stats = run(kind, think, spec);
-      double peak = 0.0;
-      for (NodeId node = 0; node <= kN; ++node)
-        peak = std::max(peak, stats.utilization(node, 4));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const double think = thinks[i / kinds.size()];
+    const ProtocolKind kind = kinds[i % kinds.size()];
+    const sim::SimStats& stats = results[i].stats;
+    registry.merge(*results[i].metrics);
+    double peak = 0.0;
+    for (NodeId node = 0; node <= kN; ++node)
+      peak = std::max(peak, stats.utilization(node, 4));
 
-      auto& result = report.add_result();
-      result["workload"] = tag;
-      result["mean_think"] = think;
-      result["protocol"] = bench::short_name(kind);
-      result["sequencer_utilization"] = stats.utilization(kHome, 4);
-      result["peak_utilization"] = peak;
-      result["sim"] = bench::sim_stats_json(stats);
+    auto& result = report.add_result();
+    result["workload"] = tag;
+    result["mean_think"] = think;
+    result["protocol"] = bench::short_name(kind);
+    result["sequencer_utilization"] = stats.utilization(kHome, 4);
+    result["peak_utilization"] = peak;
+    result["sim"] = bench::sim_stats_json(stats);
 
-      rows.push_back({strfmt("%.0f", think), bench::short_name(kind),
-                      strfmt("%.2f", stats.acc()),
-                      strfmt("%.1f", stats.mean_latency()),
-                      strfmt("%.0f%%", 100.0 * stats.utilization(kHome, 4)),
-                      strfmt("%.0f%%", 100.0 * peak)});
-    }
+    rows.push_back({strfmt("%.0f", think), bench::short_name(kind),
+                    strfmt("%.2f", stats.acc()),
+                    strfmt("%.1f", stats.mean_latency()),
+                    strfmt("%.0f%%", 100.0 * stats.utilization(kHome, 4)),
+                    strfmt("%.0f%%", 100.0 * peak)});
   }
   std::printf(
       "%s\n",
@@ -89,15 +112,21 @@ int main() {
       "per message\n\n",
       kN);
   bench::Report report("queueing");
-  sweep(report,
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry exec_metrics;
+  exec::SweepRunner runner({.metrics = &exec_metrics});
+  report.phase("read_disturbance");
+  sweep(report, runner, registry,
         "read disturbance (p=0.2, sigma=0.05, a=15) — Berkeley's home turf:",
         "read_disturbance", workload::read_disturbance(0.2, 0.05, kN - 1));
-  sweep(report,
+  report.phase("write_disturbance");
+  sweep(report, runner, registry,
         "write disturbance (p=0.2, xi=0.05, a=15) — ownership ping-pong:",
         "write_disturbance", workload::write_disturbance(0.2, 0.05, kN - 1));
   // Cumulative registry snapshot across all runs: message mix, latency
   // histogram, and the sequencer queue-depth/utilization time series.
-  report.root()["metrics"] = registry().to_json();
+  report.root()["metrics"] = registry.to_json();
+  report.root()["exec_metrics"] = exec_metrics.to_json();
   report.write();
   std::printf(
       "Observations the paper's cost metric cannot show: (1) acc is flat\n"

@@ -3,11 +3,20 @@
 // wall-clock scaling.  The paper's formulas make N-dependence explicit
 // (invalidation broadcasts cost ~N, update broadcasts ~N(P+1)); this bench
 // renders those growth laws side by side.
+//
+// The analytic phase runs twice through the sweep engine (exec/sweep.h):
+// once serially (1 thread) and once at the host's default thread count.
+// Both runs must produce bit-identical acc values — each task owns its
+// solver, so warm-start and cache state is task-local — and the report
+// records both wall times plus the resulting speedup.
+#include <array>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 
 #include "analytic/solver.h"
 #include "bench_util.h"
+#include "exec/sweep.h"
 #include "sim/event_sim.h"
 #include "workload/generator.h"
 
@@ -15,6 +24,39 @@ namespace {
 
 using namespace drsm;
 using protocols::ProtocolKind;
+
+constexpr std::array<std::size_t, 6> kSizes = {4, 8, 16, 32, 64, 128};
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct AnalyticResult {
+  std::vector<double> accs;  // by protocol, kAllProtocols order
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+};
+
+/// One sweep task per system size N: the task-local solver reuses chains
+/// across the eight protocols, and metrics land in a task-local registry
+/// merged in task order afterwards.
+std::vector<AnalyticResult> run_analytic(const workload::WorkloadSpec& spec,
+                                         std::size_t threads,
+                                         obs::MetricsRegistry* metrics) {
+  exec::SweepRunner runner({.threads = threads, .metrics = metrics});
+  return runner.run<AnalyticResult>(
+      kSizes.size(), [&](const exec::SweepTask& task) {
+        AnalyticResult out;
+        out.metrics = std::make_unique<obs::MetricsRegistry>();
+        analytic::AccSolver solver({kSizes[task.index], {200.0, 30.0}, 1});
+        solver.set_metrics(out.metrics.get());
+        out.accs.reserve(protocols::kAllProtocols.size());
+        for (ProtocolKind kind : protocols::kAllProtocols)
+          out.accs.push_back(solver.acc(kind, spec));
+        return out;
+      });
+}
 
 }  // namespace
 
@@ -25,20 +67,38 @@ int main() {
   const auto spec = workload::read_disturbance(0.3, 0.05, 3);
   bench::Report report("scaling");
 
+  // Serial baseline: the same sweep, one thread.
+  report.phase("analytic_serial");
+  auto start = std::chrono::steady_clock::now();
+  const auto serial = run_analytic(spec, 1, nullptr);
+  const double serial_ms = ms_since(start);
+
+  // Parallel run: default thread count, must agree bit-for-bit.
+  obs::MetricsRegistry exec_metrics;
+  const std::size_t threads = exec::ThreadPool::default_threads();
+  report.phase("analytic_parallel");
+  start = std::chrono::steady_clock::now();
+  const auto parallel = run_analytic(spec, threads, &exec_metrics);
+  const double parallel_ms = ms_since(start);
+
+  bool identical = true;
+  for (std::size_t i = 0; i < kSizes.size(); ++i)
+    for (std::size_t k = 0; k < protocols::kAllProtocols.size(); ++k)
+      if (serial[i].accs[k] != parallel[i].accs[k]) identical = false;
+
   {
     std::printf("analytic acc vs N:\n");
     obs::MetricsRegistry solver_metrics;
     std::vector<std::vector<std::string>> rows;
-    for (std::size_t n : {4ul, 8ul, 16ul, 32ul, 64ul, 128ul}) {
-      analytic::AccSolver solver({n, {200.0, 30.0}, 1});
-      solver.set_metrics(&solver_metrics);
-      std::vector<std::string> row = {strfmt("%zu", n)};
-      for (ProtocolKind kind : protocols::kAllProtocols) {
-        const double acc = solver.acc(kind, spec);
+    for (std::size_t i = 0; i < kSizes.size(); ++i) {
+      solver_metrics.merge(*parallel[i].metrics);
+      std::vector<std::string> row = {strfmt("%zu", kSizes[i])};
+      for (std::size_t k = 0; k < protocols::kAllProtocols.size(); ++k) {
+        const double acc = parallel[i].accs[k];
         auto& result = report.add_result();
         result["phase"] = "analytic";
-        result["n"] = n;
-        result["protocol"] = bench::short_name(kind);
+        result["n"] = kSizes[i];
+        result["protocol"] = bench::short_name(protocols::kAllProtocols[k]);
         result["acc_analytic"] = acc;
         row.push_back(strfmt("%.0f", acc));
       }
@@ -55,40 +115,67 @@ int main() {
         "(S+2) are N-independent, so large-S regimes flatten the curves.\n\n");
   }
 
+  std::printf(
+      "sweep engine: %zu thread(s), serial %.1f ms, parallel %.1f ms, "
+      "speedup %.2fx, results %s\n\n",
+      threads, serial_ms, parallel_ms,
+      parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0,
+      identical ? "bit-identical" : "MISMATCH");
+  {
+    auto& parallelism = report.root()["parallelism"];
+    parallelism["threads"] = threads;
+    parallelism["serial_wall_ms"] = serial_ms;
+    parallelism["parallel_wall_ms"] = parallel_ms;
+    parallelism["speedup"] =
+        parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+    parallelism["identical"] = identical;
+  }
+
+  report.phase("simulator");
   {
     std::printf("simulator wall-clock per operation vs N (write-once):\n");
+    const std::array<std::size_t, 3> sim_sizes = {4, 16, 64};
+    struct SimResult {
+      sim::SimStats stats;
+      double elapsed_us = 0.0;
+    };
+    exec::SweepRunner runner({.metrics = &exec_metrics});
+    const auto sims = runner.run<SimResult>(
+        sim_sizes.size(), [&](const exec::SweepTask& task) {
+          sim::SystemConfig config;
+          config.num_clients = sim_sizes[task.index];
+          config.costs.s = 200.0;
+          config.costs.p = 30.0;
+          sim::SimOptions options;
+          options.max_ops = 20000;
+          options.warmup_ops = 500;
+          options.seed = 3;
+          sim::EventSimulator simulator(ProtocolKind::kWriteOnce, config,
+                                        options);
+          workload::ConcurrentDriver driver(spec, 4);
+          const auto sim_start = std::chrono::steady_clock::now();
+          SimResult out;
+          out.stats = simulator.run(driver);
+          out.elapsed_us = std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - sim_start)
+                               .count();
+          return out;
+        });
     std::vector<std::vector<std::string>> rows;
-    for (std::size_t n : {4ul, 16ul, 64ul}) {
-      sim::SystemConfig config;
-      config.num_clients = n;
-      config.costs.s = 200.0;
-      config.costs.p = 30.0;
-      sim::SimOptions options;
-      options.max_ops = 20000;
-      options.warmup_ops = 500;
-      options.seed = 3;
-      sim::EventSimulator simulator(ProtocolKind::kWriteOnce, config,
-                                    options);
-      workload::ConcurrentDriver driver(spec, 4);
-      const auto start = std::chrono::steady_clock::now();
-      const sim::SimStats stats = simulator.run(driver);
-      const double elapsed_us =
-          std::chrono::duration<double, std::micro>(
-              std::chrono::steady_clock::now() - start)
-              .count();
+    for (std::size_t i = 0; i < sim_sizes.size(); ++i) {
+      const sim::SimStats& stats = sims[i].stats;
+      const double per_op =
+          sims[i].elapsed_us /
+          static_cast<double>(stats.measured_ops + stats.warmup_ops);
       auto& result = report.add_result();
       result["phase"] = "simulator";
-      result["n"] = n;
+      result["n"] = sim_sizes[i];
       result["protocol"] = bench::short_name(ProtocolKind::kWriteOnce);
-      result["wall_us_per_op"] =
-          elapsed_us /
-          static_cast<double>(stats.measured_ops + stats.warmup_ops);
+      result["wall_us_per_op"] = per_op;
       result["sim"] = bench::sim_stats_json(stats);
-      rows.push_back({strfmt("%zu", n), strfmt("%.2f", stats.acc()),
-                      strfmt("%.2f us",
-                             elapsed_us / static_cast<double>(
-                                              stats.measured_ops +
-                                              stats.warmup_ops))});
+      rows.push_back({strfmt("%zu", sim_sizes[i]),
+                      strfmt("%.2f", stats.acc()),
+                      strfmt("%.2f us", per_op)});
     }
     std::printf("%s",
                 render_table({"N", "simulated acc", "time/op"}, rows)
@@ -98,6 +185,7 @@ int main() {
         "operation grows with N while the analytic solve depends only on "
         "the number of *active* nodes.\n");
   }
+  report.root()["exec_metrics"] = exec_metrics.to_json();
   report.write();
   return 0;
 }

@@ -2,11 +2,17 @@
 // P (write parameters) re-rank the protocols — the design-choice study
 // behind the paper's Fig. 5 panels using S=100 vs S=5000, plus parameter
 // sensitivities/elasticities at a representative operating point.
+//
+// Each sweep fans out through the sweep engine: one task per cost point
+// (S sweep, P sweep) or per protocol (elasticities).  Every task owns its
+// solver, so the numbers are independent of thread count.
 #include <cstdio>
+#include <memory>
 
 #include "analytic/sensitivity.h"
 #include "analytic/solver.h"
 #include "bench_util.h"
+#include "exec/sweep.h"
 #include "workload/spec.h"
 
 namespace {
@@ -17,6 +23,63 @@ using protocols::ProtocolKind;
 constexpr std::size_t kN = 16;
 constexpr std::size_t kA = 3;
 
+struct CostPoint {
+  std::vector<double> accs;  // by protocol, kAllProtocols order
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+};
+
+// Sweep one cost axis: one task per cost value, each evaluating all eight
+// protocols with a task-local solver so chains are shared across the
+// column.  Prints the table and records one report result per cell.
+void sweep_costs(bench::Report& report, exec::SweepRunner& runner,
+                 obs::MetricsRegistry& solver_metrics,
+                 const workload::WorkloadSpec& spec, const char* axis,
+                 const std::vector<double>& values,
+                 fsm::CostModel (*costs_at)(double)) {
+  std::printf("Sweep %s: acc per protocol and the winner\n", axis);
+  const auto points =
+      runner.run<CostPoint>(values.size(), [&](const exec::SweepTask& task) {
+        CostPoint out;
+        out.metrics = std::make_unique<obs::MetricsRegistry>();
+        analytic::AccSolver solver({kN, costs_at(values[task.index]), 1});
+        solver.set_metrics(out.metrics.get());
+        for (ProtocolKind kind : protocols::kAllProtocols)
+          out.accs.push_back(solver.acc(kind, spec));
+        return out;
+      });
+
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    solver_metrics.merge(*points[i].metrics);
+    std::vector<std::string> row = {strfmt("%.0f", values[i])};
+    double best = -1.0;
+    ProtocolKind winner = ProtocolKind::kWriteThrough;
+    for (std::size_t k = 0; k < protocols::kAllProtocols.size(); ++k) {
+      const double acc = points[i].accs[k];
+      row.push_back(strfmt("%.0f", acc));
+      if (best < 0 || acc < best) {
+        best = acc;
+        winner = protocols::kAllProtocols[k];
+      }
+      auto& result = report.add_result();
+      result["axis"] = axis;
+      result["value"] = values[i];
+      result["protocol"] = bench::short_name(protocols::kAllProtocols[k]);
+      result["acc_analytic"] = acc;
+    }
+    row.push_back(bench::short_name(winner));
+    rows.push_back(std::move(row));
+  }
+  std::vector<std::string> header = {axis};
+  for (ProtocolKind kind : protocols::kAllProtocols)
+    header.push_back(bench::short_name(kind));
+  header.push_back("winner");
+  std::printf("%s\n", render_table(header, rows).c_str());
+}
+
+fsm::CostModel s_axis(double s) { return {s, 30.0}; }
+fsm::CostModel p_axis(double p_cost) { return {500.0, p_cost}; }
+
 }  // namespace
 
 int main() {
@@ -25,72 +88,43 @@ int main() {
       "sigma=0.05)\n\n",
       kN, kA);
   const auto spec = workload::read_disturbance(0.3, 0.05, kA);
+  bench::Report report("sensitivity");
+  obs::MetricsRegistry solver_metrics;
+  obs::MetricsRegistry exec_metrics;
+  exec::SweepRunner runner({.metrics = &exec_metrics});
 
-  // -- acc and winner as S sweeps (P fixed) --------------------------------
-  {
-    std::printf("Sweep S (P=30): acc per protocol and the winner\n");
-    std::vector<std::vector<std::string>> rows;
-    for (double s : {10.0, 50.0, 100.0, 500.0, 2000.0, 10000.0}) {
-      analytic::AccSolver solver({kN, {s, 30.0}, 1});
-      std::vector<std::string> row = {strfmt("%.0f", s)};
-      double best = -1.0;
-      ProtocolKind winner = ProtocolKind::kWriteThrough;
-      for (ProtocolKind kind : protocols::kAllProtocols) {
-        const double acc = solver.acc(kind, spec);
-        row.push_back(strfmt("%.0f", acc));
-        if (best < 0 || acc < best) {
-          best = acc;
-          winner = kind;
-        }
-      }
-      row.push_back(bench::short_name(winner));
-      rows.push_back(std::move(row));
-    }
-    std::vector<std::string> header = {"S"};
-    for (ProtocolKind kind : protocols::kAllProtocols)
-      header.push_back(bench::short_name(kind));
-    header.push_back("winner");
-    std::printf("%s\n", render_table(header, rows).c_str());
-  }
+  report.phase("sweep_S");
+  sweep_costs(report, runner, solver_metrics, spec, "S",
+              {10.0, 50.0, 100.0, 500.0, 2000.0, 10000.0}, s_axis);
 
-  // -- acc and winner as P sweeps (S fixed) --------------------------------
-  {
-    std::printf("Sweep P (S=500): acc per protocol and the winner\n");
-    std::vector<std::vector<std::string>> rows;
-    for (double p_cost : {1.0, 10.0, 30.0, 100.0, 400.0}) {
-      analytic::AccSolver solver({kN, {500.0, p_cost}, 1});
-      std::vector<std::string> row = {strfmt("%.0f", p_cost)};
-      double best = -1.0;
-      ProtocolKind winner = ProtocolKind::kWriteThrough;
-      for (ProtocolKind kind : protocols::kAllProtocols) {
-        const double acc = solver.acc(kind, spec);
-        row.push_back(strfmt("%.0f", acc));
-        if (best < 0 || acc < best) {
-          best = acc;
-          winner = kind;
-        }
-      }
-      row.push_back(bench::short_name(winner));
-      rows.push_back(std::move(row));
-    }
-    std::vector<std::string> header = {"P"};
-    for (ProtocolKind kind : protocols::kAllProtocols)
-      header.push_back(bench::short_name(kind));
-    header.push_back("winner");
-    std::printf("%s\n", render_table(header, rows).c_str());
-  }
+  report.phase("sweep_P");
+  sweep_costs(report, runner, solver_metrics, spec, "P",
+              {1.0, 10.0, 30.0, 100.0, 400.0}, p_axis);
 
   // -- elasticities at the operating point ----------------------------------
+  report.phase("elasticities");
   {
     std::printf(
         "Elasticities at (p=0.3, sigma=0.05, S=500, P=30): relative acc "
         "change per relative parameter change\n");
     analytic::OperatingPoint point{analytic::Deviation::kReadDisturbance,
                                    0.3, 0.05, kA};
+    const auto els = runner.run<analytic::Sensitivity>(
+        protocols::kAllProtocols.size(), [&](const exec::SweepTask& task) {
+          return analytic::acc_elasticity(protocols::kAllProtocols[task.index],
+                                          {kN, {500.0, 30.0}, 1}, point);
+        });
     std::vector<std::vector<std::string>> rows;
-    for (ProtocolKind kind : protocols::kAllProtocols) {
-      const auto el = analytic::acc_elasticity(
-          kind, {kN, {500.0, 30.0}, 1}, point);
+    for (std::size_t k = 0; k < protocols::kAllProtocols.size(); ++k) {
+      const analytic::Sensitivity& el = els[k];
+      const ProtocolKind kind = protocols::kAllProtocols[k];
+      auto& result = report.add_result();
+      result["axis"] = "elasticity";
+      result["protocol"] = bench::short_name(kind);
+      result["e_p"] = el.wrt_p;
+      result["e_sigma"] = el.wrt_disturbance;
+      result["e_S"] = el.wrt_s;
+      result["e_P"] = el.wrt_p_cost;
       rows.push_back({bench::short_name(kind), strfmt("%.2f", el.wrt_p),
                       strfmt("%.2f", el.wrt_disturbance),
                       strfmt("%.2f", el.wrt_s),
@@ -105,5 +139,8 @@ int main() {
         "(invalidate protocols); e(P)~1 means it is dominated by parameter "
         "broadcasts (update protocols).\n");
   }
+  report.root()["solver_metrics"] = solver_metrics.to_json();
+  report.root()["exec_metrics"] = exec_metrics.to_json();
+  report.write();
   return 0;
 }

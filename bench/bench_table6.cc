@@ -9,12 +9,19 @@
 // against the closed forms that are recoverable from the text
 // (Write-Through eqn (3), plus the derived WTV/Berkeley/Dragon/Firefly
 // forms — see src/analytic/closed_form.h).
+//
+// The grid fans out through the sweep engine with one task per protocol:
+// each task owns its solver, so its chain is enumerated once and each
+// stationary solve warm-starts from the previous grid cell's vector —
+// task-local state that keeps the results independent of thread count.
 #include <cmath>
 #include <cstdio>
+#include <memory>
 
 #include "analytic/closed_form.h"
 #include "analytic/solver.h"
 #include "bench_util.h"
+#include "exec/sweep.h"
 #include "sim/event_sim.h"
 #include "workload/generator.h"
 #include "workload/spec.h"
@@ -30,6 +37,17 @@ constexpr std::size_t kA = 10;
 constexpr double kP = 30.0;
 constexpr double kS = 5000.0;
 
+struct Cell {
+  double p = 0.0;
+  double sigma = 0.0;
+};
+
+struct ProtocolColumn {
+  std::vector<double> acc;          // by grid cell
+  std::vector<double> closed_form;  // -1 where no closed form exists
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+};
+
 }  // namespace
 
 int main() {
@@ -43,11 +61,62 @@ int main() {
   config.num_clients = kN;
   config.costs.s = kS;
   config.costs.p = kP;
-  analytic::AccSolver solver(config);
   bench::Report report("table6");
 
   const std::vector<double> p_values = {0.05, 0.1, 0.2, 0.4, 0.6, 0.8};
   const std::vector<double> sigma_values = {0.0, 0.005, 0.01, 0.02, 0.05};
+
+  std::vector<Cell> cells;
+  for (double p : p_values)
+    for (double sigma : sigma_values)
+      if (p + static_cast<double>(kA) * sigma <= 1.0)
+        cells.push_back({p, sigma});
+
+  report.phase("analytic_grid");
+  obs::MetricsRegistry exec_metrics;
+  exec::SweepRunner runner({.metrics = &exec_metrics});
+  const auto columns = runner.run<ProtocolColumn>(
+      protocols::kAllProtocols.size(), [&](const exec::SweepTask& task) {
+        const ProtocolKind kind = protocols::kAllProtocols[task.index];
+        ProtocolColumn column;
+        column.metrics = std::make_unique<obs::MetricsRegistry>();
+        analytic::AccSolver solver(config);
+        solver.set_metrics(column.metrics.get());
+        for (const Cell& cell : cells) {
+          const auto spec =
+              workload::read_disturbance(cell.p, cell.sigma, kA);
+          column.acc.push_back(solver.acc(kind, spec));
+          double closed = -1.0;
+          switch (kind) {
+            case ProtocolKind::kWriteThrough:
+              closed = cf::wt_read_disturbance(cell.p, cell.sigma, kA, kN,
+                                               kS, kP);
+              break;
+            case ProtocolKind::kWriteThroughV:
+              closed = cf::wtv_read_disturbance(cell.p, cell.sigma, kA, kN,
+                                                kS, kP);
+              break;
+            case ProtocolKind::kBerkeley:
+              closed = cf::berkeley_read_disturbance(cell.p, cell.sigma, kA,
+                                                     kN, kS, kP);
+              break;
+            case ProtocolKind::kDragon:
+              closed = cf::dragon_acc(cell.p, kN, kP);
+              break;
+            case ProtocolKind::kFirefly:
+              closed = cf::firefly_acc(cell.p, kN, kP);
+              break;
+            default:
+              break;
+          }
+          column.closed_form.push_back(closed);
+        }
+        return column;
+      });
+
+  obs::MetricsRegistry solver_metrics;
+  for (const ProtocolColumn& column : columns)
+    solver_metrics.merge(*column.metrics);
 
   std::vector<std::string> header = {"p", "sigma"};
   for (ProtocolKind kind : protocols::kAllProtocols)
@@ -55,49 +124,25 @@ int main() {
   std::vector<std::vector<std::string>> rows;
 
   double max_closed_form_gap = 0.0;
-  for (double p : p_values) {
-    for (double sigma : sigma_values) {
-      if (p + static_cast<double>(kA) * sigma > 1.0) continue;
-      const auto spec = workload::read_disturbance(p, sigma, kA);
-      std::vector<std::string> row = {strfmt("%.2f", p),
-                                      strfmt("%.3f", sigma)};
-      for (ProtocolKind kind : protocols::kAllProtocols) {
-        const double acc = solver.acc(kind, spec);
-        auto& result = report.add_result();
-        result["protocol"] = bench::short_name(kind);
-        result["p"] = p;
-        result["sigma"] = sigma;
-        result["acc_analytic"] = acc;
-        row.push_back(bench::fmt(acc));
-        // Cross-check against the recoverable closed forms.
-        double closed = -1.0;
-        switch (kind) {
-          case ProtocolKind::kWriteThrough:
-            closed = cf::wt_read_disturbance(p, sigma, kA, kN, kS, kP);
-            break;
-          case ProtocolKind::kWriteThroughV:
-            closed = cf::wtv_read_disturbance(p, sigma, kA, kN, kS, kP);
-            break;
-          case ProtocolKind::kBerkeley:
-            closed = cf::berkeley_read_disturbance(p, sigma, kA, kN, kS, kP);
-            break;
-          case ProtocolKind::kDragon:
-            closed = cf::dragon_acc(p, kN, kP);
-            break;
-          case ProtocolKind::kFirefly:
-            closed = cf::firefly_acc(p, kN, kP);
-            break;
-          default:
-            break;
-        }
-        if (closed >= 0.0) {
-          result["acc_closed_form"] = closed;
-          max_closed_form_gap =
-              std::max(max_closed_form_gap, std::fabs(closed - acc));
-        }
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    std::vector<std::string> row = {strfmt("%.2f", cells[c].p),
+                                    strfmt("%.3f", cells[c].sigma)};
+    for (std::size_t k = 0; k < protocols::kAllProtocols.size(); ++k) {
+      const double acc = columns[k].acc[c];
+      auto& result = report.add_result();
+      result["protocol"] = bench::short_name(protocols::kAllProtocols[k]);
+      result["p"] = cells[c].p;
+      result["sigma"] = cells[c].sigma;
+      result["acc_analytic"] = acc;
+      row.push_back(bench::fmt(acc));
+      const double closed = columns[k].closed_form[c];
+      if (closed >= 0.0) {
+        result["acc_closed_form"] = closed;
+        max_closed_form_gap =
+            std::max(max_closed_form_gap, std::fabs(closed - acc));
       }
-      rows.push_back(std::move(row));
     }
+    rows.push_back(std::move(row));
   }
   std::printf("%s\n", render_table(header, rows).c_str());
   std::printf(
@@ -107,9 +152,11 @@ int main() {
 
   // Simulator spot-check of one mid-table cell, so the report also carries
   // a measured message mix and latency distribution for these parameters.
+  report.phase("sim_spot_check");
   {
     const double p = 0.2, sigma = 0.01;
     const auto spec = workload::read_disturbance(p, sigma, kA);
+    analytic::AccSolver solver(config);
     for (ProtocolKind kind :
          {ProtocolKind::kWriteThrough, ProtocolKind::kBerkeley}) {
       sim::SimOptions options;
@@ -132,6 +179,8 @@ int main() {
           sim_stats.acc());
     }
   }
+  report.root()["solver_metrics"] = solver_metrics.to_json();
+  report.root()["exec_metrics"] = exec_metrics.to_json();
   report.write();
   return 0;
 }

@@ -7,13 +7,19 @@
 // first 500 operations and measured ~1500 steady-state operations per
 // parameter pair, observing a maximum discrepancy below +-8 %.  We
 // reproduce the setup with the discrete-event simulator and the concurrent
-// closed-loop driver, and also report a 20x longer run to show the
+// closed-loop driver, and also report a 40x longer run to show the
 // discrepancy is sampling noise, not model error.
+//
+// Grid cells fan out through the sweep engine, one task per (p, sigma)
+// cell.  Each cell's simulation keeps its original fixed seed (a function
+// of p and sigma only) and each task owns its solver, so the table is
+// bit-identical at any thread count.
 #include <cmath>
 #include <cstdio>
 
 #include "analytic/solver.h"
 #include "bench_util.h"
+#include "exec/sweep.h"
 #include "sim/event_sim.h"
 #include "stats/summary.h"
 #include "workload/generator.h"
@@ -50,42 +56,62 @@ sim::SimStats simulate(ProtocolKind kind, const workload::WorkloadSpec& spec,
   return simulator.run(driver);
 }
 
-void run_table(bench::Report& report, ProtocolKind kind,
-               std::size_t warmup_ops, std::size_t measured_ops,
-               const char* label) {
+struct CellResult {
+  bool valid = false;
+  double analytic_acc = 0.0;
+  sim::SimStats sim_stats;
+};
+
+void run_table(bench::Report& report, exec::SweepRunner& runner,
+               ProtocolKind kind, std::size_t warmup_ops,
+               std::size_t measured_ops, const char* label) {
   std::printf(
       "%s protocol — %s (%zu warmup + %zu measured operations)\n",
       protocols::to_string(kind), label, warmup_ops, measured_ops);
 
-  analytic::AccSolver solver({kN, {kScost, kPcost}, 1});
   const std::vector<double> grid = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  std::vector<std::pair<double, double>> cells;  // (p, sigma), row-major
+  for (double p : grid)
+    for (double sigma : grid) cells.push_back({p, sigma});
+
+  const auto results = runner.run<CellResult>(
+      cells.size(), [&](const exec::SweepTask& task) {
+        const auto [p, sigma] = cells[task.index];
+        CellResult out;
+        if (p + static_cast<double>(kA) * sigma > 1.0 + 1e-12) return out;
+        out.valid = true;
+        const auto spec = workload::read_disturbance(p, sigma, kA);
+        analytic::AccSolver solver({kN, {kScost, kPcost}, 1});
+        out.analytic_acc = solver.acc(kind, spec);
+        out.sim_stats =
+            simulate(kind, spec, warmup_ops, measured_ops,
+                     static_cast<std::uint64_t>(1000 * p + 10 * sigma + 17));
+        return out;
+      });
 
   std::vector<std::string> header = {"p \\ sigma"};
   for (double sigma : grid) header.push_back(strfmt("%.1f", sigma));
   std::vector<std::vector<std::string>> rows;
   double max_abs_disc = 0.0;
 
-  for (double p : grid) {
-    std::vector<std::string> row = {strfmt("%.1f", p)};
-    for (double sigma : grid) {
-      if (p + static_cast<double>(kA) * sigma > 1.0 + 1e-12) {
+  for (std::size_t r = 0; r < grid.size(); ++r) {
+    std::vector<std::string> row = {strfmt("%.1f", grid[r])};
+    for (std::size_t c = 0; c < grid.size(); ++c) {
+      const CellResult& cell = results[r * grid.size() + c];
+      if (!cell.valid) {
         row.push_back("-");
         continue;
       }
-      const auto spec = workload::read_disturbance(p, sigma, kA);
-      const double analytic_acc = solver.acc(kind, spec);
-      const sim::SimStats sim_stats =
-          simulate(kind, spec, warmup_ops, measured_ops,
-                   static_cast<std::uint64_t>(1000 * p + 10 * sigma + 17));
-      const double sim_acc = sim_stats.acc();
+      const double analytic_acc = cell.analytic_acc;
+      const double sim_acc = cell.sim_stats.acc();
 
       auto& result = report.add_result();
       result["protocol"] = bench::short_name(kind);
       result["run"] = label;
-      result["p"] = p;
-      result["sigma"] = sigma;
+      result["p"] = grid[r];
+      result["sigma"] = grid[c];
       result["acc_analytic"] = analytic_acc;
-      result["sim"] = bench::sim_stats_json(sim_stats);
+      result["sim"] = bench::sim_stats_json(cell.sim_stats);
 
       if (analytic_acc <= 1e-9) {
         // Zero-cost steady state; any simulated residue is transient cost
@@ -117,11 +143,16 @@ int main() {
       "M=%zu\n\n",
       kN, kA, kPcost, kScost, kM);
   bench::Report report("table7");
+  obs::MetricsRegistry exec_metrics;
+  exec::SweepRunner runner({.metrics = &exec_metrics});
   for (ProtocolKind kind :
        {ProtocolKind::kWriteOnce, ProtocolKind::kWriteThroughV}) {
-    run_table(report, kind, 500, 1500, "paper-sized run");
-    run_table(report, kind, 5000, 60000, "40x longer run");
+    report.phase(std::string(bench::short_name(kind)) + "_paper_run");
+    run_table(report, runner, kind, 500, 1500, "paper-sized run");
+    report.phase(std::string(bench::short_name(kind)) + "_long_run");
+    run_table(report, runner, kind, 5000, 60000, "40x longer run");
   }
+  report.root()["exec_metrics"] = exec_metrics.to_json();
   report.write();
   return 0;
 }

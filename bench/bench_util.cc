@@ -61,7 +61,25 @@ obs::JsonValue& Report::add_result() {
   return root_["results"].push_back(obs::JsonValue::object());
 }
 
+obs::JsonValue& Report::phase(const std::string& name) {
+  close_phase();
+  root_["phases"][name] = obs::JsonValue::object();
+  open_phase_ = name;
+  phase_start_ = std::chrono::steady_clock::now();
+  return root_["phases"][name];
+}
+
+void Report::close_phase() {
+  if (open_phase_.empty()) return;
+  root_["phases"][open_phase_]["wall_ms"] =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - phase_start_)
+          .count();
+  open_phase_.clear();
+}
+
 void Report::write() {
+  close_phase();
   root_["wall_ms"] = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - start_)
                          .count();

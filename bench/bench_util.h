@@ -71,13 +71,24 @@ class Report {
   /// Appends an empty object to the "results" array and returns it.
   obs::JsonValue& add_result();
 
+  /// Marks the start of a named bench phase.  The wall-clock time from
+  /// this call until the next phase() (or write()) lands in the report as
+  /// root["phases"][name]["wall_ms"], so per-phase timings survive into
+  /// the machine-readable output.  Returns the phase's JSON object for
+  /// extra phase-level fields.
+  obs::JsonValue& phase(const std::string& name);
+
   /// Writes BENCH_<name>.json (current directory) and prints the path.
   void write();
 
  private:
+  void close_phase();
+
   std::string name_;
   obs::JsonValue root_;
   std::chrono::steady_clock::time_point start_;
+  std::string open_phase_;  // empty = no phase in progress
+  std::chrono::steady_clock::time_point phase_start_;
 };
 
 }  // namespace drsm::bench

@@ -20,15 +20,32 @@ else
 fi
 
 {
+  names=()
+  times_ms=()
   for b in "${benches[@]}"; do
     if [ -x "$b" ] && [ -f "$b" ]; then
       echo "===== $(basename "$b") ====="
       # Benches write BENCH_<name>.json into the working directory; run
       # them at the repo root so the reports land there.
+      start_ns=$(date +%s%N)
       (cd "$ROOT" && "$b")
+      elapsed_ms=$(( ($(date +%s%N) - start_ns) / 1000000 ))
+      names+=("$(basename "$b")")
+      times_ms+=("$elapsed_ms")
       echo
     fi
   done
+
+  # Per-bench wall-clock summary (printed inside the group so it reaches
+  # both the console and bench_output.txt).
+  echo "===== wall-clock summary ====="
+  printf '%-28s %12s\n' "bench" "wall (ms)"
+  total_ms=0
+  for i in "${!names[@]}"; do
+    printf '%-28s %12s\n' "${names[$i]}" "${times_ms[$i]}"
+    total_ms=$(( total_ms + times_ms[i] ))
+  done
+  printf '%-28s %12s\n' "total" "$total_ms"
 } 2>&1 | tee bench_output.txt
 
 echo "reports:"

@@ -20,6 +20,18 @@ if [ "${DRSM_SKIP_TSAN:-0}" != "1" ]; then
   ./build-tsan/tests/race_test 2>&1 | tee -a test_output.txt
 fi
 
+# Bench smoke stage: the microbenchmarks under a Release build.  A crash
+# (or nonzero exit) here fails reproduction before the full bench sweep.
+# No -G: build-release is shared with scripts/bench_all.sh, which uses
+# the default generator.
+cmake -B build-release -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release --target bench_micro
+if ! ./build-release/bench/bench_micro >/dev/null; then
+  echo "bench smoke failed: bench_micro crashed in Release" >&2
+  exit 1
+fi
+echo "bench smoke: bench_micro (Release) OK"
+
 {
   for b in build/bench/*; do
     if [ -x "$b" ] && [ -f "$b" ]; then

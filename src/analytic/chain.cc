@@ -25,13 +25,19 @@ ProtocolChain::ProtocolChain(protocols::ProtocolKind kind,
     if (node < config.num_clients) roster.push_back(node);
   SequentialRuntime initial(kind, config, std::move(roster));
 
-  std::map<std::vector<std::uint8_t>, std::uint32_t> index;
-  std::vector<SequentialRuntime> states;
-  std::deque<std::uint32_t> frontier;
+  std::vector<std::uint8_t> key;
+  initial.encode_state(key);
+  states_.intern(key);
 
-  index.emplace(initial.encode_state(), 0);
-  keys_.push_back(initial.encode_state());
-  states.push_back(initial);
+  // Probe whether every machine supports decode(): if so, one scratch
+  // runtime re-materialized from state keys replaces a deep runtime copy
+  // per transition.
+  SequentialRuntime scratch(initial);
+  const bool restorable = scratch.restore_state(states_.key(0));
+
+  std::deque<std::uint32_t> frontier;
+  std::vector<SequentialRuntime> snapshots;  // fallback path only
+  if (!restorable) snapshots.push_back(initial);
   frontier.push_back(0);
 
   std::uint64_t value_counter = 0;
@@ -41,29 +47,40 @@ ProtocolChain::ProtocolChain(protocols::ProtocolKind kind,
     if (transitions_.size() <= s) transitions_.resize(s + 1);
     transitions_[s].resize(events_.size());
     for (std::size_t e = 0; e < events_.size(); ++e) {
-      SequentialRuntime next = states[s];
-      const sim::OpResult result =
-          next.execute(events_[e].node, events_[e].op, ++value_counter);
-      const auto key = next.encode_state();
-      auto [it, inserted] =
-          index.emplace(key, static_cast<std::uint32_t>(states.size()));
-      if (inserted) {
-        frontier.push_back(it->second);
-        keys_.push_back(key);
-        states.push_back(std::move(next));
+      sim::OpResult result;
+      if (restorable) {
+        DRSM_CHECK(scratch.restore_state(states_.key(s)),
+                   "chain: state key failed to restore");
+        result = scratch.execute(events_[e].node, events_[e].op,
+                                 ++value_counter);
+        scratch.encode_state(key);
+      } else {
+        SequentialRuntime next = snapshots[s];
+        result = next.execute(events_[e].node, events_[e].op,
+                              ++value_counter);
+        next.encode_state(key);
+        const auto [index, inserted] = states_.intern(key);
+        if (inserted) {
+          frontier.push_back(index);
+          snapshots.push_back(std::move(next));
+        }
+        transitions_[s][e] = Transition{index, result.cost};
+        continue;
       }
-      transitions_[s][e] = Transition{it->second, result.cost};
+      const auto [index, inserted] = states_.intern(key);
+      if (inserted) frontier.push_back(index);
+      transitions_[s][e] = Transition{index, result.cost};
     }
   }
-  transitions_.resize(states.size());
+  transitions_.resize(states_.size());
   for (auto& row : transitions_)
     if (row.size() != events_.size()) row.resize(events_.size());
 }
 
 const std::vector<std::uint8_t>& ProtocolChain::state_key(
     std::size_t state) const {
-  DRSM_CHECK(state < keys_.size(), "state out of range");
-  return keys_[state];
+  DRSM_CHECK(state < states_.size(), "state out of range");
+  return states_.key(static_cast<std::uint32_t>(state));
 }
 
 const ProtocolChain::Transition& ProtocolChain::transition(
@@ -125,10 +142,32 @@ ProtocolChain::SolveResult ProtocolChain::solve(
   linalg::StationaryOptions solver_options;
   linalg::SolveStats solve_stats;
   solver_options.stats = &solve_stats;
+
+  // Warm-start the power iteration from the last stationary vector solved
+  // for the same positive-probability mask (the reachable set and its
+  // ordering depend only on the mask, so the vectors align).  The direct
+  // solver ignores the seed.
+  std::vector<std::uint8_t> mask(events_.size());
+  for (std::size_t e = 0; e < events_.size(); ++e)
+    mask[e] = probs[e] > 0.0 ? 1 : 0;
+  linalg::Vector warm;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = warm_pi_.find(mask);
+    if (it != warm_pi_.end() && it->second.size() == n) warm = it->second;
+  }
+  if (!warm.empty()) solver_options.initial = &warm;
+
   out.pi = linalg::stationary_distribution(p_matrix, solver_options);
-  ++telemetry_.solves;
-  telemetry_.power_iterations += solve_stats.iterations;
-  telemetry_.last = solve_stats;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    warm_pi_[mask] = out.pi;
+    ++telemetry_.solves;
+    telemetry_.power_iterations += solve_stats.iterations;
+    if (solve_stats.warm_started) ++telemetry_.warm_starts;
+    telemetry_.last = solve_stats;
+  }
   return out;
 }
 

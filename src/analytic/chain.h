@@ -23,12 +23,25 @@
 // The chain is built once per (protocol, system, sample-space *structure*)
 // and can be re-solved for any probability assignment — grid sweeps for the
 // figure benchmarks reuse one chain per surface.
+//
+// Enumeration avoids the original per-transition deep copy of the whole
+// runtime: states are re-materialized from their byte keys into a single
+// scratch runtime (ProtocolMachine::decode), falling back to snapshot
+// copies only for machines that do not support decoding.  Re-solves are
+// warm-started from the last stationary vector computed for the same
+// positive-probability event mask, which cuts power iterations on the
+// smooth parameter sweeps of the figure benchmarks.  Solving is
+// thread-safe (telemetry and the warm-start cache are mutex-guarded), but
+// note that warm starts make the *iteration counts* — not the results —
+// depend on solve order.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <vector>
 
+#include "analytic/interner.h"
 #include "linalg/stationary.h"
 #include "protocols/protocol.h"
 #include "sim/sequential.h"
@@ -88,9 +101,13 @@ class ProtocolChain {
   struct SolveTelemetry {
     std::size_t solves = 0;
     std::size_t power_iterations = 0;  // cumulative across solves
+    std::size_t warm_starts = 0;       // power solves seeded from the cache
     linalg::SolveStats last;           // most recent solve
   };
-  const SolveTelemetry& telemetry() const { return telemetry_; }
+  SolveTelemetry telemetry() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return telemetry_;
+  }
 
   /// Deterministic transition: cost and successor of event `e` in state
   /// `s` (exposed for tests).
@@ -115,8 +132,13 @@ class ProtocolChain {
 
   std::vector<workload::EventSpec> events_;
   std::vector<std::vector<Transition>> transitions_;  // [state][event]
-  std::vector<std::vector<std::uint8_t>> keys_;       // [state]
+  StateInterner states_;                              // key <-> dense index
+  mutable std::mutex mutex_;  // guards telemetry_ and warm_pi_
   mutable SolveTelemetry telemetry_;
+  /// Last stationary vector per positive-probability event mask, used to
+  /// warm-start the next power iteration with the same mask (reachable-set
+  /// ordering is a pure function of the mask, so the vectors align).
+  mutable std::map<std::vector<std::uint8_t>, linalg::Vector> warm_pi_;
 };
 
 }  // namespace drsm::analytic

@@ -1,0 +1,49 @@
+#include "analytic/interner.h"
+
+#include "support/hash.h"
+
+namespace drsm::analytic {
+
+namespace {
+constexpr std::size_t kInitialSlots = 64;  // power of two
+}
+
+StateInterner::StateInterner()
+    : slots_(kInitialSlots), mask_(kInitialSlots - 1) {}
+
+std::pair<std::uint32_t, bool> StateInterner::intern(
+    const std::vector<std::uint8_t>& key) {
+  // Grow at 70% load so probe sequences stay short.
+  if ((keys_.size() + 1) * 10 >= slots_.size() * 7) grow();
+  const std::uint64_t hash = hash_bytes(key.data(), key.size());
+  std::size_t i = static_cast<std::size_t>(hash) & mask_;
+  for (;;) {
+    Slot& slot = slots_[i];
+    if (slot.index == kEmpty) {
+      const auto index = static_cast<std::uint32_t>(keys_.size());
+      slot.hash = hash;
+      slot.index = index;
+      keys_.push_back(key);
+      return {index, true};
+    }
+    // Key bytes are compared only on a 64-bit hash match, so a lookup
+    // hitting a different key in its probe path costs one word compare.
+    if (slot.hash == hash && keys_[slot.index] == key)
+      return {slot.index, false};
+    i = (i + 1) & mask_;
+  }
+}
+
+void StateInterner::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  mask_ = slots_.size() - 1;
+  for (const Slot& slot : old) {
+    if (slot.index == kEmpty) continue;
+    std::size_t i = static_cast<std::size_t>(slot.hash) & mask_;
+    while (slots_[i].index != kEmpty) i = (i + 1) & mask_;
+    slots_[i] = slot;
+  }
+}
+
+}  // namespace drsm::analytic

@@ -1,0 +1,50 @@
+// StateInterner: byte-string -> dense index interning for the chain
+// enumerator's Markov states.
+//
+// The original enumerator kept a std::map<std::vector<uint8_t>, uint32_t>,
+// paying a full lexicographic key comparison per tree level on every
+// transition.  The interner replaces it with an open-addressing hash
+// table over 64-bit key hashes: a probe compares one word per slot and
+// touches the key bytes only on a hash match (collision verification), so
+// the common lookup is O(1) with a single memcmp.  Interned keys are
+// stored once, in insertion order, and handed out as dense indices —
+// exactly the chain-state numbering the transition table wants.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace drsm::analytic {
+
+class StateInterner {
+ public:
+  StateInterner();
+
+  /// Returns (index, inserted): the dense index of `key`, inserting it if
+  /// unseen.  Indices are assigned 0, 1, 2, ... in first-seen order.
+  std::pair<std::uint32_t, bool> intern(const std::vector<std::uint8_t>& key);
+
+  /// The interned key bytes for a dense index.
+  const std::vector<std::uint8_t>& key(std::uint32_t index) const {
+    return keys_[index];
+  }
+
+  std::size_t size() const { return keys_.size(); }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;
+
+  struct Slot {
+    std::uint64_t hash = 0;
+    std::uint32_t index = kEmpty;
+  };
+
+  void grow();
+
+  std::vector<Slot> slots_;  // power-of-two size
+  std::size_t mask_ = 0;     // slots_.size() - 1
+  std::vector<std::vector<std::uint8_t>> keys_;  // by dense index
+};
+
+}  // namespace drsm::analytic

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "support/error.h"
+#include "support/hash.h"
 
 namespace drsm::analytic {
 
@@ -21,35 +22,58 @@ double ms_since(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-AccSolver::Key AccSolver::make_key(protocols::ProtocolKind kind,
-                                   const workload::WorkloadSpec& spec) {
-  Key key;
-  key.first = kind;
-  key.second.reserve(spec.events.size());
-  for (const auto& e : spec.events)
-    key.second.emplace_back(e.node, static_cast<int>(e.op));
-  return key;
+std::uint64_t AccSolver::chain_hash(protocols::ProtocolKind kind,
+                                    const workload::WorkloadSpec& spec) {
+  std::uint64_t h = hash_mix(static_cast<std::uint64_t>(kind) + 1);
+  for (const auto& e : spec.events) {
+    h = hash_combine(h, static_cast<std::uint64_t>(e.node));
+    h = hash_combine(h, static_cast<std::uint64_t>(static_cast<int>(e.op)));
+  }
+  return h;
+}
+
+bool AccSolver::matches(const Entry& entry, protocols::ProtocolKind kind,
+                        const workload::WorkloadSpec& spec) {
+  if (entry.kind != kind || entry.signature.size() != spec.events.size())
+    return false;
+  for (std::size_t i = 0; i < entry.signature.size(); ++i) {
+    if (entry.signature[i].first != spec.events[i].node ||
+        entry.signature[i].second != static_cast<int>(spec.events[i].op))
+      return false;
+  }
+  return true;
 }
 
 const ProtocolChain& AccSolver::chain(protocols::ProtocolKind kind,
                                       const workload::WorkloadSpec& spec) {
-  const Key key = make_key(kind, spec);
-  auto it = chains_.find(key);
-  if (it == chains_.end()) {
-    const auto start = std::chrono::steady_clock::now();
-    it = chains_
-             .emplace(key,
-                      std::make_unique<ProtocolChain>(kind, config_, spec))
-             .first;
+  const std::uint64_t hash = chain_hash(kind, spec);
+  Shard& shard = shards_[hash & (kNumShards - 1)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  for (const Entry& entry : shard.entries)
+    if (entry.hash == hash && matches(entry, kind, spec))
+      return *entry.chain;
+
+  const auto start = std::chrono::steady_clock::now();
+  Entry entry;
+  entry.hash = hash;
+  entry.kind = kind;
+  entry.signature.reserve(spec.events.size());
+  for (const auto& e : spec.events)
+    entry.signature.emplace_back(e.node, static_cast<int>(e.op));
+  entry.chain = std::make_unique<ProtocolChain>(kind, config_, spec);
+  shard.entries.push_back(std::move(entry));
+  const ProtocolChain& built = *shard.entries.back().chain;
+
+  {
+    std::lock_guard<std::mutex> metrics_lock(metrics_mutex_);
     if (metrics_ != nullptr) {
       metrics_->counter("analytic.chains_built").inc();
-      metrics_->counter("analytic.chain_states")
-          .inc(it->second->num_states());
+      metrics_->counter("analytic.chain_states").inc(built.num_states());
       metrics_->histogram("analytic.chain_build_ms", wall_ms_bounds())
           .record(ms_since(start));
     }
   }
-  return *it->second;
+  return built;
 }
 
 double AccSolver::acc(protocols::ProtocolKind kind,
@@ -57,16 +81,21 @@ double AccSolver::acc(protocols::ProtocolKind kind,
   const ProtocolChain& c = chain(kind, spec);
   const auto start = std::chrono::steady_clock::now();
   const double result = c.average_cost(spec.probabilities());
-  if (metrics_ != nullptr) {
-    const auto& telemetry = c.telemetry();
-    metrics_->counter("analytic.solves").inc();
-    metrics_->counter("analytic.power_iterations")
-        .inc(telemetry.last.iterations);
-    metrics_->gauge("analytic.last_residual").set(telemetry.last.residual);
-    metrics_->gauge("analytic.last_solve_states")
-        .set(static_cast<double>(telemetry.last.states));
-    metrics_->histogram("analytic.solve_ms", wall_ms_bounds())
-        .record(ms_since(start));
+  {
+    std::lock_guard<std::mutex> metrics_lock(metrics_mutex_);
+    if (metrics_ != nullptr) {
+      const ProtocolChain::SolveTelemetry telemetry = c.telemetry();
+      metrics_->counter("analytic.solves").inc();
+      metrics_->counter("analytic.power_iterations")
+          .inc(telemetry.last.iterations);
+      if (telemetry.last.warm_started)
+        metrics_->counter("analytic.warm_starts").inc();
+      metrics_->gauge("analytic.last_residual").set(telemetry.last.residual);
+      metrics_->gauge("analytic.last_solve_states")
+          .set(static_cast<double>(telemetry.last.states));
+      metrics_->histogram("analytic.solve_ms", wall_ms_bounds())
+          .record(ms_since(start));
+    }
   }
   return result;
 }

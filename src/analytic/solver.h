@@ -1,10 +1,19 @@
 // High-level entry point for analytic predictions: caches ProtocolChains
 // per (protocol, sample-space structure) so parameter sweeps re-solve the
 // same chain with new probabilities instead of re-enumerating state spaces.
+//
+// The cache is a sharded hash table keyed by a 64-bit hash of the
+// (protocol, event-structure) pair: a lookup streams the hash straight off
+// the spec's events — no per-call key materialization — and touches the
+// stored signature only on a hash match (collision verification).  Each
+// shard carries its own mutex, so concurrent sweep tasks sharing one
+// solver serialize only when they hit the same shard.
 #pragma once
 
-#include <map>
+#include <array>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "analytic/chain.h"
@@ -19,13 +28,19 @@ class AccSolver {
   /// Attaches a metrics registry: chain enumeration (count, states, build
   /// time) and every stationary solve (count, power iterations, residual,
   /// solve time) publish into it.  Pass nullptr to detach.  Metric names
-  /// are listed in docs/OBSERVABILITY.md.
-  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  /// are listed in docs/OBSERVABILITY.md.  Publication is mutex-guarded,
+  /// so a shared registry stays consistent under concurrent acc() calls.
+  void set_metrics(obs::MetricsRegistry* metrics) {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    metrics_ = metrics;
+  }
 
   /// Exact steady-state average communication cost per operation.
+  /// Thread-safe; concurrent calls share cached chains.
   double acc(protocols::ProtocolKind kind, const workload::WorkloadSpec& spec);
 
-  /// The cached chain for this (protocol, sample-space structure).
+  /// The cached chain for this (protocol, sample-space structure).  The
+  /// reference stays valid for the solver's lifetime.
   const ProtocolChain& chain(protocols::ProtocolKind kind,
                              const workload::WorkloadSpec& spec);
 
@@ -39,13 +54,28 @@ class AccSolver {
   const sim::SystemConfig& config() const { return config_; }
 
  private:
-  using Key = std::pair<protocols::ProtocolKind,
-                        std::vector<std::pair<NodeId, int>>>;
-  static Key make_key(protocols::ProtocolKind kind,
+  /// One cached chain.  `signature` holds the exact (node, op) structure
+  /// for verification when two structures collide on `hash`.
+  struct Entry {
+    std::uint64_t hash = 0;
+    protocols::ProtocolKind kind = protocols::ProtocolKind::kWriteThrough;
+    std::vector<std::pair<NodeId, int>> signature;
+    std::unique_ptr<ProtocolChain> chain;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::vector<Entry> entries;
+  };
+  static constexpr std::size_t kNumShards = 8;
+
+  static std::uint64_t chain_hash(protocols::ProtocolKind kind,
+                                  const workload::WorkloadSpec& spec);
+  static bool matches(const Entry& entry, protocols::ProtocolKind kind,
                       const workload::WorkloadSpec& spec);
 
   sim::SystemConfig config_;
-  std::map<Key, std::unique_ptr<ProtocolChain>> chains_;
+  std::array<Shard, kNumShards> shards_;
+  std::mutex metrics_mutex_;  // guards metrics_ and all publication into it
   obs::MetricsRegistry* metrics_ = nullptr;
 };
 

@@ -1,0 +1,26 @@
+#include "exec/sweep.h"
+
+namespace drsm::exec {
+
+std::uint64_t task_seed(std::uint64_t base, std::size_t index) {
+  // Two splitmix64 draws from a state offset by the golden ratio per
+  // index: a pure, platform-independent function of (base, index).
+  std::uint64_t state =
+      base + 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(index) + 1);
+  splitmix64(state);
+  return splitmix64(state);
+}
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : options_(options), pool_(options.threads) {}
+
+void SweepRunner::publish(std::size_t tasks) {
+  tasks_run_ += tasks;
+  if (options_.metrics == nullptr) return;
+  options_.metrics->gauge("exec.threads")
+      .set(static_cast<double>(pool_.threads()));
+  options_.metrics->counter("exec.tasks").inc(tasks);
+  options_.metrics->counter("exec.sweeps").inc();
+}
+
+}  // namespace drsm::exec

@@ -1,0 +1,115 @@
+// SweepRunner: deterministic parallel execution of experiment sweeps.
+//
+// Every experiment in the paper is a sweep — acc over protocols × system
+// sizes × workload mixes (Tables 6/7, Figs 5/6) — and every point of such
+// a sweep is independent: it builds its own chains, runs its own
+// simulator, draws from its own random stream.  SweepRunner fans the
+// points of one sweep out across a fixed-size thread pool while keeping
+// the results *bit-identical regardless of thread count or schedule*:
+//
+//  * each task receives a SweepTask carrying its point index and a
+//    deterministic seed derived purely from (base_seed, index) — never
+//    from which thread runs it or when;
+//  * results are collected into a vector indexed by point, so assembly
+//    order equals point order;
+//  * the contract (documented, and enforced by tests/exec_test.cc) is
+//    that a task reads only immutable shared inputs and writes only its
+//    own result slot.  Per-task solvers/simulators/RNGs make warm-start
+//    and caching state task-local, which is what keeps adjacent-point
+//    optimizations deterministic under parallelism.
+//
+// The runner publishes its activity into an obs::MetricsRegistry
+// (exec.threads gauge, exec.tasks / exec.sweeps counters) after each
+// sweep completes — publication happens on the calling thread only, so
+// the registry needs no locking.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "support/rng.h"
+
+namespace drsm::exec {
+
+/// Deterministic per-task seed: a pure function of (base, index).  Two
+/// splitmix64 rounds keep adjacent indices uncorrelated.
+std::uint64_t task_seed(std::uint64_t base, std::size_t index);
+
+/// Context handed to every sweep task.
+struct SweepTask {
+  std::size_t index = 0;    // point index in the sweep, 0-based
+  std::uint64_t seed = 0;   // task_seed(base_seed, index)
+
+  /// A fresh xoshiro stream seeded for this task.
+  Rng rng() const { return Rng(seed); }
+};
+
+struct SweepOptions {
+  /// Threads applied to each sweep (including the calling thread);
+  /// 0 = ThreadPool::default_threads() (DRSM_THREADS env override, else
+  /// hardware concurrency).
+  std::size_t threads = 0;
+  /// Base of the per-task seed derivation.
+  std::uint64_t base_seed = 0x5EEDBA5EULL;
+  /// When non-null: exec.threads / exec.tasks / exec.sweeps are published
+  /// here after each run()/map() returns (calling thread only).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  std::size_t threads() const { return pool_.threads(); }
+  std::uint64_t seed(std::size_t index) const {
+    return task_seed(options_.base_seed, index);
+  }
+
+  /// Runs fn over n points and returns the results in point order.
+  /// R must be default-constructible.
+  template <typename R>
+  std::vector<R> run(std::size_t n,
+                     const std::function<R(const SweepTask&)>& fn) {
+    std::vector<R> out(n);
+    pool_.parallel_for(n, [&](std::size_t i) {
+      out[i] = fn(SweepTask{i, seed(i)});
+    });
+    publish(n);
+    return out;
+  }
+
+  /// Runs fn over an explicit point list, results in point order.
+  template <typename R, typename Point>
+  std::vector<R> map(const std::vector<Point>& points,
+                     const std::function<R(const Point&, const SweepTask&)>& fn) {
+    std::vector<R> out(points.size());
+    pool_.parallel_for(points.size(), [&](std::size_t i) {
+      out[i] = fn(points[i], SweepTask{i, seed(i)});
+    });
+    publish(points.size());
+    return out;
+  }
+
+  /// Point-order parallel_for for tasks that fill caller-owned slots.
+  void for_each(std::size_t n,
+                const std::function<void(const SweepTask&)>& fn) {
+    pool_.parallel_for(n,
+                       [&](std::size_t i) { fn(SweepTask{i, seed(i)}); });
+    publish(n);
+  }
+
+  /// Total tasks executed by this runner so far.
+  std::uint64_t tasks_run() const { return tasks_run_; }
+
+ private:
+  void publish(std::size_t tasks);
+
+  SweepOptions options_;
+  ThreadPool pool_;
+  std::uint64_t tasks_run_ = 0;
+};
+
+}  // namespace drsm::exec

@@ -88,6 +88,23 @@ class ProtocolMachine {
   /// engine keys its Markov states on this encoding.
   virtual void encode(std::vector<std::uint8_t>& out) const = 0;
 
+  /// Inverse of encode(): restores the protocol-relevant state from the
+  /// bytes at `p` (bounded by `end`), advancing `p` past what it consumed.
+  /// Keys are produced only at quiescence, so implementations also clear
+  /// any transient fields (pending operations, deferred queues).  Data
+  /// values/versions are not part of the encoding and stay stale — by the
+  /// same argument that lets encode() omit them, they cannot influence
+  /// future traces.  Returns false when the machine does not support
+  /// restoration (the default); the machine state is then unspecified and
+  /// the caller must discard the runtime.  The analytic enumerator uses
+  /// this to re-materialize Markov states from their keys instead of
+  /// deep-copying whole runtimes per transition.
+  virtual bool decode(const std::uint8_t*& p, const std::uint8_t* end) {
+    (void)p;
+    (void)end;
+    return false;
+  }
+
   /// True when the machine holds no in-flight transient state (no pending
   /// retries or buffered requests).  The analytic engine snapshots states
   /// only at quiescence and asserts this.

@@ -33,6 +33,20 @@ Vector solve_direct(const Matrix& p, const StationaryOptions& options) {
 Vector solve_power(const CsrMatrix& p, const StationaryOptions& options) {
   const std::size_t n = p.rows();
   Vector pi(n, 1.0 / static_cast<double>(n));
+  bool warm = false;
+  if (options.initial != nullptr && options.initial->size() == n) {
+    double s = 0.0;
+    bool usable = true;
+    for (double v : *options.initial) {
+      if (v < 0.0 || !std::isfinite(v)) { usable = false; break; }
+      s += v;
+    }
+    if (usable && s > 0.0) {
+      pi = *options.initial;
+      for (double& v : pi) v /= s;
+      warm = true;
+    }
+  }
   const double d = options.damping;
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
     Vector next = p.multiply_left(pi);
@@ -47,7 +61,8 @@ Vector solve_power(const CsrMatrix& p, const StationaryOptions& options) {
     pi = std::move(next);
     if (options.stats != nullptr)
       *options.stats = {.states = n, .iterations = it + 1,
-                        .residual = delta, .direct = false};
+                        .residual = delta, .direct = false,
+                        .warm_started = warm};
     if (delta < options.tolerance) return pi;
   }
   throw Error("stationary_distribution: power iteration did not converge");

@@ -21,6 +21,7 @@ struct SolveStats {
   std::size_t iterations = 0;  // power-iteration count (0 for direct)
   double residual = 0.0;       // final max |pi' - pi| (0 for direct)
   bool direct = false;         // LU path taken
+  bool warm_started = false;   // power iteration seeded from options.initial
 };
 
 struct StationaryOptions {
@@ -37,6 +38,13 @@ struct StationaryOptions {
   double damping = 0.05;
   /// When non-null, filled with iteration count / residual / method.
   SolveStats* stats = nullptr;
+  /// Optional warm start for the power iteration: a probability vector of
+  /// the chain's dimension (e.g. the stationary vector of a nearby sweep
+  /// point).  Ignored by the direct solver, and ignored (with a cold
+  /// uniform start) when the size does not match or the vector does not
+  /// normalize.  The converged answer is the same either way — only the
+  /// iteration count changes.
+  const Vector* initial = nullptr;
 };
 
 /// Stationary distribution of a dense row-stochastic matrix.

@@ -215,6 +215,21 @@ const TimeSeries* MetricsRegistry::find_series(std::string_view name) const {
   return e != nullptr ? e->series.get() : nullptr;
 }
 
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  DRSM_CHECK(this != &other, "metrics merge: cannot merge into self");
+  for (const Entry& e : other.entries_) {
+    if (e.counter)
+      counter(e.name).inc(e.counter->value());
+    else if (e.gauge)
+      gauge(e.name).set(e.gauge->value());
+    else if (e.histogram)
+      histogram(e.name, e.histogram->bounds()).merge(*e.histogram);
+    else if (e.series)
+      for (const TimeSeries::Point& p : e.series->points())
+        series(e.name).sample(p.time, p.value);
+  }
+}
+
 JsonValue MetricsRegistry::to_json() const {
   std::vector<const Entry*> sorted;
   sorted.reserve(entries_.size());

@@ -166,6 +166,15 @@ class MetricsRegistry {
 
   std::size_t size() const { return entries_.size(); }
 
+  /// Folds another registry into this one: counters add, gauges take the
+  /// other's (later) value, histograms merge bucket-wise (bounds must
+  /// agree when the name already exists here), series re-offer the other's
+  /// retained points in time order.  This is how parallel sweep tasks
+  /// aggregate: each task publishes into a private registry, and the
+  /// runner merges them in task-index order so the combined registry is
+  /// independent of execution schedule.
+  void merge(const MetricsRegistry& other);
+
   /// Snapshot of every instrument, grouped by kind, names sorted.
   JsonValue to_json() const;
 

@@ -160,6 +160,13 @@ class BerkeleyNode final : public ProtocolMachine {
       out.push_back(static_cast<std::uint8_t>(owner_ >> shift));
   }
 
+  bool decode(const std::uint8_t*& p, const std::uint8_t* end) override {
+    state_ = static_cast<BerState>(detail::take_u8(p, end));
+    owner_ = detail::take_u32(p, end);
+    pending_ = PendingOp::kNone;
+    return true;
+  }
+
   bool quiescent() const override { return pending_ == PendingOp::kNone; }
 
   const char* state_name() const override {

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "fsm/mealy.h"
+#include "support/error.h"
 
 namespace drsm::protocols {
 
@@ -26,6 +27,22 @@ std::unique_ptr<fsm::ProtocolMachine> make_firefly(
     NodeId node, std::size_t num_clients);
 
 namespace detail {
+
+/// Bounds-checked reads for ProtocolMachine::decode implementations —
+/// the exact inverses of the byte/word writes the encode() overrides use.
+inline std::uint8_t take_u8(const std::uint8_t*& p, const std::uint8_t* end) {
+  DRSM_CHECK(p < end, "decode: truncated state key");
+  return *p++;
+}
+
+inline std::uint32_t take_u32(const std::uint8_t*& p,
+                              const std::uint8_t* end) {
+  DRSM_CHECK(end - p >= 4, "decode: truncated state key");
+  std::uint32_t v = 0;
+  for (int shift = 0; shift < 32; shift += 8)
+    v |= static_cast<std::uint32_t>(*p++) << shift;
+  return v;
+}
 
 inline fsm::Message make_msg(fsm::MsgType type, NodeId initiator,
                              ObjectId object, fsm::ParamPresence params,

@@ -51,6 +51,11 @@ class DragonClient final : public ProtocolMachine {
     out.push_back(0);  // single state SHARED-CLEAN
   }
 
+  bool decode(const std::uint8_t*& p, const std::uint8_t* end) override {
+    detail::take_u8(p, end);
+    return true;
+  }
+
   const char* state_name() const override { return "SHARED-CLEAN"; }
 
  private:
@@ -97,6 +102,11 @@ class DragonSequencer final : public ProtocolMachine {
 
   void encode(std::vector<std::uint8_t>& out) const override {
     out.push_back(0);  // single state SHARED-DIRTY
+  }
+
+  bool decode(const std::uint8_t*& p, const std::uint8_t* end) override {
+    detail::take_u8(p, end);
+    return true;
   }
 
   const char* state_name() const override { return "SHARED-DIRTY"; }

@@ -58,6 +58,12 @@ class FireflyClient final : public ProtocolMachine {
     out.push_back(0);  // single state SHARED
   }
 
+  bool decode(const std::uint8_t*& p, const std::uint8_t* end) override {
+    detail::take_u8(p, end);
+    pending_ = false;
+    return true;
+  }
+
   bool quiescent() const override { return !pending_; }
 
   const char* state_name() const override { return "SHARED"; }
@@ -111,6 +117,11 @@ class FireflySequencer final : public ProtocolMachine {
 
   void encode(std::vector<std::uint8_t>& out) const override {
     out.push_back(0);  // single state VALID
+  }
+
+  bool decode(const std::uint8_t*& p, const std::uint8_t* end) override {
+    detail::take_u8(p, end);
+    return true;
   }
 
   const char* state_name() const override { return "VALID"; }

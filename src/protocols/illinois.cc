@@ -106,6 +106,11 @@ class IllinoisClient final : public ProtocolMachine {
     out.push_back(static_cast<std::uint8_t>(state_));
   }
 
+  bool decode(const std::uint8_t*& p, const std::uint8_t* end) override {
+    state_ = static_cast<IllState>(detail::take_u8(p, end));
+    return true;
+  }
+
   const char* state_name() const override {
     switch (state_) {
       case IllState::kInvalid: return "INVALID";
@@ -199,6 +204,21 @@ class IllinoisSequencer final : public ProtocolMachine {
       }
     }
     if (bits != 0) out.push_back(acc);
+  }
+
+  bool decode(const std::uint8_t*& p, const std::uint8_t* end) override {
+    const bool has_owner = detail::take_u8(p, end) != 0;
+    const NodeId owner = detail::take_u32(p, end);
+    owner_ = has_owner ? owner : kNoNode;
+    for (std::size_t i = 0; i < valid_.size(); i += 8) {
+      const std::uint8_t acc = detail::take_u8(p, end);
+      for (std::size_t bit = 0; bit < 8 && i + bit < valid_.size(); ++bit)
+        valid_[i + bit] = ((acc >> bit) & 1) != 0;
+    }
+    pending_ = Pending::kNone;
+    recall_kept_copy_ = false;
+    deferred_.clear();
+    return true;
   }
 
   bool quiescent() const override {

@@ -97,6 +97,12 @@ class SynapseClient final : public ProtocolMachine {
     out.push_back(static_cast<std::uint8_t>(state_));
   }
 
+  bool decode(const std::uint8_t*& p, const std::uint8_t* end) override {
+    state_ = static_cast<SynState>(detail::take_u8(p, end));
+    pending_ = PendingOp::kNone;
+    return true;
+  }
+
   bool quiescent() const override { return pending_ == PendingOp::kNone; }
 
   const char* state_name() const override {
@@ -212,6 +218,17 @@ class SynapseSequencer final : public ProtocolMachine {
     for (int shift = 0; shift < 32; shift += 8)
       out.push_back(static_cast<std::uint8_t>(
           (owner_ == kNoNode ? 0u : owner_) >> shift));
+  }
+
+  bool decode(const std::uint8_t*& p, const std::uint8_t* end) override {
+    const bool has_owner = detail::take_u8(p, end) != 0;
+    const NodeId owner = detail::take_u32(p, end);
+    owner_ = has_owner ? owner : kNoNode;
+    recalling_ = false;
+    nack_requester_ = false;
+    local_op_ = LocalOp::kNone;
+    deferred_.clear();
+    return true;
   }
 
   bool quiescent() const override { return !recalling_ && deferred_.empty(); }

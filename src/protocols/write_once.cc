@@ -134,6 +134,11 @@ class WoClient final : public ProtocolMachine {
     out.push_back(static_cast<std::uint8_t>(state_));
   }
 
+  bool decode(const std::uint8_t*& p, const std::uint8_t* end) override {
+    state_ = static_cast<WoState>(detail::take_u8(p, end));
+    return true;
+  }
+
   const char* state_name() const override {
     switch (state_) {
       case WoState::kInvalid: return "INVALID";
@@ -229,6 +234,15 @@ class WoSequencer final : public ProtocolMachine {
     for (int shift = 0; shift < 32; shift += 8)
       out.push_back(static_cast<std::uint8_t>(
           (owner_ == kNoNode ? 0u : owner_) >> shift));
+  }
+
+  bool decode(const std::uint8_t*& p, const std::uint8_t* end) override {
+    const bool has_owner = detail::take_u8(p, end) != 0;
+    const NodeId owner = detail::take_u32(p, end);
+    owner_ = has_owner ? owner : kNoNode;
+    pending_ = Pending::kNone;
+    deferred_.clear();
+    return true;
   }
 
   bool quiescent() const override {

@@ -85,6 +85,11 @@ class WtClient final : public ProtocolMachine {
     out.push_back(valid_ ? 1 : 0);
   }
 
+  bool decode(const std::uint8_t*& p, const std::uint8_t* end) override {
+    valid_ = detail::take_u8(p, end) != 0;
+    return true;
+  }
+
   const char* state_name() const override {
     return valid_ ? "VALID" : "INVALID";
   }
@@ -140,6 +145,11 @@ class WtSequencer final : public ProtocolMachine {
 
   void encode(std::vector<std::uint8_t>& out) const override {
     out.push_back(1);  // always VALID
+  }
+
+  bool decode(const std::uint8_t*& p, const std::uint8_t* end) override {
+    detail::take_u8(p, end);
+    return true;
   }
 
   const char* state_name() const override { return "VALID"; }

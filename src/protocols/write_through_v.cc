@@ -98,6 +98,11 @@ class WtvClient final : public ProtocolMachine {
     out.push_back(valid_ ? 1 : 0);
   }
 
+  bool decode(const std::uint8_t*& p, const std::uint8_t* end) override {
+    valid_ = detail::take_u8(p, end) != 0;
+    return true;
+  }
+
   const char* state_name() const override {
     return valid_ ? "VALID" : "INVALID";
   }
@@ -175,6 +180,13 @@ class WtvSequencer final : public ProtocolMachine {
   void encode(std::vector<std::uint8_t>& out) const override {
     DRSM_CHECK(quiescent(), "WTV sequencer encoded while granting");
     out.push_back(1);
+  }
+
+  bool decode(const std::uint8_t*& p, const std::uint8_t* end) override {
+    detail::take_u8(p, end);
+    granting_ = false;
+    deferred_.clear();
+    return true;
   }
 
   bool quiescent() const override { return !granting_ && deferred_.empty(); }

@@ -261,11 +261,26 @@ void SequentialRuntime::dispatch(Context& ctx, fsm::ProtocolMachine& target,
 
 std::vector<std::uint8_t> SequentialRuntime::encode_state() const {
   std::vector<std::uint8_t> out;
+  encode_state(out);
+  return out;
+}
+
+void SequentialRuntime::encode_state(std::vector<std::uint8_t>& out) const {
+  out.clear();
   for (const auto& machine : machines_) {
     DRSM_CHECK(machine->quiescent(), "encode_state: machine not quiescent");
     machine->encode(out);
   }
-  return out;
+}
+
+bool SequentialRuntime::restore_state(const std::vector<std::uint8_t>& key) {
+  DRSM_CHECK(network_.empty(), "restore_state: network not quiescent");
+  const std::uint8_t* p = key.data();
+  const std::uint8_t* end = p + key.size();
+  for (const auto& machine : machines_)
+    if (!machine->decode(p, end)) return false;
+  DRSM_CHECK(p == end, "restore_state: trailing bytes in state key");
+  return true;
 }
 
 const char* SequentialRuntime::state_name(NodeId node) const {

@@ -67,6 +67,18 @@ class SequentialRuntime {
   /// key.  Only valid at quiescence (always, between execute() calls).
   std::vector<std::uint8_t> encode_state() const;
 
+  /// Allocation-free variant: clears `out` and appends the encoding.
+  void encode_state(std::vector<std::uint8_t>& out) const;
+
+  /// Restores all machines from a key produced by encode_state() on a
+  /// runtime with the same protocol, config and roster.  Returns false if
+  /// any machine does not implement fsm::ProtocolMachine::decode — the
+  /// machine states are then unspecified and the runtime must be
+  /// discarded.  On success the runtime is quiescent and ready to
+  /// execute() from the restored state.  Data values/versions are not
+  /// restored (they are not part of the key and do not influence traces).
+  bool restore_state(const std::vector<std::uint8_t>& key);
+
   /// The value and version of the globally latest sequenced write.
   std::uint64_t latest_value() const { return latest_value_; }
   std::uint64_t latest_version() const { return version_counter_; }

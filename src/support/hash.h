@@ -1,0 +1,40 @@
+// Byte-string and integer hashing for the hot-path hash tables (the
+// analytic state interner and the solver's chain cache).
+//
+// hash_bytes is FNV-1a 64 with a splitmix64-style finalizer so that both
+// the low bits (open-addressing probe start) and the high bits are well
+// mixed.  The functions are deterministic across platforms — hash values
+// may be compared against values computed in another process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace drsm {
+
+/// splitmix64 finalizer: bijective avalanche mix of a 64-bit value.
+inline std::uint64_t hash_mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a 64 over a byte range, finalized with hash_mix.
+inline std::uint64_t hash_bytes(const void* data, std::size_t len,
+                                std::uint64_t seed = 0xCBF29CE484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return hash_mix(h);
+}
+
+/// Streaming variant: fold one more 64-bit word into a running hash.
+inline std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  return hash_mix(h ^ (v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2)));
+}
+
+}  // namespace drsm

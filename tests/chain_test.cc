@@ -3,9 +3,16 @@
 // methodology) to near machine precision.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
 #include "analytic/chain.h"
 #include "analytic/closed_form.h"
+#include "analytic/interner.h"
 #include "analytic/solver.h"
+#include "sim/sequential.h"
 #include "workload/spec.h"
 
 namespace drsm {
@@ -363,6 +370,74 @@ TEST(TraceProbabilities, MultipleAcSumsToOne) {
       const auto pi = cf::wt_trace_probabilities_multiple_ac(p, beta);
       EXPECT_NEAR(pi.pi1 + pi.pi2 + pi.pi3 + pi.pi4, 1.0, kTol);
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// State interning: the hashed interner must enumerate exactly the state
+// set the original std::map-based BFS found.
+// ---------------------------------------------------------------------------
+
+TEST(StateInterner, DedupsAndRoundTripsBeyondInitialCapacity) {
+  analytic::StateInterner interner;
+  std::vector<std::vector<std::uint8_t>> keys;
+  for (std::uint8_t hi = 0; hi < 20; ++hi)
+    for (std::uint8_t lo = 0; lo < 20; ++lo)
+      keys.push_back({hi, lo, static_cast<std::uint8_t>(hi ^ lo)});
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto [index, inserted] = interner.intern(keys[i]);
+    EXPECT_EQ(index, i);
+    EXPECT_TRUE(inserted);
+  }
+  EXPECT_EQ(interner.size(), keys.size());  // forces several grow() rounds
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto [index, inserted] = interner.intern(keys[i]);
+    EXPECT_EQ(index, i);
+    EXPECT_FALSE(inserted);
+    EXPECT_EQ(interner.key(static_cast<std::uint32_t>(i)), keys[i]);
+  }
+}
+
+TEST(ChainEnumeration, InternerMatchesMapBasedEnumerationAllProtocols) {
+  // Reference enumeration: the original approach — a std::map over encoded
+  // keys, one deep runtime snapshot per state.
+  const auto spec = workload::read_disturbance(0.3, 0.1, 2);
+  sim::SystemConfig config = make_config(3, 100.0, 30.0);
+  for (ProtocolKind kind : protocols::kAllProtocols) {
+    std::vector<NodeId> roster;
+    for (NodeId node : spec.roster())
+      if (node < config.num_clients) roster.push_back(node);
+    sim::SequentialRuntime initial(kind, config, std::move(roster));
+
+    std::map<std::vector<std::uint8_t>, std::uint32_t> index_of;
+    std::vector<sim::SequentialRuntime> snapshots;
+    std::vector<std::uint8_t> key;
+    initial.encode_state(key);
+    index_of[key] = 0;
+    snapshots.push_back(initial);
+    std::deque<std::uint32_t> frontier = {0};
+    std::uint64_t value_counter = 0;
+    while (!frontier.empty()) {
+      const std::uint32_t s = frontier.front();
+      frontier.pop_front();
+      for (const auto& event : spec.events) {
+        sim::SequentialRuntime next = snapshots[s];
+        next.execute(event.node, event.op, ++value_counter);
+        next.encode_state(key);
+        if (index_of.emplace(key, static_cast<std::uint32_t>(snapshots.size()))
+                .second) {
+          frontier.push_back(static_cast<std::uint32_t>(snapshots.size()));
+          snapshots.push_back(std::move(next));
+        }
+      }
+    }
+
+    const ProtocolChain chain(kind, config, spec);
+    EXPECT_EQ(chain.num_states(), index_of.size())
+        << protocols::to_string(kind);
+    for (std::size_t s = 0; s < chain.num_states(); ++s)
+      EXPECT_TRUE(index_of.count(chain.state_key(s)))
+          << protocols::to_string(kind) << " state " << s;
   }
 }
 

@@ -1,0 +1,176 @@
+// The sweep engine's determinism contract: parallel_for covers every
+// index exactly once, per-task seeds are a pure function of (base, index),
+// and a sweep produces bit-identical results at any thread count — for
+// both the analytic solver (with its warm-start and chain caches) and the
+// discrete-event simulator.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "analytic/solver.h"
+#include "exec/sweep.h"
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "sim/event_sim.h"
+#include "workload/generator.h"
+
+namespace drsm {
+namespace {
+
+using protocols::ProtocolKind;
+
+// ---------------------------------------------------------------------------
+// ThreadPool basics.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    exec::ThreadPool pool(threads);
+    EXPECT_EQ(pool.threads(), threads);
+    constexpr std::size_t kItems = 1000;
+    std::vector<std::atomic<int>> hits(kItems);
+    pool.parallel_for(kItems, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kItems; ++i) EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelMapCollectsInIndexOrder) {
+  exec::ThreadPool pool(4);
+  const auto out = pool.parallel_map<std::size_t>(
+      257, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, EmptyJobReturnsImmediately) {
+  exec::ThreadPool pool(4);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, RethrowsFirstBodyException) {
+  exec::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives a failed job and stays usable.
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(50, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 50u);
+}
+
+TEST(ThreadPool, DefaultThreadsHonoursEnvOverride) {
+  ::setenv("DRSM_THREADS", "3", 1);
+  EXPECT_EQ(exec::ThreadPool::default_threads(), 3u);
+  ::unsetenv("DRSM_THREADS");
+  EXPECT_GE(exec::ThreadPool::default_threads(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Seeds.
+// ---------------------------------------------------------------------------
+
+TEST(TaskSeed, PureFunctionOfBaseAndIndex) {
+  EXPECT_EQ(exec::task_seed(42, 7), exec::task_seed(42, 7));
+  EXPECT_NE(exec::task_seed(42, 7), exec::task_seed(42, 8));
+  EXPECT_NE(exec::task_seed(42, 7), exec::task_seed(43, 7));
+  // Adjacent indices must land far apart; collisions over a modest range
+  // would correlate the streams of neighbouring sweep points.
+  std::set<std::uint64_t> seen;
+  for (std::size_t i = 0; i < 10000; ++i)
+    seen.insert(exec::task_seed(0x5EEDBA5EULL, i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(SweepRunner, TaskSeedIndependentOfThreadCount) {
+  exec::SweepRunner serial({.threads = 1});
+  exec::SweepRunner wide({.threads = 8});
+  for (std::size_t i = 0; i < 32; ++i)
+    EXPECT_EQ(serial.seed(i), wide.seed(i));
+}
+
+// ---------------------------------------------------------------------------
+// Determinism under parallelism — the contract the benches rely on.
+// ---------------------------------------------------------------------------
+
+TEST(SweepRunner, AnalyticSweepBitIdenticalAcrossThreadCounts) {
+  const auto spec = workload::read_disturbance(0.3, 0.05, 2);
+  const std::vector<std::size_t> sizes = {3, 5, 8};
+  auto sweep = [&](std::size_t threads) {
+    exec::SweepRunner runner({.threads = threads});
+    return runner.run<std::vector<double>>(
+        sizes.size(), [&](const exec::SweepTask& task) {
+          analytic::AccSolver solver({sizes[task.index], {100.0, 30.0}, 1});
+          std::vector<double> accs;
+          for (ProtocolKind kind : protocols::kAllProtocols)
+            accs.push_back(solver.acc(kind, spec));
+          return accs;
+        });
+  };
+  const auto one = sweep(1);
+  const auto two = sweep(2);
+  const auto eight = sweep(8);
+  ASSERT_EQ(one.size(), sizes.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    ASSERT_EQ(one[i].size(), protocols::kAllProtocols.size());
+    for (std::size_t k = 0; k < one[i].size(); ++k) {
+      // Bitwise equality, not tolerance: the contract is bit-identical.
+      EXPECT_EQ(one[i][k], two[i][k]) << "N=" << sizes[i] << " k=" << k;
+      EXPECT_EQ(one[i][k], eight[i][k]) << "N=" << sizes[i] << " k=" << k;
+    }
+  }
+}
+
+TEST(SweepRunner, SimulationSweepBitIdenticalAcrossThreadCounts) {
+  const auto spec = workload::read_disturbance(0.2, 0.05, 2);
+  auto sweep = [&](std::size_t threads) {
+    exec::SweepRunner runner({.threads = threads, .base_seed = 99});
+    return runner.run<double>(6, [&](const exec::SweepTask& task) {
+      sim::SystemConfig config;
+      config.num_clients = 3;
+      sim::SimOptions options;
+      options.max_ops = 1000;
+      options.warmup_ops = 100;
+      options.seed = task.seed;  // per-task deterministic stream
+      sim::EventSimulator simulator(
+          task.index % 2 == 0 ? ProtocolKind::kWriteThrough
+                              : ProtocolKind::kBerkeley,
+          config, options);
+      workload::ConcurrentDriver driver(spec, task.seed ^ 0xD1CE, 1);
+      return simulator.run(driver).acc();
+    });
+  };
+  const auto one = sweep(1);
+  const auto eight = sweep(8);
+  ASSERT_EQ(one.size(), eight.size());
+  for (std::size_t i = 0; i < one.size(); ++i) EXPECT_EQ(one[i], eight[i]);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics publication.
+// ---------------------------------------------------------------------------
+
+TEST(SweepRunner, PublishesExecMetrics) {
+  obs::MetricsRegistry metrics;
+  exec::SweepRunner runner({.threads = 2, .metrics = &metrics});
+  runner.run<int>(5, [](const exec::SweepTask& task) {
+    return static_cast<int>(task.index);
+  });
+  runner.for_each(3, [](const exec::SweepTask&) {});
+  EXPECT_EQ(metrics.counter("exec.tasks").value(), 8u);
+  EXPECT_EQ(metrics.counter("exec.sweeps").value(), 2u);
+  EXPECT_DOUBLE_EQ(metrics.gauge("exec.threads").value(), 2.0);
+  EXPECT_EQ(runner.tasks_run(), 8u);
+}
+
+}  // namespace
+}  // namespace drsm

@@ -177,6 +177,57 @@ TEST(Stationary, PeriodicChainNeedsDampingAndGetsIt) {
   EXPECT_NEAR(pi[1], 0.5, 1e-8);
 }
 
+TEST(Stationary, WarmStartAgreesWithColdAndCutsIterations) {
+  // A mildly sticky 4-state random-walk chain, solved via the power path
+  // (direct_limit = 1).  Warm-starting from the converged cold answer must
+  // reproduce it to 1e-10 and converge in (far) fewer iterations.
+  Matrix p(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    p(i, i) = 0.5;
+    p(i, (i + 1) % 4) = 0.3;
+    p(i, (i + 3) % 4) = 0.2;
+  }
+  StationaryOptions options;
+  options.direct_limit = 1;
+  SolveStats cold_stats;
+  options.stats = &cold_stats;
+  const Vector cold = stationary_distribution(p, options);
+  EXPECT_FALSE(cold_stats.warm_started);
+  EXPECT_GT(cold_stats.iterations, 0u);
+
+  SolveStats warm_stats;
+  options.stats = &warm_stats;
+  options.initial = &cold;
+  const Vector warm = stationary_distribution(p, options);
+  EXPECT_TRUE(warm_stats.warm_started);
+  EXPECT_LE(warm_stats.iterations, cold_stats.iterations);
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < warm.size(); ++i)
+    EXPECT_NEAR(warm[i], cold[i], 1e-10);
+}
+
+TEST(Stationary, WarmStartIgnoredOnSizeMismatchOrBadVector) {
+  Matrix p(2, 2);
+  p(0, 1) = 1.0;
+  p(1, 0) = 1.0;
+  StationaryOptions options;
+  options.direct_limit = 1;
+
+  Vector wrong_size(3, 1.0 / 3.0);
+  SolveStats stats;
+  options.stats = &stats;
+  options.initial = &wrong_size;
+  Vector pi = stationary_distribution(p, options);
+  EXPECT_FALSE(stats.warm_started);
+  EXPECT_NEAR(pi[0], 0.5, 1e-8);
+
+  Vector zeros(2, 0.0);  // not normalizable -> cold start
+  options.initial = &zeros;
+  pi = stationary_distribution(p, options);
+  EXPECT_FALSE(stats.warm_started);
+  EXPECT_NEAR(pi[1], 0.5, 1e-8);
+}
+
 TEST(Stationary, CheckStochasticCatchesBadRows) {
   CsrMatrix good(2, 2, {{0, 0, 0.5}, {0, 1, 0.5}, {1, 0, 1.0}});
   EXPECT_NO_THROW(check_stochastic(good));

@@ -260,6 +260,37 @@ TEST(MetricsRegistry, KindMismatchThrowsAndFindReturnsNull) {
   EXPECT_EQ(registry.find_counter("absent"), nullptr);
 }
 
+TEST(MetricsRegistry, MergeAccumulatesEveryInstrumentKind) {
+  obs::MetricsRegistry a;
+  a.counter("ops").inc(5);
+  a.gauge("depth").set(2.0);
+  a.histogram("lat", {1.0, 10.0}).record(0.5);
+  a.series("util").sample(1.0, 0.25);
+
+  obs::MetricsRegistry b;
+  b.counter("ops").inc(3);
+  b.counter("only_b").inc(1);
+  b.gauge("depth").set(7.0);
+  b.histogram("lat", {1.0, 10.0}).record(5.0);
+  b.series("util").sample(2.0, 0.75);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("ops").value(), 8u);       // counters add
+  EXPECT_EQ(a.counter("only_b").value(), 1u);    // absent names created
+  EXPECT_DOUBLE_EQ(a.gauge("depth").value(), 7.0);  // gauges take other's
+  EXPECT_EQ(a.histogram("lat").count(), 2u);     // histograms merge
+  ASSERT_EQ(a.series("util").points().size(), 2u);
+  EXPECT_DOUBLE_EQ(a.series("util").points().back().value, 0.75);
+
+  // Merging per-task registries in task-index order is order-sensitive
+  // only for gauges, which take the last-merged value by design.
+  obs::MetricsRegistry c;
+  c.gauge("depth").set(1.0);
+  a.merge(c);
+  EXPECT_DOUBLE_EQ(a.gauge("depth").value(), 1.0);
+  EXPECT_THROW(a.merge(a), Error);  // self-merge is a bug
+}
+
 TEST(MetricsRegistry, SnapshotIsValidJsonGroupedByKind) {
   obs::MetricsRegistry registry;
   registry.counter("runs").inc(7);
