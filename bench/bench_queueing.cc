@@ -8,17 +8,18 @@
 // funnel.  This bench sweeps the offered load (shrinking think times) and
 // reports sequencer utilization and mean operation latency.
 //
-// The (think time x protocol) points of each sweep fan out through the
-// sweep engine; every task publishes into a private metrics registry and
-// the registries merge in point order, so the cumulative snapshot is
-// schedule-independent.
+// Each (think time x protocol) point runs R independent replications
+// through sim::run_replications — seeds derived from (point seed,
+// replication index), replications fanned across the thread pool, stats
+// merged in replication order — so every acc/latency figure carries a
+// 95 % confidence interval and is bit-identical at any thread count.
 #include <algorithm>
 #include <cstdio>
 #include <memory>
 
 #include "bench_util.h"
-#include "exec/sweep.h"
 #include "sim/event_sim.h"
+#include "sim/replication.h"
 #include "workload/generator.h"
 
 namespace {
@@ -28,10 +29,12 @@ using protocols::ProtocolKind;
 
 constexpr std::size_t kN = 16;
 constexpr NodeId kHome = kN;
+constexpr std::size_t kReplications = 6;
 
-sim::SimStats run(ProtocolKind kind, double mean_think_time,
-                  const workload::WorkloadSpec& spec,
-                  obs::MetricsRegistry* metrics) {
+sim::ReplicatedStats run(ProtocolKind kind, double mean_think_time,
+                         const workload::WorkloadSpec& spec,
+                         std::uint64_t base_seed,
+                         obs::MetricsRegistry* metrics) {
   sim::SystemConfig config;
   config.num_clients = kN;
   config.costs.s = 100.0;
@@ -40,68 +43,77 @@ sim::SimStats run(ProtocolKind kind, double mean_think_time,
   sim::SimOptions options;
   options.max_ops = 20000;
   options.warmup_ops = 1000;
-  options.seed = 31;
   options.latency.min_latency = 2;
   options.latency.max_latency = 2;
   options.latency.processing_time = 4;  // the sequencer is a real server
-  sim::EventSimulator simulator(kind, config, options);
-  simulator.set_metrics(metrics);
-  workload::ConcurrentDriver driver(spec, 32, 1, mean_think_time);
-  return simulator.run(driver);
-}
 
-struct PointResult {
-  sim::SimStats stats;
-  std::unique_ptr<obs::MetricsRegistry> metrics;
-};
+  sim::ReplicationOptions reps;
+  reps.replications = kReplications;
+  reps.base_seed = base_seed;
+  reps.metrics = metrics;
+  return sim::run_replications(
+      kind, config, options,
+      [&](std::uint64_t seed, std::size_t /*rep*/) {
+        return std::make_unique<workload::ConcurrentDriver>(
+            spec, seed ^ 0xBEEF, 1, mean_think_time);
+      },
+      reps);
+}
 
 }  // namespace
 
-void sweep(bench::Report& report, exec::SweepRunner& runner,
-           obs::MetricsRegistry& registry, const char* title,
-           const char* tag, const workload::WorkloadSpec& spec) {
+void sweep(bench::Report& report, obs::MetricsRegistry& registry,
+           const char* title, const char* tag,
+           const workload::WorkloadSpec& spec) {
   std::printf("%s\n", title);
   const std::vector<double> thinks = {1024.0, 64.0, 16.0};
   const std::vector<ProtocolKind> kinds = {ProtocolKind::kWriteThrough,
                                            ProtocolKind::kBerkeley};
-  const auto results = runner.run<PointResult>(
-      thinks.size() * kinds.size(), [&](const exec::SweepTask& task) {
-        PointResult out;
-        out.metrics = std::make_unique<obs::MetricsRegistry>();
-        out.stats = run(kinds[task.index % kinds.size()],
-                        thinks[task.index / kinds.size()], spec,
-                        out.metrics.get());
-        return out;
-      });
 
   std::vector<std::vector<std::string>> rows;
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const double think = thinks[i / kinds.size()];
-    const ProtocolKind kind = kinds[i % kinds.size()];
-    const sim::SimStats& stats = results[i].stats;
-    registry.merge(*results[i].metrics);
-    double peak = 0.0;
-    for (NodeId node = 0; node <= kN; ++node)
-      peak = std::max(peak, stats.utilization(node, 4));
+  std::size_t point = 0;
+  for (double think : thinks) {
+    for (ProtocolKind kind : kinds) {
+      // Per-point metrics registry, merged into the cumulative one in
+      // point order: the snapshot is independent of scheduling.
+      obs::MetricsRegistry point_metrics;
+      const sim::ReplicatedStats stats =
+          run(kind, think, spec, /*base_seed=*/31 + 1000 * point++,
+              &point_metrics);
+      registry.merge(point_metrics);
 
-    auto& result = report.add_result();
-    result["workload"] = tag;
-    result["mean_think"] = think;
-    result["protocol"] = bench::short_name(kind);
-    result["sequencer_utilization"] = stats.utilization(kHome, 4);
-    result["peak_utilization"] = peak;
-    result["sim"] = bench::sim_stats_json(stats);
+      const sim::SimStats& merged = stats.merged;
+      double peak = 0.0;
+      for (NodeId node = 0; node <= kN; ++node)
+        peak = std::max(peak, merged.utilization(node, 4));
 
-    rows.push_back({strfmt("%.0f", think), bench::short_name(kind),
-                    strfmt("%.2f", stats.acc()),
-                    strfmt("%.1f", stats.mean_latency()),
-                    strfmt("%.0f%%", 100.0 * stats.utilization(kHome, 4)),
-                    strfmt("%.0f%%", 100.0 * peak)});
+      auto& result = report.add_result();
+      result["workload"] = tag;
+      result["mean_think"] = think;
+      result["protocol"] = bench::short_name(kind);
+      result["replications"] = static_cast<double>(stats.replications);
+      result["acc_mean"] = stats.acc.mean;
+      result["acc_ci_half_width"] = stats.acc.half_width;
+      result["mean_latency"] = stats.mean_latency.mean;
+      result["latency_ci_half_width"] = stats.mean_latency.half_width;
+      result["sequencer_utilization"] = merged.utilization(kHome, 4);
+      result["peak_utilization"] = peak;
+      result["sim"] = bench::sim_stats_json(merged);
+
+      rows.push_back(
+          {strfmt("%.0f", think), bench::short_name(kind),
+           strfmt("%.2f±%.2f", stats.acc.mean, stats.acc.half_width),
+           strfmt("%.1f±%.1f", stats.mean_latency.mean,
+                  stats.mean_latency.half_width),
+           strfmt("%.0f%%", 100.0 * merged.utilization(kHome, 4)),
+           strfmt("%.0f%%", 100.0 * peak)});
+    }
   }
   std::printf(
       "%s\n",
-      render_table({"mean think", "protocol", "acc", "mean latency",
-                    "sequencer util", "peak node util"},
+      render_table({"mean think", "protocol", "acc (95% CI)",
+                    "mean latency (95% CI)", "sequencer util",
+                    "peak node util"},
                    rows)
           .c_str());
 }
@@ -109,24 +121,22 @@ void sweep(bench::Report& report, exec::SweepRunner& runner,
 int main() {
   std::printf(
       "Sequencer queueing: N=%zu clients, S=100, P=30, processing time = 4 "
-      "per message\n\n",
-      kN);
+      "per message, %zu replications per point\n\n",
+      kN, kReplications);
   bench::Report report("queueing");
   obs::MetricsRegistry registry;
-  obs::MetricsRegistry exec_metrics;
-  exec::SweepRunner runner({.metrics = &exec_metrics});
   report.phase("read_disturbance");
-  sweep(report, runner, registry,
+  sweep(report, registry,
         "read disturbance (p=0.2, sigma=0.05, a=15) — Berkeley's home turf:",
         "read_disturbance", workload::read_disturbance(0.2, 0.05, kN - 1));
   report.phase("write_disturbance");
-  sweep(report, runner, registry,
+  sweep(report, registry,
         "write disturbance (p=0.2, xi=0.05, a=15) — ownership ping-pong:",
         "write_disturbance", workload::write_disturbance(0.2, 0.05, kN - 1));
   // Cumulative registry snapshot across all runs: message mix, latency
-  // histogram, and the sequencer queue-depth/utilization time series.
+  // histogram, event-engine counters (sim.events / sim.alloc_bytes), and
+  // the sequencer queue-depth/utilization time series.
   report.root()["metrics"] = registry.to_json();
-  report.root()["exec_metrics"] = exec_metrics.to_json();
   report.write();
   std::printf(
       "Observations the paper's cost metric cannot show: (1) acc is flat\n"

@@ -20,6 +20,19 @@ if [ "${DRSM_SKIP_TSAN:-0}" != "1" ]; then
   ./build-tsan/tests/race_test 2>&1 | tee -a test_output.txt
 fi
 
+# The zero-allocation event engine once more under AddressSanitizer +
+# UndefinedBehaviorSanitizer: the slab arena, free-list recycling and
+# ring-buffer index arithmetic are exactly the code a use-after-recycle
+# or wraparound bug would hide in.  Skipped with DRSM_SKIP_ASAN=1.
+if [ "${DRSM_SKIP_ASAN:-0}" != "1" ]; then
+  cmake -B build-asan -G Ninja -DDRSM_SANITIZE=address,undefined
+  cmake --build build-asan --target event_queue_test sim_determinism_test \
+    replication_test
+  ./build-asan/tests/event_queue_test 2>&1 | tee -a test_output.txt
+  ./build-asan/tests/sim_determinism_test 2>&1 | tee -a test_output.txt
+  ./build-asan/tests/replication_test 2>&1 | tee -a test_output.txt
+fi
+
 # Bench smoke stage: the microbenchmarks under a Release build.  A crash
 # (or nonzero exit) here fails reproduction before the full bench sweep.
 # No -G: build-release is shared with scripts/bench_all.sh, which uses

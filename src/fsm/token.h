@@ -4,6 +4,7 @@
 // model of Section 4.1.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -39,6 +40,10 @@ enum class MsgType : std::uint8_t {
 };
 
 const char* to_string(MsgType type);
+
+/// Number of message types, for dense per-type arrays (message mixes).
+inline constexpr std::size_t kNumMsgTypes =
+    static_cast<std::size_t>(MsgType::kSyncAck) + 1;
 
 /// Which queue a message is (to be) delivered to.
 enum class QueueKind : std::uint8_t {

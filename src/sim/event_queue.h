@@ -1,0 +1,208 @@
+// Zero-allocation event scheduling for the discrete-event simulator.
+//
+// The simulator's previous scheduler pushed one heap-allocated
+// std::function closure per event through a std::priority_queue — ~15
+// allocations and ~1 KB of churn per simulated operation.  This header
+// replaces it with
+//
+//  * SimEvent — a POD tagged-union record covering every closure the
+//    simulator ever scheduled (message delivery, message processing,
+//    operation start);
+//  * EventQueue — a slab/free-list arena of SimEvent records scheduled
+//    through a two-level bucketed time wheel (1024 one-tick slots under
+//    64 slots of 1024 ticks) with a sorted binary-heap fallback for
+//    events beyond the ~65k-tick horizon.  Pop order is exactly the old
+//    priority queue's (time, then schedule order), so single-run
+//    simulation results are bit-identical — enforced by
+//    tests/sim_determinism_test.cc, which runs the wheel against the
+//    kBinaryHeap reference mode event-for-event;
+//  * RingQueue — a flat power-of-two ring buffer replacing the per-node
+//    std::deque message queues.
+//
+// Steady state allocates nothing: popped records return to a free list,
+// ring buffers grow to the high-water mark and stay there.  The arena
+// footprint is published as the sim.alloc_bytes metric.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fsm/token.h"
+#include "support/error.h"
+#include "support/types.h"
+
+namespace drsm::sim {
+
+/// What a scheduled event does when its time comes.  These three cover
+/// every closure the simulator used to allocate.
+enum class SimEventType : std::uint8_t {
+  kDeliver,  // enqueue msg at node's distributed queue (msg_id != 0 when
+             // the delivery must emit a kMsgRecv trace event)
+  kProcess,  // node finishes processing msg: dispatch to its machine
+  kStartOp,  // node's think time expired: issue (op, object)
+};
+
+/// One scheduled occurrence.  POD: records live in the EventQueue arena
+/// and are recycled through a free list, never individually allocated.
+struct SimEvent {
+  SimTime time = 0;
+  std::uint64_t seq = 0;     // schedule order, the tie-breaker
+  std::uint64_t msg_id = 0;  // kDeliver: trace pairing id; 0 = untraced
+  std::uint32_t link = 0;    // intrusive bucket/free-list link (internal)
+  SimEventType type = SimEventType::kDeliver;
+  fsm::OpKind op = fsm::OpKind::kRead;  // kStartOp payload
+  NodeId node = 0;                      // acting/destination node
+  ObjectId object = 0;                  // kStartOp payload
+  fsm::Message msg;                     // kDeliver/kProcess payload
+};
+
+/// Scheduling structure selector.  kTimeWheel is the production path;
+/// kBinaryHeap is an order-isomorphic reference (a (time, seq) min-heap,
+/// exactly the old std::priority_queue semantics) kept for determinism
+/// tests and as the sorted fallback the wheel uses internally for events
+/// beyond its horizon.
+enum class SchedulerKind : std::uint8_t { kTimeWheel, kBinaryHeap };
+
+/// Pending-event set ordered by (time, seq).  Single-threaded; time may
+/// only move forward (events never schedule before the last popped time).
+class EventQueue {
+ public:
+  explicit EventQueue(SchedulerKind kind = SchedulerKind::kTimeWheel);
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Allocates a record from the arena, stamps (time, next seq) and files
+  /// it.  The caller fills the payload fields through the returned
+  /// reference (placement depends only on time, so filling after
+  /// insertion is safe).  `time` must be >= the last popped time.
+  SimEvent& schedule(SimTime time);
+
+  /// Copies the earliest pending event into `out` and recycles its
+  /// record.  Returns false when no events are pending.
+  bool pop(SimEvent& out);
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  // -- instrumentation (the sim.events / sim.alloc_bytes metrics) ----------
+  /// Total events ever scheduled.
+  std::uint64_t scheduled() const { return seq_; }
+  /// Bytes held by the arena slabs and the overflow heap's index vector.
+  std::size_t arena_bytes() const {
+    return blocks_.size() * kBlockEvents * sizeof(SimEvent) +
+           overflow_.capacity() * sizeof(std::uint32_t);
+  }
+  std::size_t arena_blocks() const { return blocks_.size(); }
+  /// High-water mark of simultaneously pending events.
+  std::size_t peak_pending() const { return peak_pending_; }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  static constexpr std::size_t kBlockEvents = 1024;  // records per slab
+  static constexpr unsigned kL0Bits = 10;
+  static constexpr SimTime kL0Slots = SimTime{1} << kL0Bits;  // 1-tick slots
+  static constexpr unsigned kL1Bits = 6;
+  static constexpr SimTime kL1Slots = SimTime{1} << kL1Bits;  // kL0Slots-wide
+
+  struct Bucket {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+  };
+
+  SimEvent& at(std::uint32_t index) {
+    return blocks_[index / kBlockEvents][index % kBlockEvents];
+  }
+  const SimEvent& at(std::uint32_t index) const {
+    return blocks_[index / kBlockEvents][index % kBlockEvents];
+  }
+
+  std::uint32_t alloc();
+  void recycle(std::uint32_t index);
+
+  void bucket_append(Bucket& bucket, std::uint32_t index);
+  /// Seq-sorted insertion into the one-tick L0 slot for the event's time.
+  void l0_insert(std::uint32_t index);
+  /// Files an event into L0/L1/overflow according to its time.
+  void wheel_insert(std::uint32_t index);
+  /// Crossing into a new L0 window: spill the L1 slot covering it into
+  /// L0, then pull newly in-horizon overflow events into the wheel.
+  void cascade();
+  void refill_from_overflow();
+
+  bool heap_later(std::uint32_t a, std::uint32_t b) const;
+  void heap_push(std::uint32_t index);
+  std::uint32_t heap_pop();
+
+  SchedulerKind kind_;
+  std::vector<std::unique_ptr<SimEvent[]>> blocks_;
+  std::uint32_t free_head_ = kNil;
+  std::uint32_t bump_ = 0;  // used records in the newest slab
+
+  std::uint64_t seq_ = 0;
+  std::size_t size_ = 0;
+  std::size_t peak_pending_ = 0;
+
+  SimTime cur_ = 0;  // last popped time; the wheel cursor
+  std::size_t l0_size_ = 0;
+  std::size_t wheel_size_ = 0;  // events filed in L0 + L1
+  std::array<Bucket, kL0Slots> l0_;
+  std::array<Bucket, kL1Slots> l1_;
+  std::vector<std::uint32_t> overflow_;  // (time, seq) min-heap of indices
+};
+
+/// Flat FIFO over a power-of-two buffer; replaces std::deque for the
+/// per-node message queues.  Grows by doubling (to the run's high-water
+/// mark) and never shrinks, so steady state allocates nothing.
+template <typename T>
+class RingQueue {
+ public:
+  bool empty() const { return head_ == tail_; }
+  std::size_t size() const { return tail_ - head_; }
+
+  void push_back(const T& value) {
+    if (tail_ - head_ == buffer_.size()) grow();
+    buffer_[tail_++ & mask_] = value;
+  }
+
+  T& front() {
+    DRSM_CHECK(head_ != tail_, "RingQueue::front on empty queue");
+    return buffer_[head_ & mask_];
+  }
+  const T& front() const {
+    DRSM_CHECK(head_ != tail_, "RingQueue::front on empty queue");
+    return buffer_[head_ & mask_];
+  }
+
+  void pop_front() {
+    DRSM_CHECK(head_ != tail_, "RingQueue::pop_front on empty queue");
+    ++head_;
+  }
+
+  std::size_t capacity_bytes() const { return buffer_.size() * sizeof(T); }
+
+ private:
+  void grow() {
+    const std::size_t capacity =
+        buffer_.empty() ? kInitialCapacity : buffer_.size() * 2;
+    std::vector<T> grown(capacity);
+    const std::size_t mask = capacity - 1;
+    for (std::size_t i = head_; i != tail_; ++i)
+      grown[i & mask] = std::move(buffer_[i & mask_]);
+    buffer_ = std::move(grown);
+    mask_ = mask;
+  }
+
+  static constexpr std::size_t kInitialCapacity = 16;
+  std::vector<T> buffer_;
+  std::size_t mask_ = 0;
+  // Monotone positions; index = position & mask_.  size_t wraparound is
+  // harmless (differences and masked indices stay correct).
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+};
+
+}  // namespace drsm::sim

@@ -1,9 +1,9 @@
 #include "sim/event_sim.h"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <map>
-#include <queue>
 
 #include "support/error.h"
 #include "support/text.h"
@@ -17,18 +17,6 @@ using fsm::ParamPresence;
 using fsm::QueueKind;
 
 namespace {
-
-struct Event {
-  SimTime time = 0;
-  std::uint64_t seq = 0;  // tie-breaker preserving scheduling order
-  std::function<void()> fn;
-};
-
-struct EventLater {
-  bool operator()(const Event& a, const Event& b) const {
-    return a.time != b.time ? a.time > b.time : a.seq > b.seq;
-  }
-};
 
 /// The legacy MessageObserver as a sink: forwards each kMsgSend event to
 /// the callback (rebuilding the fsm::Message the old signature carried)
@@ -102,14 +90,15 @@ struct EventSimulator::Impl {
   // -- simulation state ----------------------------------------------------
   Rng rng;
   SimTime now = 0;
-  std::uint64_t event_seq = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> events;
+  // Pending events: POD records from the slab arena, popped in
+  // (time, schedule order) — see sim/event_queue.h.
+  EventQueue events;
 
   // machines[node][object]
   std::vector<std::vector<std::unique_ptr<fsm::ProtocolMachine>>> machines;
   // Per-node queues and processing state.
-  std::vector<std::deque<Message>> local_queue;
-  std::vector<std::deque<Message>> dist_queue;
+  std::vector<RingQueue<Message>> local_queue;
+  std::vector<RingQueue<Message>> dist_queue;
   std::vector<std::vector<bool>> local_disabled;  // [node][object]
   std::vector<bool> busy;
   // FIFO channels: latest scheduled delivery per (src, dst).
@@ -142,7 +131,9 @@ struct EventSimulator::Impl {
   SimTime latency_max = 0;
   double read_latency_sum = 0.0;
   double write_latency_sum = 0.0;
-  std::map<MsgType, std::size_t> message_mix;
+  // Dense message mix, one slot per MsgType; converted to the SimStats
+  // map at run end (only types that occurred, as before).
+  std::array<std::size_t, fsm::kNumMsgTypes> message_mix{};
   std::vector<Cost> cost_by_initiator;
   std::vector<Cost> cost_by_object;
   std::vector<std::size_t> handled_by_node;
@@ -222,7 +213,8 @@ struct EventSimulator::Impl {
   // -- mechanics -----------------------------------------------------------
   Impl(protocols::ProtocolKind k, const SystemConfig& cfg,
        const SimOptions& opts)
-      : kind(k), config(cfg), options(opts), rng(opts.seed) {
+      : kind(k), config(cfg), options(opts), rng(opts.seed),
+        events(opts.scheduler) {
     const std::size_t nodes = config.num_clients + 1;
     machines.resize(nodes);
     for (NodeId node = 0; node < nodes; ++node) {
@@ -244,8 +236,31 @@ struct EventSimulator::Impl {
         nodes, std::vector<std::uint64_t>(config.num_objects, 0));
   }
 
-  void schedule(SimTime delay, std::function<void()> fn) {
-    events.push(Event{now + delay, ++event_seq, std::move(fn)});
+  // Typed scheduling: every former closure is one POD record.  Payloads
+  // are copied at schedule time, matching the old by-value captures.
+  void schedule_deliver(SimTime delay, NodeId dst, const Message& msg,
+                        std::uint64_t msg_id) {
+    SimEvent& event = events.schedule(now + delay);
+    event.type = SimEventType::kDeliver;
+    event.node = dst;
+    event.msg = msg;
+    event.msg_id = msg_id;
+  }
+
+  void schedule_process(NodeId node, const Message& msg) {
+    SimEvent& event = events.schedule(now + options.latency.processing_time);
+    event.type = SimEventType::kProcess;
+    event.node = node;
+    event.msg = msg;
+  }
+
+  void schedule_start_op(SimTime think_time, NodeId node,
+                         const WorkloadDriver::Op& op) {
+    SimEvent& event = events.schedule(now + think_time);
+    event.type = SimEventType::kStartOp;
+    event.node = node;
+    event.object = op.object;
+    event.op = op.kind;
   }
 
   SimTime draw_latency() {
@@ -295,13 +310,13 @@ struct EventSimulator::Impl {
     if (src == dst) {
       // Local action: free, delivered instantly at the next event; not an
       // inter-node message, so never traced or queue-depth sampled.
-      schedule(0, [this, dst, msg] { route(dst, msg); });
+      schedule_deliver(0, dst, msg, /*msg_id=*/0);
       return;
     }
     const Cost cost = config.costs.message_cost(msg.token.params);
     total_cost += cost;
     ++total_messages;
-    ++message_mix[msg.token.type];
+    ++message_mix[static_cast<std::size_t>(msg.token.type)];
     if (msg.token.initiator < cost_by_initiator.size())
       cost_by_initiator[msg.token.initiator] += cost;
     if (msg.token.object < cost_by_object.size())
@@ -311,16 +326,15 @@ struct EventSimulator::Impl {
     arrival = std::max(arrival, channel_front[src][dst]);
     channel_front[src][dst] = arrival;
     if (sink == nullptr && seq_depth_series == nullptr) [[likely]] {
-      // Observability detached: the delivery closure and path are exactly
-      // the untraced ones (no message id, no per-delivery checks).
-      schedule(arrival - now, [this, dst, msg] { route(dst, msg); });
+      // Observability detached: deliveries carry no message id and skip
+      // the per-delivery trace checks.
+      schedule_deliver(arrival - now, dst, msg, /*msg_id=*/0);
       return;
     }
     const std::uint64_t id = ++msg_seq;
     if (sink != nullptr)
       emit_message_event(obs::EventKind::kMsgSend, src, dst, msg, id, cost);
-    schedule(arrival - now,
-             [this, dst, msg, id] { deliver_traced(dst, msg, id); });
+    schedule_deliver(arrival - now, dst, msg, id);
   }
 
   /// Delivery tail shared by the traced and untraced paths.
@@ -356,11 +370,7 @@ struct EventSimulator::Impl {
       return;
     }
     busy[node] = true;
-    schedule(options.latency.processing_time, [this, node, msg] {
-      handle(node, msg);
-      busy[node] = false;
-      try_process(node);
-    });
+    schedule_process(node, msg);
   }
 
   void handle(NodeId node, const Message& msg) {
@@ -399,10 +409,7 @@ struct EventSimulator::Impl {
     if (stopped_issuing) return;
     const auto op = driver->next_op(node);
     if (!op.has_value()) return;
-    schedule(op->think_time, [this, node, op = *op] {
-      if (stopped_issuing) return;
-      start_op(node, op);
-    });
+    schedule_start_op(op->think_time, node, *op);
   }
 
   void start_op(NodeId node, const WorkloadDriver::Op& op) {
@@ -495,12 +502,27 @@ struct EventSimulator::Impl {
     // completed no new operations are issued, but the tails of in-flight
     // traces (e.g. invalidations behind a fire-and-forget write) still
     // execute and are charged, so measured costs cover whole traces.
-    while (!events.empty()) {
-      Event ev = events.top();
-      events.pop();
+    SimEvent ev;
+    while (events.pop(ev)) {
       DRSM_CHECK(ev.time >= now, "time went backwards");
       now = ev.time;
-      ev.fn();
+      switch (ev.type) {
+        case SimEventType::kDeliver:
+          if (ev.msg_id != 0) [[unlikely]]
+            deliver_traced(ev.node, ev.msg, ev.msg_id);
+          else
+            route(ev.node, ev.msg);
+          break;
+        case SimEventType::kProcess:
+          handle(ev.node, ev.msg);
+          busy[ev.node] = false;
+          try_process(ev.node);
+          break;
+        case SimEventType::kStartOp:
+          if (!stopped_issuing)
+            start_op(ev.node, {ev.object, ev.op, /*think_time=*/0});
+          break;
+      }
     }
 
     SimStats stats;
@@ -515,11 +537,17 @@ struct EventSimulator::Impl {
     stats.writes = writes_measured;
     stats.messages = total_messages;
     stats.end_time = now;
-    stats.latency_sum = latency_sum;
-    stats.latency_max = latency_max;
-    stats.read_latency_sum = read_latency_sum;
-    stats.write_latency_sum = write_latency_sum;
-    stats.message_mix = message_mix;
+    // Latency aggregates are only recorded post-warmup; with zero
+    // measured operations they must read as empty, whatever leaked in.
+    if (stats.measured_ops > 0) {
+      stats.latency_sum = latency_sum;
+      stats.latency_max = latency_max;
+      stats.read_latency_sum = read_latency_sum;
+      stats.write_latency_sum = write_latency_sum;
+    }
+    for (std::size_t type = 0; type < message_mix.size(); ++type)
+      if (message_mix[type] > 0)
+        stats.message_mix[static_cast<MsgType>(type)] = message_mix[type];
     stats.cost_by_initiator = cost_by_initiator;
     stats.cost_by_object = cost_by_object;
     stats.handled_by_node = handled_by_node;
@@ -528,15 +556,31 @@ struct EventSimulator::Impl {
     return stats;
   }
 
+  /// Bytes held by the per-node ring buffers (their high-water capacity).
+  std::size_t queue_bytes() const {
+    std::size_t bytes = 0;
+    for (const auto& q : local_queue) bytes += q.capacity_bytes();
+    for (const auto& q : dist_queue) bytes += q.capacity_bytes();
+    return bytes;
+  }
+
   void publish_metrics(const SimStats& stats) {
     metrics->counter("sim.runs").inc();
     metrics->counter("sim.messages").inc(stats.messages);
     metrics->counter("sim.ops").inc(completed_ops);
     metrics->counter("sim.reads").inc(stats.reads);
     metrics->counter("sim.writes").inc(stats.writes);
-    for (const auto& [type, count] : message_mix)
-      metrics->counter(std::string("sim.msg.") + fsm::to_string(type))
-          .inc(count);
+    metrics->counter("sim.events").inc(events.scheduled());
+    metrics->counter("sim.alloc_bytes")
+        .inc(events.arena_bytes() + queue_bytes());
+    metrics->gauge("sim.peak_pending_events")
+        .set(static_cast<double>(events.peak_pending()));
+    for (std::size_t type = 0; type < message_mix.size(); ++type)
+      if (message_mix[type] > 0)
+        metrics
+            ->counter(std::string("sim.msg.") +
+                      fsm::to_string(static_cast<MsgType>(type)))
+            .inc(message_mix[type]);
     metrics->gauge("sim.acc").set(stats.acc());
     metrics->gauge("sim.measured_cost").add(stats.measured_cost);
     metrics->gauge("sim.end_time").set(static_cast<double>(stats.end_time));

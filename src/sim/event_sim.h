@@ -14,7 +14,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
@@ -25,6 +24,7 @@
 #include "obs/trace.h"
 #include "protocols/protocol.h"
 #include "sim/config.h"
+#include "sim/event_queue.h"
 #include "support/rng.h"
 
 namespace drsm::sim {
@@ -126,6 +126,12 @@ struct SimOptions {
   std::size_t warmup_ops = 500; // the paper's neglected transient
   std::uint64_t seed = 1;
   bool check_coherence = true;  // per-node version monotonicity
+
+  /// Event scheduling structure.  kTimeWheel is the fast production path;
+  /// kBinaryHeap is the order-isomorphic reference the determinism tests
+  /// compare against.  Both pop in (time, schedule order), so results are
+  /// identical either way.
+  SchedulerKind scheduler = SchedulerKind::kTimeWheel;
 };
 
 /// Observer invoked for every inter-node message (used by the trace

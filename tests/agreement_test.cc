@@ -1,0 +1,81 @@
+// Analytic-vs-simulation agreement, the paper's Table 7 experiment as a
+// regression test: for every protocol, over a small (p, sigma) grid of
+// read-disturbance workloads, the replicated simulator's mean acc must
+// land within the paper's reported < +-8 % of the analytic prediction.
+// Replications (sim::run_replications) keep the sampling noise small
+// enough to make 8 % a stable bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "analytic/solver.h"
+#include "protocols/protocol.h"
+#include "sim/replication.h"
+#include "workload/generator.h"
+
+namespace drsm {
+namespace {
+
+using protocols::ProtocolKind;
+
+class Table7AgreementTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(Table7AgreementTest, ReplicatedSimWithinEightPercentOfAnalytic) {
+  sim::SystemConfig config;
+  config.num_clients = 3;
+  config.costs.s = 100.0;
+  config.costs.p = 30.0;
+
+  analytic::AccSolver solver(config);
+
+  struct Point {
+    double p;
+    double sigma;
+  };
+  // Both points keep p + a*sigma <= 1 (a = 2) and exercise different
+  // write intensities.
+  const Point grid[] = {{0.2, 0.1}, {0.4, 0.2}};
+
+  for (const Point& point : grid) {
+    const auto spec = workload::read_disturbance(point.p, point.sigma, 2);
+    const double predicted = solver.acc(GetParam(), spec);
+    ASSERT_GT(predicted, 0.0);
+
+    sim::SimOptions options;
+    options.max_ops = 12000;
+    options.warmup_ops = 1000;
+
+    sim::ReplicationOptions reps;
+    reps.replications = 4;
+    reps.base_seed = 0x7AB1E7;
+
+    const sim::ReplicatedStats stats = sim::run_replications(
+        GetParam(), config, options,
+        [&](std::uint64_t seed, std::size_t /*rep*/) {
+          return std::make_unique<workload::ConcurrentDriver>(spec,
+                                                              seed ^ 0xBEEF);
+        },
+        reps);
+
+    const double deviation =
+        std::fabs(stats.acc.mean - predicted) / predicted;
+    EXPECT_LT(deviation, 0.08)
+        << protocols::to_string(GetParam()) << " at p=" << point.p
+        << " sigma=" << point.sigma << ": simulated " << stats.acc.mean
+        << " +- " << stats.acc.half_width << " vs analytic " << predicted;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, Table7AgreementTest,
+                         ::testing::ValuesIn(protocols::kAllProtocols),
+                         [](const auto& info) {
+                           std::string name =
+                               protocols::to_string(info.param);
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace drsm

@@ -1,0 +1,241 @@
+// Tests for the zero-allocation event engine: RingQueue FIFO semantics
+// and growth, EventQueue (time, seq) pop order under every placement
+// path (L0, L1, overflow heap, horizon jump, zero delays), differential
+// agreement between the time-wheel and the binary-heap reference, and
+// steady-state arena reuse.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "support/rng.h"
+
+namespace drsm {
+namespace {
+
+using sim::EventQueue;
+using sim::RingQueue;
+using sim::SchedulerKind;
+using sim::SimEvent;
+
+// ---------------------------------------------------------------------------
+// RingQueue
+// ---------------------------------------------------------------------------
+
+TEST(RingQueue, FifoOrderAcrossGrowth) {
+  RingQueue<int> queue;
+  std::deque<int> reference;
+  Rng rng(7);
+  int next = 0;
+  for (int step = 0; step < 20000; ++step) {
+    const bool push = reference.empty() || rng.uniform() < 0.55;
+    if (push) {
+      queue.push_back(next);
+      reference.push_back(next);
+      ++next;
+    } else {
+      ASSERT_EQ(queue.front(), reference.front());
+      queue.pop_front();
+      reference.pop_front();
+    }
+    ASSERT_EQ(queue.size(), reference.size());
+    ASSERT_EQ(queue.empty(), reference.empty());
+  }
+}
+
+TEST(RingQueue, WrapsWithoutGrowingWhenDrained) {
+  RingQueue<int> queue;
+  for (int i = 0; i < 8; ++i) queue.push_back(i);
+  const std::size_t bytes = queue.capacity_bytes();
+  // Pump far more elements than the capacity through the queue while
+  // keeping the population small: the buffer must wrap, not grow.
+  for (int i = 0; i < 10000; ++i) {
+    queue.push_back(100 + i);
+    ASSERT_EQ(queue.front(), i < 8 ? i : 100 + i - 8);
+    queue.pop_front();
+  }
+  EXPECT_EQ(queue.capacity_bytes(), bytes);
+}
+
+TEST(RingQueue, GrowthPreservesContentsOfNonTrivialType) {
+  RingQueue<std::string> queue;
+  for (int i = 0; i < 100; ++i) queue.push_back("item-" + std::to_string(i));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(queue.front(), "item-" + std::to_string(i));
+    queue.pop_front();
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+// ---------------------------------------------------------------------------
+// EventQueue pop order
+// ---------------------------------------------------------------------------
+
+TEST(EventQueue, PopsByTimeThenScheduleOrder) {
+  for (SchedulerKind kind :
+       {SchedulerKind::kTimeWheel, SchedulerKind::kBinaryHeap}) {
+    EventQueue queue(kind);
+    // Same time scheduled repeatedly, interleaved with other times.
+    queue.schedule(5).node = 0;
+    queue.schedule(3).node = 1;
+    queue.schedule(5).node = 2;
+    queue.schedule(3).node = 3;
+    queue.schedule(4).node = 4;
+
+    SimEvent ev;
+    std::vector<NodeId> order;
+    while (queue.pop(ev)) order.push_back(ev.node);
+    EXPECT_EQ(order, (std::vector<NodeId>{1, 3, 4, 0, 2}));
+  }
+}
+
+TEST(EventQueue, ZeroDelayEventsRunBeforeLaterTimes) {
+  EventQueue queue;
+  queue.schedule(10).node = 1;
+  SimEvent ev;
+  ASSERT_TRUE(queue.pop(ev));
+  EXPECT_EQ(ev.time, 10u);
+  // Schedule at the current time from "inside" the handler.
+  queue.schedule(10).node = 2;
+  queue.schedule(11).node = 3;
+  queue.schedule(10).node = 4;
+  ASSERT_TRUE(queue.pop(ev));
+  EXPECT_EQ(ev.node, 2u);
+  ASSERT_TRUE(queue.pop(ev));
+  EXPECT_EQ(ev.node, 4u);
+  ASSERT_TRUE(queue.pop(ev));
+  EXPECT_EQ(ev.node, 3u);
+  EXPECT_FALSE(queue.pop(ev));
+}
+
+TEST(EventQueue, OverflowHorizonJumpKeepsOrder) {
+  // All events far beyond the 65536-tick wheel horizon, forcing the
+  // overflow heap and the wheel-empty jump path.
+  EventQueue queue;
+  queue.schedule(1'000'000).node = 1;
+  queue.schedule(900'000).node = 2;
+  queue.schedule(900'000).node = 3;
+  queue.schedule(5'000'000).node = 4;
+
+  SimEvent ev;
+  std::vector<NodeId> order;
+  std::vector<SimTime> times;
+  while (queue.pop(ev)) {
+    order.push_back(ev.node);
+    times.push_back(ev.time);
+  }
+  EXPECT_EQ(order, (std::vector<NodeId>{2, 3, 1, 4}));
+  EXPECT_EQ(times, (std::vector<SimTime>{900'000, 900'000, 1'000'000,
+                                         5'000'000}));
+}
+
+// The bug the wheel once had: an event scheduled early (low seq) toward a
+// distant time cascades into an L0 slot that already holds a later
+// schedule (higher seq) for the same tick — pop order must still be seq
+// order.
+TEST(EventQueue, LateCascadeEventSortsBeforeDirectInsertAtSameTick) {
+  EventQueue queue;
+  const SimTime target = 2000;      // one L0-window ahead of time 0
+  queue.schedule(target).node = 1;  // seq 1: parked in an L1 slot
+  queue.schedule(1023).node = 2;    // seq 2: direct L0 insert
+  SimEvent ev;
+  ASSERT_TRUE(queue.pop(ev));  // cursor moves to 1023
+  EXPECT_EQ(ev.node, 2u);
+  // Now `target` is within the L0 window: this files seq 3 directly into
+  // the L0 slot for tick 2000, *before* seq 1 cascades out of L1 into the
+  // same slot.  The cascade must sort seq 1 ahead of it.
+  queue.schedule(target).node = 3;
+  std::vector<NodeId> order;
+  while (queue.pop(ev)) order.push_back(ev.node);
+  EXPECT_EQ(order, (std::vector<NodeId>{1, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// Differential fuzz: the wheel agrees with the heap reference event for
+// event over adversarial delay mixes (0-delay, in-slot, cross-L1,
+// beyond-horizon, long idle jumps).
+// ---------------------------------------------------------------------------
+
+TEST(EventQueue, WheelMatchesHeapReferenceUnderRandomSchedules) {
+  Rng rng(0xD1FFu);
+  for (int trial = 0; trial < 50; ++trial) {
+    EventQueue wheel(SchedulerKind::kTimeWheel);
+    EventQueue heap(SchedulerKind::kBinaryHeap);
+    SimTime now = 0;
+    std::uint32_t id = 0;
+    std::size_t pending = 0;
+
+    auto schedule_pair = [&](SimTime delay) {
+      wheel.schedule(now + delay).msg_id = id;
+      heap.schedule(now + delay).msg_id = id;
+      ++id;
+      ++pending;
+    };
+
+    for (int i = 0; i < 16; ++i) schedule_pair(rng.uniform_index(2000));
+    for (int step = 0; step < 4000; ++step) {
+      SimEvent a, b;
+      ASSERT_TRUE(wheel.pop(a));
+      ASSERT_TRUE(heap.pop(b));
+      --pending;
+      ASSERT_EQ(a.time, b.time) << "trial " << trial << " step " << step;
+      ASSERT_EQ(a.seq, b.seq) << "trial " << trial << " step " << step;
+      ASSERT_EQ(a.msg_id, b.msg_id);
+      ASSERT_GE(a.time, now);
+      now = a.time;
+
+      const std::size_t births = rng.uniform_index(3);
+      for (std::size_t i = 0; i < births || pending == 0; ++i) {
+        const std::uint64_t shape = rng.uniform_index(100);
+        SimTime delay;
+        if (shape < 25) {
+          delay = 0;  // same-tick reschedule
+        } else if (shape < 60) {
+          delay = rng.uniform_index(1024);  // inside the L0 window
+        } else if (shape < 85) {
+          delay = rng.uniform_index(60) << 10;  // lands in L1 slots
+        } else if (shape < 95) {
+          delay = 65'536 + rng.uniform_index(200'000);  // overflow heap
+        } else {
+          delay = 1'000'000 + rng.uniform_index(1'000'000);  // long idle jump
+        }
+        schedule_pair(delay);
+      }
+    }
+    // Drain both completely.
+    SimEvent a, b;
+    while (wheel.pop(a)) {
+      ASSERT_TRUE(heap.pop(b));
+      ASSERT_EQ(a.time, b.time);
+      ASSERT_EQ(a.seq, b.seq);
+    }
+    EXPECT_FALSE(heap.pop(b));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Arena reuse: steady-state churn must not grow the slab arena.
+// ---------------------------------------------------------------------------
+
+TEST(EventQueue, ArenaStopsGrowingAtSteadyState) {
+  EventQueue queue;
+  SimTime now = 0;
+  // Keep ~64 events pending while pumping 100k events through.
+  for (int i = 0; i < 64; ++i) queue.schedule(now + 1 + i);
+  SimEvent ev;
+  for (int i = 0; i < 100'000; ++i) {
+    ASSERT_TRUE(queue.pop(ev));
+    now = ev.time;
+    queue.schedule(now + 1 + (i % 97));
+  }
+  EXPECT_EQ(queue.arena_blocks(), 1u);  // 64 live records fit one slab
+  EXPECT_EQ(queue.peak_pending(), 64u);
+  EXPECT_EQ(queue.scheduled(), 100'064u);
+}
+
+}  // namespace
+}  // namespace drsm

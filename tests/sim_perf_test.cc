@@ -1,0 +1,123 @@
+// Microbenchmark-style checks of the event engine, run under the ctest
+// `perf` label (ctest -L perf).  Asserts the structural properties that
+// make the engine fast — bounded arena growth, steady-state reuse —
+// and prints the measured throughput for the numbers quoted in
+// docs/PERFORMANCE.md.  Wall-clock thresholds are deliberately loose:
+// the structural assertions are the regression guard, the printed rates
+// are informational.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "obs/metrics.h"
+#include "protocols/protocol.h"
+#include "sim/event_sim.h"
+#include "sim/replication.h"
+#include "workload/generator.h"
+
+namespace drsm {
+namespace {
+
+using protocols::ProtocolKind;
+
+TEST(SimPerf, EventEngineThroughputAndArenaBound) {
+  sim::SystemConfig config;
+  config.num_clients = 8;
+  config.num_objects = 8;
+
+  sim::SimOptions options;
+  options.max_ops = 100'000;
+  options.warmup_ops = 1000;
+  options.seed = 404;
+  options.latency.min_latency = 1;
+  options.latency.max_latency = 5;
+  options.latency.processing_time = 1;
+
+  obs::MetricsRegistry metrics;
+  sim::EventSimulator simulator(ProtocolKind::kBerkeley, config, options);
+  simulator.set_metrics(&metrics);
+  workload::ConcurrentDriver driver(workload::read_disturbance(0.3, 0.1, 2),
+                                    405, config.num_objects);
+
+  const auto start = std::chrono::steady_clock::now();
+  const sim::SimStats stats = simulator.run(driver);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const obs::Counter* events = metrics.find_counter("sim.events");
+  const obs::Counter* alloc = metrics.find_counter("sim.alloc_bytes");
+  const obs::Gauge* peak = metrics.find_gauge("sim.peak_pending_events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_NE(alloc, nullptr);
+  ASSERT_NE(peak, nullptr);
+
+  EXPECT_GT(stats.messages, 100'000u);
+  EXPECT_GT(events->value(), stats.messages);
+
+  // The zero-allocation claim: the engine's footprint is the peak-pending
+  // working set, not the event volume.  A closed-loop run of this size
+  // schedules ~1M events; the arena + ring buffers must stay under 1 MB.
+  EXPECT_LT(alloc->value(), 1u << 20)
+      << "arena grew with event volume, not with peak pending";
+  EXPECT_LT(peak->value(), 4096.0);
+
+  std::printf("[sim_perf] %llu events, %zu messages in %.3f s: %.2fM "
+              "events/s, %.2fM msgs/s, %llu alloc bytes, peak pending %g\n",
+              static_cast<unsigned long long>(events->value()),
+              stats.messages, seconds,
+              static_cast<double>(events->value()) / seconds / 1e6,
+              static_cast<double>(stats.messages) / seconds / 1e6,
+              static_cast<unsigned long long>(alloc->value()),
+              peak->value());
+}
+
+TEST(SimPerf, ReplicationHarnessScalesAndStaysDeterministic) {
+  sim::SystemConfig config;
+  config.num_clients = 4;
+  config.num_objects = 4;
+
+  sim::SimOptions options;
+  options.max_ops = 20'000;
+  options.warmup_ops = 500;
+  options.latency.min_latency = 1;
+  options.latency.max_latency = 4;
+  options.latency.processing_time = 1;
+
+  const auto spec = workload::read_disturbance(0.3, 0.1, 2);
+  auto factory = [&](std::uint64_t seed, std::size_t /*rep*/) {
+    return std::make_unique<workload::ConcurrentDriver>(spec, seed ^ 0xBEEF,
+                                                        config.num_objects);
+  };
+
+  auto timed = [&](std::size_t threads) {
+    sim::ReplicationOptions reps;
+    reps.replications = 8;
+    reps.threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    sim::ReplicatedStats stats = sim::run_replications(
+        ProtocolKind::kWriteThrough, config, options, factory, reps);
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    return std::make_pair(seconds, std::move(stats));
+  };
+
+  const auto [serial_s, serial] = timed(1);
+  const auto [parallel_s, parallel] = timed(0);  // hardware concurrency
+
+  // Determinism across thread counts is the hard requirement; speedup
+  // depends on the host's core count and is only reported.
+  EXPECT_EQ(serial.acc_samples, parallel.acc_samples);
+  EXPECT_EQ(serial.merged.measured_cost, parallel.merged.measured_cost);
+  EXPECT_EQ(serial.merged.end_time, parallel.merged.end_time);
+
+  std::printf("[sim_perf] replication x8: serial %.3f s, parallel %.3f s, "
+              "speedup %.2fx\n",
+              serial_s, parallel_s, serial_s / parallel_s);
+}
+
+}  // namespace
+}  // namespace drsm
