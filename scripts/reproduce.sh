@@ -20,6 +20,20 @@ if [ "${DRSM_SKIP_TSAN:-0}" != "1" ]; then
   ./build-tsan/tests/race_test 2>&1 | tee -a test_output.txt
 fi
 
+# Verification stage: exhaustive model check of all eight protocols plus
+# the property-based coherence harness (see docs/TESTING.md).  N=3 covers
+# the acceptance configurations; the tests' N=2 sweep already ran in ctest.
+./build/tools/drsm_check --clients=3 --seeds=200 2>&1 | tee -a test_output.txt
+
+# One verification pass under ThreadSanitizer as well: the checker and
+# oracle share the simulator hot path, so a data race in the tap wiring
+# would surface here.  Reduced configuration — TSan is ~10x slower.
+if [ "${DRSM_SKIP_TSAN:-0}" != "1" ]; then
+  cmake -B build-tsan -G Ninja -DDRSM_SANITIZE=thread
+  cmake --build build-tsan --target drsm_check
+  ./build-tsan/tools/drsm_check --clients=2 --seeds=25 2>&1 | tee -a test_output.txt
+fi
+
 # The zero-allocation event engine once more under AddressSanitizer +
 # UndefinedBehaviorSanitizer: the slab arena, free-list recycling and
 # ring-buffer index arithmetic are exactly the code a use-after-recycle

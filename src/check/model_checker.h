@@ -1,0 +1,137 @@
+// Explicit-state model checker for the eight replication protocols.
+//
+// The checked model is the paper's system at full asynchrony: one protocol
+// machine per node (N clients plus the sequencer), connected by bounded
+// FIFO channels, one channel per directed node pair.  Clients issue a
+// bounded budget of application operations (closed loop: one outstanding
+// operation per client); between steps the only nondeterminism is *which*
+// enabled action fires next — a client issuing an operation, or the head
+// of one channel being delivered.  BFS over that nondeterminism enumerates
+// every reachable global state for small configurations, deduplicating on
+// the machines' total-state encodings (fsm::ProtocolMachine::encode_full)
+// plus channel contents and per-client issue bookkeeping.
+//
+// Checked on every reachable state:
+//  * defined-transition — no machine ever rejects a delivered message
+//    (a DRSM_CHECK firing inside on_message is the protocol's "no
+//    transition for this (state, token) pair");
+//  * exclusivity — at most one copy per object is in a state that permits
+//    local writes (protocols::classify_state == kExclusive);
+//  * deadlock — a client with a pending operation and *no* message in any
+//    channel can never complete (the protocols have no timers);
+//  * stuck-disable — at quiescence (no pending operation, empty channels)
+//    every local queue must be enabled again: each disable_local_queue is
+//    matched by an enable before the operation completes;
+//  * serialization — versions are drawn only at the serialization point,
+//    each version binds to exactly one value, reads return serialized
+//    values (the CoherenceOracle rules, kConcurrent mode);
+//  * read-probe — at every quiescent state, a fresh read issued at each
+//    client (on a clone of the state) must complete and return the latest
+//    serialized write: a missed invalidation or lost update surfaces here.
+//
+// Because the search is breadth-first, the first violation found has a
+// minimal-length trace from the initial state; export_counterexample
+// renders it through the obs trace recorder as one kCheckStep event per
+// step plus a final kViolation event.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fsm/mealy.h"
+#include "obs/trace.h"
+#include "protocols/protocol.h"
+
+namespace drsm::check {
+
+struct CheckConfig {
+  protocols::ProtocolKind protocol = protocols::ProtocolKind::kWriteThrough;
+
+  /// Machines come from protocols::make_machine(protocol, ...) unless this
+  /// factory is set (used to put hand-built machines — e.g. deliberately
+  /// broken ones, or the formal transition tables of fsm/table.h — through
+  /// the same exploration).
+  using MachineFactory =
+      std::function<std::unique_ptr<fsm::ProtocolMachine>(NodeId)>;
+  MachineFactory machine_factory;
+
+  /// N: clients 0..N-1 issue operations; node N is the sequencer.
+  std::size_t num_clients = 2;
+
+  /// Per-client operation budgets.  The issue choices (which client, read
+  /// or write) are part of the explored nondeterminism.
+  std::size_t reads_per_client = 1;
+  std::size_t writes_per_client = 1;
+
+  /// Bound on in-flight messages per directed channel.  A successor that
+  /// would exceed it is cut (counted in CheckResult::truncated), keeping
+  /// the state space finite even for hypothetical flooding machines; the
+  /// real protocols stay far below any reasonable bound.
+  std::size_t channel_capacity = 8;
+
+  /// Exploration cap; hitting it marks the result truncated.
+  std::size_t max_states = 1'000'000;
+
+  /// Classify state names via protocols::classify_state (disable for
+  /// machine_factory machines with non-protocol state names).
+  bool check_exclusivity = true;
+
+  /// Run the quiescent read-agreement probe (requires machines that
+  /// complete reads; disable for hand-built fragments).
+  bool probe_quiescent_reads = true;
+};
+
+/// One edge of the explored transition system.
+struct CheckStep {
+  enum class Kind : std::uint8_t {
+    kIssue,    // client `node` issues `op` (value for writes)
+    kDeliver,  // head of channel src->node delivered
+  };
+  Kind kind = Kind::kIssue;
+  NodeId node = 0;          // acting node (issuer / receiver)
+  NodeId src = kNoNode;     // deliver: channel source
+  fsm::OpKind op = fsm::OpKind::kRead;  // issue
+  fsm::Message msg;         // deliver: the message; issue: the request
+};
+
+struct Violation {
+  const char* invariant = "";  // static name: "deadlock", "exclusivity", ...
+  std::string detail;          // human-readable specifics
+};
+
+struct CheckResult {
+  std::size_t states = 0;       // distinct reachable states visited
+  std::size_t transitions = 0;  // explored edges (including into dedups)
+  std::size_t probes = 0;       // quiescent read probes run
+  std::size_t truncated = 0;    // successors cut by channel_capacity
+  bool hit_state_cap = false;   // max_states reached: result is partial
+  std::size_t max_depth = 0;    // BFS depth of the deepest visited state
+
+  /// Every ProtocolMachine::state_name() observed, sorted and unique —
+  /// the coverage tests assert this equals protocols::copy_state_names.
+  std::vector<std::string> visited_state_names;
+
+  /// Empty on success.  Exploration stops at the first violation, so at
+  /// most one entry today; kept a vector for future collect-all modes.
+  std::vector<Violation> violations;
+
+  /// Minimal trace from the initial state to the violating one (empty when
+  /// ok).  The last step is the one that produced the violation.
+  std::vector<CheckStep> counterexample;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// Exhaustively explores the protocol under `config`.
+CheckResult check_protocol(const CheckConfig& config);
+
+/// Renders result.counterexample into `out` as kCheckStep events (time =
+/// step index) followed by one kViolation event, ready for
+/// TraceRecorder::write_jsonl.  No-op when the result is ok.
+void export_counterexample(const CheckResult& result,
+                           obs::TraceRecorder& out);
+
+}  // namespace drsm::check

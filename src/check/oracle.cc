@@ -1,0 +1,158 @@
+#include "check/oracle.h"
+
+#include "support/text.h"
+
+namespace drsm::check {
+
+namespace {
+
+// Violation messages are kept useful but bounded: a broken run can produce
+// one violation per read, and the first few tell the whole story.
+constexpr std::size_t kMaxViolations = 64;
+
+std::uint64_t node_object_key(NodeId node, ObjectId object) {
+  return (static_cast<std::uint64_t>(node) << 32) | object;
+}
+
+}  // namespace
+
+CoherenceOracle::CoherenceOracle(OracleMode mode) : mode_(mode) {}
+
+CoherenceOracle::ObjectLog& CoherenceOracle::log(ObjectId object) {
+  return logs_[object];
+}
+
+void CoherenceOracle::violation(std::string text) {
+  if (violations_.size() < kMaxViolations)
+    violations_.push_back(std::move(text));
+}
+
+void CoherenceOracle::on_write_issue(double time, NodeId node,
+                                     ObjectId object, std::uint64_t value) {
+  (void)time;
+  (void)object;
+  ++issue_count_;
+  if (value == 0) {
+    violation("write issued with value 0 (reserved for 'never written')");
+    return;
+  }
+  const auto [it, inserted] = issued_.emplace(value, node);
+  if (!inserted)
+    violation(strfmt("write value %llu issued twice (nodes %u and %u)",
+                     static_cast<unsigned long long>(value), it->second,
+                     node));
+}
+
+void CoherenceOracle::on_commit(double time, NodeId node, ObjectId object,
+                                std::uint64_t version, std::uint64_t value) {
+  (void)time;
+  (void)node;
+  ++commit_count_;
+  if (version == 0) {
+    violation("commit with version 0 (reserved for 'never written')");
+    return;
+  }
+  if (issued_.find(value) == issued_.end())
+    violation(strfmt("version %llu commits value %llu that no application "
+                     "write issued",
+                     static_cast<unsigned long long>(version),
+                     static_cast<unsigned long long>(value)));
+  ObjectLog& l = log(object);
+  const auto [it, inserted] = l.by_version.emplace(version, value);
+  if (!inserted) {
+    if (it->second != value)
+      violation(strfmt("object %u version %llu rebound: value %llu then "
+                       "%llu",
+                       object, static_cast<unsigned long long>(version),
+                       static_cast<unsigned long long>(it->second),
+                       static_cast<unsigned long long>(value)));
+    return;  // duplicate report of the same pair: fine
+  }
+  if (version > l.latest_version) {
+    l.latest_version = version;
+    l.latest_value = value;
+  }
+}
+
+void CoherenceOracle::on_read(double time, NodeId node, ObjectId object,
+                              std::uint64_t value, std::uint64_t version) {
+  reads_.push_back({time, node, object, value, version});
+  ObjectLog& l = log(object);
+
+  const auto own = issued_.find(value);
+  const bool own_write = own != issued_.end() && own->second == node;
+
+  if (mode_ == OracleMode::kSequential) {
+    // Atomic operations: the read must observe the latest serialized
+    // write.  The version may lag only on the node's own copy of its own
+    // write (Dragon's optimistic apply keeps the pre-write version).
+    if (value != l.latest_value)
+      violation(strfmt("node %u read value %llu, latest serialized write "
+                       "of object %u is %llu (version %llu)",
+                       node, static_cast<unsigned long long>(value), object,
+                       static_cast<unsigned long long>(l.latest_value),
+                       static_cast<unsigned long long>(l.latest_version)));
+    else if (version != l.latest_version && !own_write)
+      violation(strfmt("node %u read version %llu of object %u, expected "
+                       "latest version %llu",
+                       node, static_cast<unsigned long long>(version),
+                       object,
+                       static_cast<unsigned long long>(l.latest_version)));
+  } else {
+    // Concurrent operations: staleness is allowed, fabrication is not.
+    if (version == 0) {
+      if (value != 0 && !own_write)
+        violation(strfmt("node %u read unserialized value %llu of object "
+                         "%u (version 0)",
+                         node, static_cast<unsigned long long>(value),
+                         object));
+    } else {
+      const auto it = l.by_version.find(version);
+      if (it == l.by_version.end()) {
+        if (!own_write)
+          violation(strfmt("node %u read object %u at version %llu, which "
+                           "was never serialized",
+                           node, object,
+                           static_cast<unsigned long long>(version)));
+      } else if (it->second != value && !own_write) {
+        violation(strfmt("node %u read (value %llu, version %llu) of "
+                         "object %u, but version %llu serialized value "
+                         "%llu",
+                         node, static_cast<unsigned long long>(value),
+                         static_cast<unsigned long long>(version), object,
+                         static_cast<unsigned long long>(version),
+                         static_cast<unsigned long long>(it->second)));
+      }
+    }
+    // Per-node version monotonicity: a node never travels back in time.
+    std::uint64_t& last = last_read_version_[node_object_key(node, object)];
+    if (version < last)
+      violation(strfmt("node %u read object %u at version %llu after "
+                       "version %llu",
+                       node, object,
+                       static_cast<unsigned long long>(version),
+                       static_cast<unsigned long long>(last)));
+    if (version > last) last = version;
+  }
+}
+
+void CoherenceOracle::finish() {
+  for (const auto& [object, l] : logs_) {
+    for (std::uint64_t v = 1; v <= l.latest_version; ++v)
+      if (l.by_version.find(v) == l.by_version.end())
+        violation(strfmt("object %u version sequence has a gap at %llu "
+                         "(latest %llu)",
+                         object, static_cast<unsigned long long>(v),
+                         static_cast<unsigned long long>(l.latest_version)));
+  }
+}
+
+std::uint64_t CoherenceOracle::value_at(ObjectId object,
+                                        std::uint64_t version) const {
+  const auto lit = logs_.find(object);
+  if (lit == logs_.end()) return 0;
+  const auto vit = lit->second.by_version.find(version);
+  return vit == lit->second.by_version.end() ? 0 : vit->second;
+}
+
+}  // namespace drsm::check

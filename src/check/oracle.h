@@ -1,0 +1,103 @@
+// CoherenceOracle: an independent sequential-consistency referee.
+//
+// The oracle attaches to a runtime as a sim::CoherenceTap and rebuilds the
+// object's serialized history from the commit_write reports alone — it
+// never looks at the machines' internal value/version fields, so it checks
+// the protocols rather than trusting them.  Three ingredients:
+//
+//  * the issue log: every application write that entered the system, with
+//    its (unique) value and issuing node;
+//  * the commit log: the sequencer's serialization order, a version->value
+//    binding that must never be rebound (duplicate reports of the same
+//    pair are fine — two-phase protocols report from both ends);
+//  * the read log: every value returned to an application, checked against
+//    the commit log as it happens.
+//
+// Two strictness levels match the two runtimes.  Under kSequential
+// (SequentialRuntime: one atomic operation at a time) every read must
+// return the *latest* serialized write.  Under kConcurrent
+// (EventSimulator: operations overlap, invalidations travel with latency)
+// a read may be stale, but must still return some serialized (version,
+// value) pair and versions must be non-decreasing per node.  Both modes
+// allow the one deliberate exception: a node may see its *own* issued
+// write before (or without) learning its sequence number — Dragon clients
+// apply their writes optimistically and keep a stale version until the
+// next foreign update arrives.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/coherence_tap.h"
+
+namespace drsm::check {
+
+enum class OracleMode : std::uint8_t {
+  kConcurrent,  // reads may be stale, per-node versions non-decreasing
+  kSequential,  // reads must return the latest serialized write
+};
+
+class CoherenceOracle final : public sim::CoherenceTap {
+ public:
+  explicit CoherenceOracle(OracleMode mode = OracleMode::kConcurrent);
+
+  void on_write_issue(double time, NodeId node, ObjectId object,
+                      std::uint64_t value) override;
+  void on_commit(double time, NodeId node, ObjectId object,
+                 std::uint64_t version, std::uint64_t value) override;
+  void on_read(double time, NodeId node, ObjectId object,
+               std::uint64_t value, std::uint64_t version) override;
+
+  /// End-of-run check: the version sequence is contiguous (1..latest, no
+  /// gaps) per object.  Issued-but-unserialized writes are *not* flagged
+  /// here — a simulator run stops at max_ops with writes legitimately in
+  /// flight; the model checker makes that check itself at fully-spent
+  /// terminal states.  Call after the runtime drains; idempotent.
+  void finish();
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<std::string>& violations() const { return violations_; }
+
+  /// One read as the application saw it, in tap order (the differential
+  /// tests compare these sequences across protocols).
+  struct ReadRecord {
+    double time = 0.0;
+    NodeId node = 0;
+    ObjectId object = 0;
+    std::uint64_t value = 0;
+    std::uint64_t version = 0;
+  };
+  const std::vector<ReadRecord>& reads() const { return reads_; }
+
+  std::size_t commits() const { return commit_count_; }
+  std::size_t issues() const { return issue_count_; }
+
+  /// Serialized content of `object` at `version` (0 = not serialized).
+  std::uint64_t value_at(ObjectId object, std::uint64_t version) const;
+
+ private:
+  struct ObjectLog {
+    std::unordered_map<std::uint64_t, std::uint64_t> by_version;
+    std::uint64_t latest_version = 0;
+    std::uint64_t latest_value = 0;
+  };
+
+  ObjectLog& log(ObjectId object);
+  void violation(std::string text);
+
+  OracleMode mode_;
+  std::unordered_map<ObjectId, ObjectLog> logs_;
+  // value -> issuing node (write values are unique by construction: the
+  // runtimes and harnesses number them from a single counter).
+  std::unordered_map<std::uint64_t, NodeId> issued_;
+  // (node, object) -> highest version read so far.
+  std::unordered_map<std::uint64_t, std::uint64_t> last_read_version_;
+  std::vector<ReadRecord> reads_;
+  std::vector<std::string> violations_;
+  std::size_t commit_count_ = 0;
+  std::size_t issue_count_ = 0;
+};
+
+}  // namespace drsm::check

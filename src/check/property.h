@@ -1,0 +1,46 @@
+// Property-based differential harness: seeded random workloads through the
+// real runtimes, refereed by the CoherenceOracle.
+//
+// Each seed deterministically derives a workload shape (read disturbance,
+// write disturbance, or multiple activity centers with random parameters),
+// message latencies and think times, then drives:
+//  * run_simulator_property — the full discrete-event EventSimulator with
+//    overlapping operations, checked under the kConcurrent oracle rules;
+//  * run_sequential_property — the atomic SequentialRuntime on a global
+//    operation sequence sampled from the same kind of workload, checked
+//    under the strict kSequential rules (every read returns the latest
+//    serialized write).
+//
+// Results carry the oracle's read log so the differential tests can assert
+// that all eight protocols return the *same* value sequence for the same
+// seed (the protocols differ in cost, never in semantics).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/oracle.h"
+#include "protocols/protocol.h"
+
+namespace drsm::check {
+
+struct PropertyConfig {
+  protocols::ProtocolKind protocol = protocols::ProtocolKind::kWriteThrough;
+  std::uint64_t seed = 1;
+  std::size_t num_clients = 3;
+  std::size_t ops = 150;  // completed operations per run
+};
+
+struct PropertyResult {
+  std::vector<std::string> violations;  // oracle violations, if any
+  std::vector<CoherenceOracle::ReadRecord> reads;  // tap order
+  std::size_t commits = 0;
+  std::size_t issues = 0;
+  bool ok() const { return violations.empty(); }
+};
+
+PropertyResult run_simulator_property(const PropertyConfig& config);
+PropertyResult run_sequential_property(const PropertyConfig& config);
+
+}  // namespace drsm::check

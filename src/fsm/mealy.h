@@ -69,6 +69,18 @@ class MachineContext {
   /// the point that serializes writes for this object (the sequencer or the
   /// current owner), so that version order equals the sequenced write order.
   virtual std::uint64_t next_version() = 0;
+
+  /// Reports that a write's value has been bound to its sequence number —
+  /// the serialization point of the write.  Machines call this wherever
+  /// they apply a (value, version) pair that defines the sequenced content
+  /// of the object; duplicate reports of the same pair are fine (e.g. both
+  /// the writer and the sequencer may report a two-phase write).  The
+  /// default is a no-op; the coherence oracle and model checker override
+  /// it to build the serialized write log they validate reads against.
+  virtual void commit_write(std::uint64_t version, std::uint64_t value) {
+    (void)version;
+    (void)value;
+  }
 };
 
 /// A protocol process.  Implementations are deterministic: the same message
@@ -103,6 +115,18 @@ class ProtocolMachine {
     (void)p;
     (void)end;
     return false;
+  }
+
+  /// Total-state encoding: like encode(), but defined in *every* state,
+  /// including mid-flight (non-quiescent) ones, and covering the transient
+  /// fields encode() may omit (pending operations, deferred queues, recall
+  /// bookkeeping).  The model checker keys its explored global states on
+  /// this, so two machines with equal encodings must behave identically on
+  /// every future input.  Data values/versions stay excluded by the same
+  /// argument as in encode().  Defaults to encode() for machines with no
+  /// transient state.
+  virtual void encode_full(std::vector<std::uint8_t>& out) const {
+    encode(out);
   }
 
   /// True when the machine holds no in-flight transient state (no pending

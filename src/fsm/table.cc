@@ -38,6 +38,16 @@ const std::string& TransitionTable::state_name(int s) const {
   return state_names_[static_cast<std::size_t>(s)];
 }
 
+std::vector<MsgType> TransitionTable::defined_inputs(int state) const {
+  DRSM_CHECK(state >= 0 && state < num_states(), "state out of range");
+  std::vector<MsgType> inputs;
+  for (const auto& [key, entry] : entries_) {
+    (void)entry;
+    if (key.first == state) inputs.push_back(key.second);
+  }
+  return inputs;
+}
+
 TableMachine::TableMachine(const TransitionTable* table)
     : table_(table), state_(table->start_state()) {}
 
@@ -60,6 +70,7 @@ void TableMachine::on_message(MachineContext& ctx, const Message& msg) {
       case Action::Kind::kChange:
         value_ = pending_write_;
         version_ = ctx.next_version();
+        ctx.commit_write(version_, value_);
         break;
       case Action::Kind::kChangeFromMessage:
         if (msg.version >= version_) {
@@ -73,6 +84,7 @@ void TableMachine::on_message(MachineContext& ctx, const Message& msg) {
       case Action::Kind::kApplyPendingWithMsgVersion:
         value_ = pending_write_;
         version_ = msg.version;
+        ctx.commit_write(version_, value_);
         break;
       case Action::Kind::kReturn:
         ctx.return_read(value_, version_);
@@ -132,6 +144,15 @@ std::unique_ptr<ProtocolMachine> TableMachine::clone() const {
 
 void TableMachine::encode(std::vector<std::uint8_t>& out) const {
   out.push_back(static_cast<std::uint8_t>(state_));
+}
+
+bool TableMachine::decode(const std::uint8_t*& p, const std::uint8_t* end) {
+  DRSM_CHECK(p < end, "decode: truncated state key");
+  const int state = static_cast<int>(*p++);
+  DRSM_CHECK(state >= 0 && state < table_->num_states(),
+             "decode: state out of range for this table");
+  state_ = state;
+  return true;
 }
 
 const char* TableMachine::state_name() const {

@@ -94,6 +94,15 @@ class TransitionTable {
   int num_states() const { return static_cast<int>(state_names_.size()); }
   const std::string& state_name(int s) const;
 
+  /// Introspection for the model checker and the drsm_check CLI: the input
+  /// token types with a defined transition out of `state`, in MsgType
+  /// order.  Everything else is a paper-"error" cell that trips a
+  /// DRSM_CHECK when exercised.
+  std::vector<MsgType> defined_inputs(int state) const;
+
+  /// Total number of defined (state, input) cells.
+  std::size_t num_entries() const { return entries_.size(); }
+
  private:
   std::vector<std::string> state_names_;
   int start_state_;
@@ -108,6 +117,7 @@ class TableMachine : public ProtocolMachine {
   void on_message(MachineContext& ctx, const Message& msg) override;
   std::unique_ptr<ProtocolMachine> clone() const override;
   void encode(std::vector<std::uint8_t>& out) const override;
+  bool decode(const std::uint8_t*& p, const std::uint8_t* end) override;
   const char* state_name() const override;
 
   int state() const { return state_; }

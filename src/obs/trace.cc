@@ -17,6 +17,8 @@ const char* to_string(EventKind kind) {
     case EventKind::kOpIssue: return "op_issue";
     case EventKind::kOpComplete: return "op_complete";
     case EventKind::kStateTransition: return "state_transition";
+    case EventKind::kCheckStep: return "check_step";
+    case EventKind::kViolation: return "violation";
   }
   return "?";
 }
@@ -100,6 +102,19 @@ std::string TraceRecorder::to_jsonl() const {
                       json_escape(e.detail != nullptr ? e.detail : "")
                           .c_str(),
                       json_escape(e.detail2 != nullptr ? e.detail2 : "")
+                          .c_str());
+        break;
+      case EventKind::kCheckStep:
+        out += strfmt(
+            ",\"step\":\"%s\",\"peer\":%u,\"type\":\"%s\",\"initiator\":%u,"
+            "\"object\":%u,\"params\":\"%s\",\"op\":\"%s\"",
+            json_escape(e.detail != nullptr ? e.detail : "").c_str(), e.peer,
+            fsm::to_string(e.token.type), e.token.initiator, e.token.object,
+            fsm::to_string(e.token.params), fsm::to_string(e.op));
+        break;
+      case EventKind::kViolation:
+        out += strfmt(",\"invariant\":\"%s\"",
+                      json_escape(e.detail != nullptr ? e.detail : "")
                           .c_str());
         break;
     }
@@ -188,6 +203,22 @@ std::string TraceRecorder::to_chrome_trace(double time_scale) const {
             ts.c_str(), e.node,
             json_escape(e.detail != nullptr ? e.detail : "?").c_str(),
             json_escape(e.detail2 != nullptr ? e.detail2 : "?").c_str(),
+            e.object));
+        break;
+      case EventKind::kCheckStep:
+        emit(strfmt(
+            "{\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":0,\"tid\":%u,"
+            "\"name\":\"%s %s\",\"args\":{\"object\":%u}}",
+            ts.c_str(), e.node,
+            json_escape(e.detail != nullptr ? e.detail : "step").c_str(),
+            fsm::to_string(e.token.type), e.token.object));
+        break;
+      case EventKind::kViolation:
+        emit(strfmt(
+            "{\"ph\":\"i\",\"s\":\"g\",\"ts\":%s,\"pid\":0,\"tid\":%u,"
+            "\"name\":\"violation: %s\",\"args\":{\"object\":%u}}",
+            ts.c_str(), e.node,
+            json_escape(e.detail != nullptr ? e.detail : "?").c_str(),
             e.object));
         break;
     }

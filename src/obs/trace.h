@@ -32,6 +32,10 @@ enum class EventKind : std::uint8_t {
   kOpIssue,          // application operation enters the system
   kOpComplete,       // operation finished; cost holds the latency
   kStateTransition,  // copy state changed: detail -> detail2
+  kCheckStep,        // one model-checker step of a counterexample replay:
+                     //   detail = "issue"/"deliver", node the actor, peer
+                     //   the channel source (deliver), token the message
+  kViolation,        // counterexample endpoint; detail = invariant name
 };
 
 const char* to_string(EventKind kind);

@@ -55,11 +55,13 @@ class BerkeleyNode final : public ProtocolMachine {
           case BerState::kDirty:
             value_ = msg.value;
             version_ = ctx.next_version();
+            ctx.commit_write(version_, value_);
             ctx.complete_write(version_);
             break;
           case BerState::kSharedDirty:
             value_ = msg.value;
             version_ = ctx.next_version();
+            ctx.commit_write(version_, value_);
             ctx.send_except({ctx.self()},
                             make_msg(MsgType::kInval, ctx.self(),
                                      msg.token.object, ParamPresence::kNone));
@@ -122,6 +124,7 @@ class BerkeleyNode final : public ProtocolMachine {
         version_ = ctx.next_version();
         state_ = BerState::kDirty;
         pending_ = PendingOp::kNone;
+        ctx.commit_write(version_, value_);
         ctx.send_except({ctx.self()},
                         make_msg(MsgType::kInval, ctx.self(),
                                  msg.token.object, ParamPresence::kNone));
@@ -129,11 +132,23 @@ class BerkeleyNode final : public ProtocolMachine {
         ctx.enable_local_queue();
         break;
       case MsgType::kReadGnt:
+        pending_ = PendingOp::kNone;
+        if (inval_raced_) {
+          // An invalidation broadcast crossed this grant in flight: the
+          // grantor lost ownership after granting, so the data is already
+          // stale.  Return it to the waiting application (the read
+          // serializes before the invalidating write) but do not retain
+          // the copy, and keep the owner belief the invalidation carried
+          // — it is the newer information.
+          inval_raced_ = false;
+          ctx.return_read(msg.value, msg.version);
+          ctx.enable_local_queue();
+          break;
+        }
         value_ = msg.value;
         version_ = msg.version;
         state_ = BerState::kValid;
         owner_ = msg.sender;
-        pending_ = PendingOp::kNone;
         ctx.return_read(value_, version_);
         ctx.enable_local_queue();
         break;
@@ -142,6 +157,7 @@ class BerkeleyNode final : public ProtocolMachine {
         if (!is_owner()) {
           state_ = BerState::kInvalid;
           owner_ = msg.sender;
+          if (pending_ == PendingOp::kRead) inval_raced_ = true;
         }
         break;
       default:
@@ -160,10 +176,17 @@ class BerkeleyNode final : public ProtocolMachine {
       out.push_back(static_cast<std::uint8_t>(owner_ >> shift));
   }
 
+  void encode_full(std::vector<std::uint8_t>& out) const override {
+    encode(out);
+    out.push_back(static_cast<std::uint8_t>(pending_));
+    out.push_back(inval_raced_ ? 1 : 0);
+  }
+
   bool decode(const std::uint8_t*& p, const std::uint8_t* end) override {
     state_ = static_cast<BerState>(detail::take_u8(p, end));
     owner_ = detail::take_u32(p, end);
     pending_ = PendingOp::kNone;
+    inval_raced_ = false;
     return true;
   }
 
@@ -199,6 +222,7 @@ class BerkeleyNode final : public ProtocolMachine {
   std::uint64_t version_ = 0;
   std::uint64_t pending_value_ = 0;
   PendingOp pending_ = PendingOp::kNone;
+  bool inval_raced_ = false;  // an inval arrived while a read was pending
 };
 
 }  // namespace

@@ -44,6 +44,24 @@ inline std::uint32_t take_u32(const std::uint8_t*& p,
   return v;
 }
 
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+/// Appends the protocol-relevant part of a buffered message for
+/// ProtocolMachine::encode_full overrides: the token's type, initiator,
+/// object and parameter-presence mark.  Values/versions/hops are excluded
+/// by the same argument that lets encode() omit them — they never select a
+/// transition.
+inline void encode_token(std::vector<std::uint8_t>& out,
+                         const fsm::Message& msg) {
+  out.push_back(static_cast<std::uint8_t>(msg.token.type));
+  put_u32(out, msg.token.initiator);
+  put_u32(out, msg.token.object);
+  out.push_back(static_cast<std::uint8_t>(msg.token.params));
+}
+
 inline fsm::Message make_msg(fsm::MsgType type, NodeId initiator,
                              ObjectId object, fsm::ParamPresence params,
                              std::uint64_t value = 0,

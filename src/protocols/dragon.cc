@@ -73,6 +73,7 @@ class DragonSequencer final : public ProtocolMachine {
       case MsgType::kWriteReq:
         value_ = msg.value;
         version_ = ctx.next_version();
+        ctx.commit_write(version_, value_);
         ctx.send_except({ctx.home()},
                         make_msg(MsgType::kUpdate, ctx.self(),
                                  msg.token.object,
@@ -84,6 +85,7 @@ class DragonSequencer final : public ProtocolMachine {
         // A client's write: sequence it and propagate to everyone else.
         value_ = msg.value;
         version_ = ctx.next_version();
+        ctx.commit_write(version_, value_);
         ctx.send_except({msg.token.initiator, ctx.home()},
                         make_msg(MsgType::kUpdate, msg.token.initiator,
                                  msg.token.object,

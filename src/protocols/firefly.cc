@@ -35,6 +35,7 @@ class FireflyClient final : public ProtocolMachine {
         value_ = pending_value_;
         version_ = msg.version;
         pending_ = false;
+        ctx.commit_write(version_, value_);
         ctx.complete_write(version_);
         ctx.enable_local_queue();
         break;
@@ -56,6 +57,11 @@ class FireflyClient final : public ProtocolMachine {
 
   void encode(std::vector<std::uint8_t>& out) const override {
     out.push_back(0);  // single state SHARED
+  }
+
+  void encode_full(std::vector<std::uint8_t>& out) const override {
+    out.push_back(0);
+    out.push_back(pending_ ? 1 : 0);
   }
 
   bool decode(const std::uint8_t*& p, const std::uint8_t* end) override {
@@ -85,6 +91,7 @@ class FireflySequencer final : public ProtocolMachine {
       case MsgType::kWriteReq:
         value_ = msg.value;
         version_ = ctx.next_version();
+        ctx.commit_write(version_, value_);
         ctx.send_except({ctx.home()},
                         make_msg(MsgType::kUpdate, ctx.self(),
                                  msg.token.object,
@@ -95,6 +102,7 @@ class FireflySequencer final : public ProtocolMachine {
       case MsgType::kUpdate:
         value_ = msg.value;
         version_ = ctx.next_version();
+        ctx.commit_write(version_, value_);
         ctx.send_except({msg.token.initiator, ctx.home()},
                         make_msg(MsgType::kUpdate, msg.token.initiator,
                                  msg.token.object,

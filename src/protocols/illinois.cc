@@ -46,6 +46,7 @@ class IllinoisClient final : public ProtocolMachine {
         if (state_ == IllState::kDirty) {
           value_ = msg.value;
           version_ = ctx.next_version();
+          ctx.commit_write(version_, value_);
           ctx.complete_write(version_);
         } else {
           ctx.disable_local_queue();
@@ -72,6 +73,7 @@ class IllinoisClient final : public ProtocolMachine {
         value_ = pending_value_;
         version_ = ctx.next_version();
         state_ = IllState::kDirty;
+        ctx.commit_write(version_, value_);
         ctx.complete_write(version_);
         ctx.enable_local_queue();
         break;
@@ -206,6 +208,27 @@ class IllinoisSequencer final : public ProtocolMachine {
     if (bits != 0) out.push_back(acc);
   }
 
+  void encode_full(std::vector<std::uint8_t>& out) const override {
+    out.push_back(owner_ == kNoNode ? 0 : 1);
+    detail::put_u32(out, owner_ == kNoNode ? 0u : owner_);
+    std::uint8_t acc = 0;
+    int bits = 0;
+    for (std::size_t i = 0; i < valid_.size(); ++i) {
+      acc = static_cast<std::uint8_t>(acc | ((valid_[i] ? 1 : 0) << bits));
+      if (++bits == 8) {
+        out.push_back(acc);
+        acc = 0;
+        bits = 0;
+      }
+    }
+    if (bits != 0) out.push_back(acc);
+    out.push_back(static_cast<std::uint8_t>(pending_));
+    out.push_back(recall_kept_copy_ ? 1 : 0);
+    if (pending_ != Pending::kNone) detail::encode_token(out, pending_msg_);
+    out.push_back(static_cast<std::uint8_t>(deferred_.size()));
+    for (const Message& msg : deferred_) detail::encode_token(out, msg);
+  }
+
   bool decode(const std::uint8_t*& p, const std::uint8_t* end) override {
     const bool has_owner = detail::take_u8(p, end) != 0;
     const NodeId owner = detail::take_u32(p, end);
@@ -263,6 +286,7 @@ class IllinoisSequencer final : public ProtocolMachine {
                          ObjectId object) {
     value_ = value;
     version_ = ctx.next_version();
+    ctx.commit_write(version_, value_);
     for (std::size_t i = 0; i < valid_.size(); ++i) valid_[i] = false;
     ctx.send_except({ctx.home()}, make_msg(MsgType::kInval, ctx.self(),
                                            object, ParamPresence::kNone));

@@ -67,6 +67,83 @@ std::unique_ptr<fsm::ProtocolMachine> make_machine(ProtocolKind kind,
   return nullptr;
 }
 
+const char* to_string(CopyClass cls) {
+  switch (cls) {
+    case CopyClass::kInvalid: return "invalid";
+    case CopyClass::kShared: return "shared";
+    case CopyClass::kExclusive: return "exclusive";
+  }
+  return "?";
+}
+
+CopyClass classify_state(ProtocolKind kind, std::string_view state_name) {
+  // Names shared by every protocol that uses them.
+  if (state_name == "INVALID") return CopyClass::kInvalid;
+  switch (kind) {
+    case ProtocolKind::kWriteThrough:
+    case ProtocolKind::kWriteThroughV:
+      if (state_name == "VALID") return CopyClass::kShared;
+      break;
+    case ProtocolKind::kWriteOnce:
+      if (state_name == "VALID") return CopyClass::kShared;
+      // RESERVED is exclusive-clean: the next local write is silent.
+      if (state_name == "RESERVED" || state_name == "DIRTY")
+        return CopyClass::kExclusive;
+      break;
+    case ProtocolKind::kSynapse:
+    case ProtocolKind::kIllinois:
+      if (state_name == "VALID") return CopyClass::kShared;
+      if (state_name == "DIRTY") return CopyClass::kExclusive;
+      break;
+    case ProtocolKind::kBerkeley:
+      if (state_name == "VALID" || state_name == "SHARED-DIRTY")
+        return CopyClass::kShared;
+      if (state_name == "DIRTY") return CopyClass::kExclusive;
+      break;
+    case ProtocolKind::kDragon:
+      if (state_name == "SHARED-CLEAN" || state_name == "SHARED-DIRTY")
+        return CopyClass::kShared;
+      break;
+    case ProtocolKind::kFirefly:
+      if (state_name == "SHARED" || state_name == "VALID")
+        return CopyClass::kShared;
+      break;
+  }
+  throw Error(std::string("classify_state: protocol ") + to_string(kind) +
+              " has no copy state named " + std::string(state_name));
+}
+
+std::vector<std::string> copy_state_names(ProtocolKind kind, bool sequencer) {
+  switch (kind) {
+    case ProtocolKind::kWriteThrough:
+    case ProtocolKind::kWriteThroughV:
+      if (sequencer) return {"VALID"};
+      return {"INVALID", "VALID"};
+    case ProtocolKind::kWriteOnce:
+      if (sequencer) return {"VALID", "INVALID"};
+      return {"INVALID", "VALID", "RESERVED", "DIRTY"};
+    case ProtocolKind::kSynapse:
+    case ProtocolKind::kIllinois:
+      if (sequencer) return {"VALID", "INVALID"};
+      return {"INVALID", "VALID", "DIRTY"};
+    case ProtocolKind::kBerkeley:
+      return {"INVALID", "VALID", "SHARED-DIRTY", "DIRTY"};
+    case ProtocolKind::kDragon:
+      return sequencer ? std::vector<std::string>{"SHARED-DIRTY"}
+                       : std::vector<std::string>{"SHARED-CLEAN"};
+    case ProtocolKind::kFirefly:
+      return sequencer ? std::vector<std::string>{"VALID"}
+                       : std::vector<std::string>{"SHARED"};
+  }
+  DRSM_CHECK(false, "unreachable");
+  return {};
+}
+
+ConvergenceLevel convergence_level(ProtocolKind kind) {
+  return kind == ProtocolKind::kDragon ? ConvergenceLevel::kWriterMayLag
+                                       : ConvergenceLevel::kConverges;
+}
+
 bool supports(ProtocolKind kind, fsm::OpKind op) {
   switch (op) {
     case fsm::OpKind::kRead:

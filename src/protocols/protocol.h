@@ -11,7 +11,9 @@
 
 #include <array>
 #include <memory>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "fsm/mealy.h"
 
@@ -51,5 +53,46 @@ std::unique_ptr<fsm::ProtocolMachine> make_machine(ProtocolKind kind,
 /// protocols implement read and write; the eject/sync extensions are
 /// provided for the invalidate protocols that have an INVALID client state.
 bool supports(ProtocolKind kind, fsm::OpKind op);
+
+/// Access rights a copy state confers, for the model checker's
+/// single-writer/multiple-reader invariant.
+///  * kInvalid:   the node may not serve reads from this copy.
+///  * kShared:    readable; writes go through the serialization point.
+///  * kExclusive: the node may apply writes locally without consulting the
+///                sequencer — at most one copy per object may be in an
+///                exclusive state at any instant.
+enum class CopyClass : std::uint8_t { kInvalid, kShared, kExclusive };
+
+const char* to_string(CopyClass cls);
+
+/// Classifies a ProtocolMachine::state_name() of the given protocol.
+/// Throws drsm::Error on a name no machine of the protocol produces.
+/// Note the sequencer's "INVALID" (ownership protocols: some client holds
+/// the only valid copy) classifies as kInvalid, and Berkeley's
+/// "SHARED-DIRTY" as kShared — the owner must broadcast invalidations
+/// before writing again.
+CopyClass classify_state(ProtocolKind kind, std::string_view state_name);
+
+/// All copy-state names the protocol's machines can report, for
+/// reachable-state iteration and coverage checks.  `sequencer` selects the
+/// home-node machine's states (for Berkeley both sets coincide: every node
+/// runs the same machine).
+std::vector<std::string> copy_state_names(ProtocolKind kind, bool sequencer);
+
+/// Strength of the protocol's quiescent-convergence guarantee, which the
+/// model checker's read probe asserts at every quiescent state.
+///  * kConverges:    once all messages drain, every readable copy holds
+///                   the latest serialized write.
+///  * kWriterMayLag: as above, except a client whose own fire-and-forget
+///                   write raced a concurrent foreign write may hold an
+///                   older (but still serialized-consistent) snapshot
+///                   until the next update reaches it.  Dragon is the one
+///                   protocol in this class: the sequencer's re-broadcast
+///                   excludes the write's initiator (keeping the paper's
+///                   N(P+1) write cost), so the initiator cannot order its
+///                   own optimistic apply against a concurrent update.
+enum class ConvergenceLevel : std::uint8_t { kConverges, kWriterMayLag };
+
+ConvergenceLevel convergence_level(ProtocolKind kind);
 
 }  // namespace drsm::protocols

@@ -44,6 +44,7 @@ class SynapseClient final : public ProtocolMachine {
         if (state_ == SynState::kDirty) {
           value_ = msg.value;
           version_ = ctx.next_version();
+          ctx.commit_write(version_, value_);
           ctx.complete_write(version_);
         } else {
           ctx.disable_local_queue();
@@ -70,6 +71,7 @@ class SynapseClient final : public ProtocolMachine {
         version_ = ctx.next_version();
         state_ = SynState::kDirty;
         pending_ = PendingOp::kNone;
+        ctx.commit_write(version_, value_);
         ctx.complete_write(version_);
         ctx.enable_local_queue();
         break;
@@ -95,6 +97,11 @@ class SynapseClient final : public ProtocolMachine {
 
   void encode(std::vector<std::uint8_t>& out) const override {
     out.push_back(static_cast<std::uint8_t>(state_));
+  }
+
+  void encode_full(std::vector<std::uint8_t>& out) const override {
+    out.push_back(static_cast<std::uint8_t>(state_));
+    out.push_back(static_cast<std::uint8_t>(pending_));
   }
 
   bool decode(const std::uint8_t*& p, const std::uint8_t* end) override {
@@ -220,6 +227,17 @@ class SynapseSequencer final : public ProtocolMachine {
           (owner_ == kNoNode ? 0u : owner_) >> shift));
   }
 
+  void encode_full(std::vector<std::uint8_t>& out) const override {
+    out.push_back(owner_ == kNoNode ? 0 : 1);
+    detail::put_u32(out, owner_ == kNoNode ? 0u : owner_);
+    out.push_back(recalling_ ? 1 : 0);
+    out.push_back(nack_requester_ ? 1 : 0);
+    out.push_back(static_cast<std::uint8_t>(local_op_));
+    if (recalling_) detail::encode_token(out, recall_cause_);
+    out.push_back(static_cast<std::uint8_t>(deferred_.size()));
+    for (const Message& msg : deferred_) detail::encode_token(out, msg);
+  }
+
   bool decode(const std::uint8_t*& p, const std::uint8_t* end) override {
     const bool has_owner = detail::take_u8(p, end) != 0;
     const NodeId owner = detail::take_u32(p, end);
@@ -244,6 +262,7 @@ class SynapseSequencer final : public ProtocolMachine {
                          ObjectId object) {
     value_ = value;
     version_ = ctx.next_version();
+    ctx.commit_write(version_, value_);
     ctx.send_except({ctx.home()}, make_msg(MsgType::kInval, ctx.self(),
                                            object, ParamPresence::kNone));
     ctx.complete_write(version_);

@@ -53,6 +53,7 @@ class WoClient final : public ProtocolMachine {
           case WoState::kDirty:
             value_ = msg.value;
             version_ = ctx.next_version();
+            ctx.commit_write(version_, value_);
             ctx.complete_write(version_);
             break;
           case WoState::kReserved:
@@ -60,6 +61,7 @@ class WoClient final : public ProtocolMachine {
             value_ = msg.value;
             version_ = ctx.next_version();
             state_ = WoState::kDirty;
+            ctx.commit_write(version_, value_);
             ctx.complete_write(version_);
             break;
           case WoState::kValid:
@@ -91,6 +93,7 @@ class WoClient final : public ProtocolMachine {
           value_ = pending_value_;
           version_ = ctx.next_version();
           state_ = WoState::kDirty;
+          ctx.commit_write(version_, value_);
         } else {
           // Write-through acknowledgement: the sequencer applied and
           // sequenced our parameters -> RESERVED (exclusive, clean).
@@ -236,6 +239,15 @@ class WoSequencer final : public ProtocolMachine {
           (owner_ == kNoNode ? 0u : owner_) >> shift));
   }
 
+  void encode_full(std::vector<std::uint8_t>& out) const override {
+    out.push_back(owner_ == kNoNode ? 0 : 1);
+    detail::put_u32(out, owner_ == kNoNode ? 0u : owner_);
+    out.push_back(static_cast<std::uint8_t>(pending_));
+    if (pending_ != Pending::kNone) detail::encode_token(out, pending_msg_);
+    out.push_back(static_cast<std::uint8_t>(deferred_.size()));
+    for (const Message& msg : deferred_) detail::encode_token(out, msg);
+  }
+
   bool decode(const std::uint8_t*& p, const std::uint8_t* end) override {
     const bool has_owner = detail::take_u8(p, end) != 0;
     const NodeId owner = detail::take_u32(p, end);
@@ -266,6 +278,7 @@ class WoSequencer final : public ProtocolMachine {
   void apply_write_through(MachineContext& ctx, const Message& msg) {
     value_ = msg.value;
     version_ = ctx.next_version();
+    ctx.commit_write(version_, value_);
     ctx.send_except({msg.token.initiator, ctx.home()},
                     make_msg(MsgType::kInval, msg.token.initiator,
                              msg.token.object, ParamPresence::kNone));
@@ -293,6 +306,7 @@ class WoSequencer final : public ProtocolMachine {
                                 ObjectId object) {
     value_ = value;
     version_ = ctx.next_version();
+    ctx.commit_write(version_, value_);
     ctx.send_except({ctx.home()}, make_msg(MsgType::kInval, ctx.self(),
                                            object, ParamPresence::kNone));
     owner_ = kNoNode;

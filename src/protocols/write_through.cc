@@ -110,6 +110,7 @@ class WtSequencer final : public ProtocolMachine {
       case MsgType::kWriteReq:
         value_ = msg.value;
         version_ = ctx.next_version();
+        ctx.commit_write(version_, value_);
         ctx.send_except({ctx.home()},
                         make_msg(MsgType::kInval, ctx.self(),
                                  msg.token.object, ParamPresence::kNone));
@@ -124,6 +125,7 @@ class WtSequencer final : public ProtocolMachine {
       case MsgType::kWritePer:
         value_ = msg.value;
         version_ = ctx.next_version();
+        ctx.commit_write(version_, value_);
         ctx.send_except({msg.token.initiator, ctx.home()},
                         make_msg(MsgType::kInval, msg.token.initiator,
                                  msg.token.object, ParamPresence::kNone));

@@ -60,6 +60,7 @@ class WtvClient final : public ProtocolMachine {
         value_ = pending_value_;
         version_ = msg.version;
         valid_ = true;
+        ctx.commit_write(version_, value_);
         ctx.send(ctx.home(),
                  make_msg(MsgType::kWriteData, ctx.self(), msg.token.object,
                           ParamPresence::kWriteParams, pending_value_,
@@ -131,6 +132,7 @@ class WtvSequencer final : public ProtocolMachine {
       case MsgType::kWriteReq:
         value_ = msg.value;
         version_ = ctx.next_version();
+        ctx.commit_write(version_, value_);
         ctx.send_except({ctx.home()},
                         make_msg(MsgType::kInval, ctx.self(),
                                  msg.token.object, ParamPresence::kNone));
@@ -153,6 +155,7 @@ class WtvSequencer final : public ProtocolMachine {
         value_ = msg.value;
         version_ = msg.version;
         granting_ = false;
+        ctx.commit_write(version_, value_);
         ctx.send_except({msg.token.initiator, ctx.home()},
                         make_msg(MsgType::kInval, msg.token.initiator,
                                  msg.token.object, ParamPresence::kNone));
@@ -180,6 +183,13 @@ class WtvSequencer final : public ProtocolMachine {
   void encode(std::vector<std::uint8_t>& out) const override {
     DRSM_CHECK(quiescent(), "WTV sequencer encoded while granting");
     out.push_back(1);
+  }
+
+  void encode_full(std::vector<std::uint8_t>& out) const override {
+    out.push_back(1);
+    out.push_back(granting_ ? 1 : 0);
+    out.push_back(static_cast<std::uint8_t>(deferred_.size()));
+    for (const Message& msg : deferred_) detail::encode_token(out, msg);
   }
 
   bool decode(const std::uint8_t*& p, const std::uint8_t* end) override {

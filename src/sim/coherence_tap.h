@@ -1,0 +1,41 @@
+// Commit-order tap: the runtime-side hook the coherence oracle hangs off.
+//
+// The serialization point of every write — the place a value is bound to
+// its global sequence number (MachineContext::commit_write) — is forwarded
+// here, together with every application-level write issue and read return.
+// This externalizes the sequencer's commit order so an independent checker
+// (src/check) can replay it and assert that every read returns the last
+// serialized write, without trusting the simulator's own version counters.
+//
+// Times are the runtime's natural clock: the simulator clock for
+// EventSimulator, the operation index for SequentialRuntime.
+#pragma once
+
+#include <cstdint>
+
+#include "support/types.h"
+
+namespace drsm::sim {
+
+class CoherenceTap {
+ public:
+  virtual ~CoherenceTap() = default;
+
+  /// An application write request entered the system carrying `value`.
+  virtual void on_write_issue(double time, NodeId node, ObjectId object,
+                              std::uint64_t value) = 0;
+
+  /// A write was serialized: `value` is now the content of `object` at
+  /// global sequence number `version`.  `node` is where the binding was
+  /// applied; two-phase protocols may report the same (version, value)
+  /// pair from both the writer and the sequencer.
+  virtual void on_commit(double time, NodeId node, ObjectId object,
+                         std::uint64_t version, std::uint64_t value) = 0;
+
+  /// A read returned `value` (at `version`; 0 = never written) to the
+  /// application at `node`.
+  virtual void on_read(double time, NodeId node, ObjectId object,
+                       std::uint64_t value, std::uint64_t version) = 0;
+};
+
+}  // namespace drsm::sim

@@ -141,6 +141,10 @@ struct EventSimulator::Impl {
   obs::EventSink* sink = nullptr;
   obs::EventSink* external_sink = nullptr;
   std::unique_ptr<ObserverSink> observer_sink;
+  CoherenceTap* tap = nullptr;
+  // In-flight message counts per (src, dst); sized only when
+  // options.max_channel_depth bounds the channels.
+  std::vector<std::vector<std::uint32_t>> channel_depth;
   obs::MetricsRegistry* metrics = nullptr;
   obs::TimeSeries* seq_depth_series = nullptr;  // resolved at run start
   obs::TimeSeries* seq_util_series = nullptr;
@@ -203,6 +207,12 @@ struct EventSimulator::Impl {
       return ++impl_.version_counter;
     }
 
+    void commit_write(std::uint64_t version, std::uint64_t value) override {
+      if (impl_.tap != nullptr) [[unlikely]]
+        impl_.tap->on_commit(static_cast<double>(impl_.now), self_,
+                             impl_.current_object_, version, value);
+    }
+
    private:
     Impl& impl_;
     NodeId self_;
@@ -228,6 +238,8 @@ struct EventSimulator::Impl {
     local_disabled.assign(nodes, std::vector<bool>(config.num_objects, false));
     busy.assign(nodes, false);
     channel_front.assign(nodes, std::vector<SimTime>(nodes, 0));
+    if (options.max_channel_depth > 0)
+      channel_depth.assign(nodes, std::vector<std::uint32_t>(nodes, 0));
     outstanding.resize(nodes);
     cost_by_initiator.assign(nodes, 0.0);
     cost_by_object.assign(config.num_objects, 0.0);
@@ -321,6 +333,10 @@ struct EventSimulator::Impl {
       cost_by_initiator[msg.token.initiator] += cost;
     if (msg.token.object < cost_by_object.size())
       cost_by_object[msg.token.object] += cost;
+    if (!channel_depth.empty()) {
+      DRSM_CHECK(++channel_depth[src][dst] <= options.max_channel_depth,
+                 strfmt("channel %u->%u exceeded its depth bound", src, dst));
+    }
     // FIFO channel: never deliver before the previously sent message.
     SimTime arrival = now + draw_latency();
     arrival = std::max(arrival, channel_front[src][dst]);
@@ -339,6 +355,8 @@ struct EventSimulator::Impl {
 
   /// Delivery tail shared by the traced and untraced paths.
   void route(NodeId dst, const Message& msg) {
+    if (!channel_depth.empty() && msg.sender != dst)
+      --channel_depth[msg.sender][dst];
     dist_queue[dst].push_back(msg);
     try_process(dst);
   }
@@ -432,6 +450,9 @@ struct EventSimulator::Impl {
                                : ParamPresence::kReadParams;
     request.value = ++write_value_counter;
     request.sender = node;
+    if (tap != nullptr && op.kind == OpKind::kWrite) [[unlikely]]
+      tap->on_write_issue(static_cast<double>(now), node, op.object,
+                          request.value);
 
     // Client application requests enter the local queue; the sequencer's
     // enter its distributed queue (Section 2).
@@ -445,8 +466,11 @@ struct EventSimulator::Impl {
     try_process(node);
   }
 
-  void on_read_return(NodeId node, std::uint64_t /*value*/,
+  void on_read_return(NodeId node, std::uint64_t value,
                       std::uint64_t version) {
+    if (tap != nullptr) [[unlikely]]
+      tap->on_read(static_cast<double>(now), node, current_object_, value,
+                   version);
     if (options.check_coherence) {
       const ObjectId obj = current_object_;
       DRSM_CHECK(version >= last_seen_version[node][obj] || version == 0,
@@ -616,6 +640,10 @@ void EventSimulator::set_sink(obs::EventSink* sink) {
 
 void EventSimulator::set_metrics(obs::MetricsRegistry* metrics) {
   impl_->metrics = metrics;
+}
+
+void EventSimulator::set_coherence_tap(CoherenceTap* tap) {
+  impl_->tap = tap;
 }
 
 SimStats EventSimulator::run(WorkloadDriver& driver) {

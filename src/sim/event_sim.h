@@ -23,6 +23,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "protocols/protocol.h"
+#include "sim/coherence_tap.h"
 #include "sim/config.h"
 #include "sim/event_queue.h"
 #include "support/rng.h"
@@ -127,6 +128,13 @@ struct SimOptions {
   std::uint64_t seed = 1;
   bool check_coherence = true;  // per-node version monotonicity
 
+  /// Upper bound on in-flight messages per directed (src, dst) channel;
+  /// 0 = unbounded (the default, and the zero-overhead path: depths are
+  /// only tracked when a bound is set).  Exceeding the bound trips a
+  /// DRSM_CHECK — the model checker explores under the same channel bound,
+  /// so a bounded simulator run stays inside the verified state space.
+  std::size_t max_channel_depth = 0;
+
   /// Event scheduling structure.  kTimeWheel is the fast production path;
   /// kBinaryHeap is the order-isomorphic reference the determinism tests
   /// compare against.  Both pop in (time, schedule order), so results are
@@ -165,6 +173,12 @@ class EventSimulator {
   /// the sequencer's queue depth and utilization.  Metric names are
   /// listed in docs/OBSERVABILITY.md.  Pass nullptr to detach.
   void set_metrics(obs::MetricsRegistry* metrics);
+
+  /// Attaches a coherence tap (typically the check::CoherenceOracle):
+  /// write issues, write serializations and read returns are forwarded to
+  /// it.  With no tap attached each site is a single null check.  Pass
+  /// nullptr to detach.
+  void set_coherence_tap(CoherenceTap* tap);
 
   /// Runs until max_ops operations completed (or the driver stops issuing
   /// everywhere and the network drains).

@@ -68,6 +68,9 @@ class SequentialRuntime::Context final : public fsm::MachineContext {
     result_.read_value = value;
     result_.read_version = version;
     result_.read_returned = true;
+    if (rt_.tap_ != nullptr)
+      rt_.tap_->on_read(static_cast<double>(rt_.op_index_), self_, object_,
+                        value, version);
   }
 
   void complete_write(std::uint64_t /*version*/) override {
@@ -81,12 +84,20 @@ class SequentialRuntime::Context final : public fsm::MachineContext {
 
   std::uint64_t next_version() override { return ++rt_.version_counter_; }
 
+  void commit_write(std::uint64_t version, std::uint64_t value) override {
+    if (rt_.tap_ != nullptr)
+      rt_.tap_->on_commit(static_cast<double>(rt_.op_index_), self_, object_,
+                          version, value);
+  }
+
   /// Re-targets the context at another node while draining the network.
   void set_self(NodeId self) { self_ = self; }
+  void set_object(ObjectId object) { object_ = object; }
 
  private:
   SequentialRuntime& rt_;
   NodeId self_;
+  ObjectId object_ = 0;
   OpResult& result_;
 };
 
@@ -188,6 +199,9 @@ OpResult SequentialRuntime::execute(NodeId node, OpKind op,
     event.node = node;
     sink_->on_event(event);
   }
+  if (tap_ != nullptr && op == OpKind::kWrite)
+    tap_->on_write_issue(static_cast<double>(op_index_), node,
+                         request.token.object, value);
 
   dispatch(ctx, *target, node, request);
   drain(ctx);
@@ -240,6 +254,7 @@ void SequentialRuntime::drain(Context& ctx) {
 /// any) to the attached sink.
 void SequentialRuntime::dispatch(Context& ctx, fsm::ProtocolMachine& target,
                                  NodeId node, const fsm::Message& msg) {
+  ctx.set_object(msg.token.object);
   if (sink_ == nullptr) {
     target.on_message(ctx, msg);
     return;

@@ -24,6 +24,7 @@
 #include "fsm/mealy.h"
 #include "obs/trace.h"
 #include "protocols/protocol.h"
+#include "sim/coherence_tap.h"
 #include "sim/config.h"
 
 namespace drsm::sim {
@@ -102,6 +103,11 @@ class SequentialRuntime {
   /// null check per site.  Pass nullptr to detach.
   void set_sink(obs::EventSink* sink) { sink_ = sink; }
 
+  /// Attaches a coherence tap (see sim/coherence_tap.h).  The time axis is
+  /// the operation index, as for set_sink.  Not copied by snapshots, like
+  /// the observer and sink.  Pass nullptr to detach.
+  void set_coherence_tap(CoherenceTap* tap) { tap_ = tap; }
+
  private:
   class Context;
   friend class Context;
@@ -128,6 +134,7 @@ class SequentialRuntime {
   std::uint64_t msg_seq_ = 0;
   Observer observer_;  // not copied by design (snapshots stay silent)
   obs::EventSink* sink_ = nullptr;  // likewise not copied
+  CoherenceTap* tap_ = nullptr;     // likewise not copied
 };
 
 }  // namespace drsm::sim

@@ -86,6 +86,53 @@ TEST(AdaptiveSelector, PicksOwnershipProtocolForWriteHeavyWorkload) {
       << protocols::to_string(contended.protocol);
 }
 
+TEST(AdaptiveSelector, SingleCandidateIsAlwaysChosen) {
+  // The selection boundary collapses when only one protocol is eligible:
+  // whatever the workload says, the candidate list wins.
+  AdaptiveSelector selector(make_config(4, 100.0, 30.0),
+                            {ProtocolKind::kSynapse});
+  EXPECT_EQ(selector.classify(workload::ideal_workload(0.9)).protocol,
+            ProtocolKind::kSynapse);
+  EXPECT_EQ(
+      selector.classify(workload::read_disturbance(0.05, 0.3, 3)).protocol,
+      ProtocolKind::kSynapse);
+}
+
+TEST(AdaptiveSelector, DegenerateWorkloadExtremesClassifyCleanly) {
+  // p = 0 (reads only) and p = 1 (writes only) at a single activity
+  // center are free under every ownership protocol; the classifier must
+  // handle both extremes without blowing up and report acc = 0.
+  AdaptiveSelector selector(make_config(3, 100.0, 30.0));
+  const auto reads_only = selector.classify(workload::ideal_workload(0.0));
+  EXPECT_NEAR(reads_only.predicted_acc, 0.0, 1e-9);
+  const auto writes_only = selector.classify(workload::ideal_workload(1.0));
+  EXPECT_NEAR(writes_only.predicted_acc, 0.0, 1e-9);
+}
+
+TEST(AdaptiveSharedMemory, DoesNotSwitchBeforeMinObservations) {
+  AdaptiveSharedMemory::Options options;
+  options.memory.protocol = ProtocolKind::kWriteThrough;
+  options.memory.num_clients = 3;
+  options.memory.num_objects = 1;
+  options.memory.costs.s = 10000.0;  // strongly favors switching away
+  options.memory.costs.p = 1.0;
+  options.epoch_ops = 64;            // epochs come and go...
+  options.min_observations = 100000; // ...but the floor is never reached
+  AdaptiveSharedMemory memory(options);
+  workload::GlobalSequenceGenerator gen(
+      workload::read_disturbance(0.05, 0.3, 2), 3);
+  std::uint64_t value = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto op = gen.next();
+    if (op.op == OpKind::kWrite)
+      memory.write(op.node, 0, ++value);
+    else
+      memory.read(op.node, 0);
+  }
+  EXPECT_EQ(memory.switches(), 0u);
+  EXPECT_EQ(memory.current_protocol(), ProtocolKind::kWriteThrough);
+}
+
 TEST(AdaptiveSelector, AgreesWithAccSolverBestProtocol) {
   const auto config = make_config(5, 200.0, 30.0);
   AdaptiveSelector selector(config);

@@ -1,0 +1,222 @@
+// Cross-protocol and cross-runtime differential tests.
+//
+// All eight protocols implement the *same* shared-memory contract, so
+// under the atomic SequentialRuntime one fixed workload must produce
+// identical read-value sequences on every protocol — a silent divergence
+// (a protocol returning plausible-but-wrong data) is invisible to the acc
+// metrics but fatal here.  The sim-vs-sequential half replays one recorded
+// single-issuer trace through both runtimes and requires identical values:
+// with one issuing node the event simulator's interleaving collapses to
+// program order, so the runtimes are directly comparable.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/oracle.h"
+#include "check/property.h"
+#include "protocols/protocol.h"
+#include "sim/event_sim.h"
+#include "sim/sequential.h"
+#include "workload/generator.h"
+#include "workload/spec.h"
+
+namespace drsm {
+namespace {
+
+using check::CoherenceOracle;
+using check::OracleMode;
+using protocols::ProtocolKind;
+
+// (node, value) per read, in completion order.  Versions are excluded on
+// purpose: Dragon's optimistic own-write apply legitimately reports a
+// stale version for the writer's own reads.
+using ReadSequence = std::vector<std::pair<NodeId, std::uint64_t>>;
+
+std::string render(const ReadSequence& reads) {
+  std::ostringstream out;
+  for (const auto& [node, value] : reads)
+    out << node << ":" << value << " ";
+  return out.str();
+}
+
+TEST(CrossProtocol, AllEightProtocolsReturnIdenticalReadSequences) {
+  // One fixed seeded workload (the paper's read-disturbance shape, three
+  // clients), executed atomically on every protocol.
+  const auto spec = workload::read_disturbance(0.3, 0.2, 2);
+  const std::uint64_t kSeed = 20260807;
+  const std::size_t kOps = 400;
+
+  ReadSequence reference;
+  for (const ProtocolKind kind : protocols::kAllProtocols) {
+    sim::SystemConfig system;
+    system.num_clients = 3;
+    workload::GlobalSequenceGenerator generator(spec, kSeed);
+    sim::SequentialRuntime runtime(kind, system, spec.roster());
+    CoherenceOracle oracle(OracleMode::kSequential);
+    runtime.set_coherence_tap(&oracle);
+
+    std::uint64_t value_counter = 0;
+    for (std::size_t i = 0; i < kOps; ++i) {
+      const workload::TraceEntry entry = generator.next();
+      const std::uint64_t value =
+          entry.op == fsm::OpKind::kWrite ? ++value_counter : 0;
+      runtime.execute(entry.node, entry.op, value);
+    }
+    oracle.finish();
+    ASSERT_TRUE(oracle.ok()) << protocols::to_string(kind) << ": "
+                             << oracle.violations().front();
+
+    ReadSequence reads;
+    for (const auto& r : oracle.reads()) reads.emplace_back(r.node, r.value);
+    ASSERT_FALSE(reads.empty());
+    if (kind == ProtocolKind::kWriteThrough) {
+      reference = std::move(reads);
+    } else {
+      EXPECT_EQ(reads, reference)
+          << protocols::to_string(kind) << " diverged\n  got      "
+          << render(reads) << "\n  expected " << render(reference);
+    }
+  }
+}
+
+// The same check through the property harness entry point: identical
+// PropertyConfig seeds must yield identical sequential read sequences on
+// every protocol (guards the harness itself against protocol-dependent
+// workload derivation).
+TEST(CrossProtocol, PropertyHarnessSequentialRunsAgreeAcrossProtocols) {
+  for (std::uint64_t seed : {1ULL, 7ULL, 23ULL}) {
+    check::PropertyConfig config;
+    config.seed = seed;
+    config.ops = 200;
+
+    ReadSequence reference;
+    for (const ProtocolKind kind : protocols::kAllProtocols) {
+      config.protocol = kind;
+      const auto result = check::run_sequential_property(config);
+      ASSERT_TRUE(result.ok()) << protocols::to_string(kind);
+      ReadSequence reads;
+      for (const auto& r : result.reads)
+        reads.emplace_back(r.node, r.value);
+      if (kind == ProtocolKind::kWriteThrough) {
+        reference = std::move(reads);
+      } else {
+        EXPECT_EQ(reads, reference)
+            << protocols::to_string(kind) << " diverged at seed " << seed;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sim vs sequential on one recorded trace.
+// ---------------------------------------------------------------------------
+
+// Forwards to the oracle while recording write-issue order, so runs whose
+// write values come from different counters (the simulator numbers writes
+// internally; the sequential loop below numbers them itself) compare by
+// write *ordinal*: "this read returned the k-th write of the program".
+class TeeTap final : public sim::CoherenceTap {
+ public:
+  explicit TeeTap(CoherenceOracle& oracle) : oracle_(oracle) {}
+
+  void on_write_issue(double time, NodeId node, ObjectId object,
+                      std::uint64_t value) override {
+    ordinal_.emplace(value, ordinal_.size() + 1);
+    oracle_.on_write_issue(time, node, object, value);
+  }
+  void on_commit(double time, NodeId node, ObjectId object,
+                 std::uint64_t version, std::uint64_t value) override {
+    oracle_.on_commit(time, node, object, version, value);
+  }
+  void on_read(double time, NodeId node, ObjectId object,
+               std::uint64_t value, std::uint64_t version) override {
+    oracle_.on_read(time, node, object, value, version);
+  }
+
+  /// 0 = never written; k = the k-th write issued in program order.
+  std::uint64_t ordinal(std::uint64_t value) const {
+    const auto it = ordinal_.find(value);
+    return it == ordinal_.end() ? 0 : it->second;
+  }
+
+ private:
+  CoherenceOracle& oracle_;
+  std::map<std::uint64_t, std::uint64_t> ordinal_;
+};
+
+class SimVsSequentialTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(SimVsSequentialTest, SingleIssuerTraceYieldsIdenticalValues) {
+  // Record a single-issuer trace (the ideal workload: only client 0 acts).
+  // Program order is total order, so both runtimes must return the same
+  // write (by ordinal) for every read.
+  const auto spec = workload::ideal_workload(0.4);
+  workload::GlobalSequenceGenerator generator(spec, 99);
+  const workload::OperationTrace trace = generator.record(300, 3);
+
+  sim::SystemConfig system;
+  system.num_clients = 3;
+
+  // Sequential execution.
+  ReadSequence sequential;
+  {
+    sim::SequentialRuntime runtime(GetParam(), system, spec.roster());
+    CoherenceOracle oracle(OracleMode::kSequential);
+    TeeTap tap(oracle);
+    runtime.set_coherence_tap(&tap);
+    std::uint64_t value_counter = 0;
+    for (const auto& entry : trace.entries) {
+      const std::uint64_t value =
+          entry.op == fsm::OpKind::kWrite ? ++value_counter : 0;
+      runtime.execute(entry.node, entry.op, value);
+    }
+    oracle.finish();
+    ASSERT_TRUE(oracle.ok()) << oracle.violations().front();
+    for (const auto& r : oracle.reads())
+      sequential.emplace_back(r.node, tap.ordinal(r.value));
+  }
+
+  // Concurrent replay of the same trace.
+  ReadSequence simulated;
+  {
+    sim::SimOptions options;
+    options.max_ops = trace.entries.size();
+    options.warmup_ops = 0;
+    options.seed = 7;
+    options.latency.min_latency = 1;
+    options.latency.max_latency = 4;
+    options.latency.processing_time = 1;
+    sim::EventSimulator simulator(GetParam(), system, options);
+    CoherenceOracle oracle(OracleMode::kConcurrent);
+    TeeTap tap(oracle);
+    simulator.set_coherence_tap(&tap);
+    workload::TraceReplayDriver driver(trace);
+    simulator.run(driver);
+    oracle.finish();
+    ASSERT_TRUE(oracle.ok()) << oracle.violations().front();
+    for (const auto& r : oracle.reads())
+      simulated.emplace_back(r.node, tap.ordinal(r.value));
+  }
+
+  ASSERT_FALSE(sequential.empty());
+  EXPECT_EQ(simulated, sequential)
+      << "sim " << render(simulated) << "\nseq " << render(sequential);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, SimVsSequentialTest,
+                         ::testing::ValuesIn(protocols::kAllProtocols),
+                         [](const auto& info) {
+                           std::string name =
+                               protocols::to_string(info.param);
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace drsm

@@ -208,6 +208,51 @@ TEST(Histogram, MergeIsExactForEqualBounds) {
   EXPECT_THROW(a.merge(c), Error);
 }
 
+TEST(Histogram, MergeWithEmptySidesPreservesMoments) {
+  // Empty into non-empty: a no-op, min/max untouched.
+  obs::Histogram a(std::vector<double>{1.0, 10.0});
+  a.record(5.0);
+  a.merge(obs::Histogram(std::vector<double>{1.0, 10.0}));
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+
+  // Non-empty into empty: the target adopts the source's min/max instead
+  // of folding them against its zero-initialized fields.
+  obs::Histogram b(std::vector<double>{1.0, 10.0});
+  obs::Histogram c(std::vector<double>{1.0, 10.0});
+  c.record(3.0);
+  c.record(7.0);
+  b.merge(c);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.min(), 3.0);
+  EXPECT_DOUBLE_EQ(b.max(), 7.0);
+  EXPECT_DOUBLE_EQ(b.sum(), 10.0);
+
+  // Empty into empty stays empty.
+  obs::Histogram d(std::vector<double>{1.0});
+  d.merge(obs::Histogram(std::vector<double>{1.0}));
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_DOUBLE_EQ(d.min(), 0.0);
+  EXPECT_DOUBLE_EQ(d.max(), 0.0);
+  EXPECT_DOUBLE_EQ(d.percentile(0.99), 0.0);
+}
+
+TEST(Histogram, SingleBucketHistogramsMerge) {
+  // No bounds at all: one overflow bucket, count/sum/min/max still exact.
+  obs::Histogram a((std::vector<double>{}));
+  obs::Histogram b((std::vector<double>{}));
+  ASSERT_EQ(a.buckets().size(), 1u);
+  a.record(2.0);
+  b.record(8.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.buckets()[0], 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 8.0);
+}
+
 TEST(Histogram, ExponentialBoundsFormGeometricLadder) {
   const auto bounds = obs::Histogram::exponential_bounds(1.0, 2.0, 5);
   EXPECT_EQ(bounds, (std::vector<double>{1.0, 2.0, 4.0, 8.0, 16.0}));

@@ -1,0 +1,200 @@
+// CoherenceOracle unit tests — every rule of the referee must fire on a
+// hand-built bad history and stay silent on the matching good one — plus
+// the property-based harness: 1000 seeded random workloads per protocol
+// through both the event simulator (kConcurrent rules) and the sequential
+// runtime (kSequential rules).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "check/oracle.h"
+#include "check/property.h"
+#include "protocols/protocol.h"
+
+namespace drsm {
+namespace {
+
+using check::CoherenceOracle;
+using check::OracleMode;
+using protocols::ProtocolKind;
+
+// ---------------------------------------------------------------------------
+// Issue / commit bookkeeping.
+// ---------------------------------------------------------------------------
+
+TEST(Oracle, CleanSequentialHistoryPasses) {
+  CoherenceOracle oracle(OracleMode::kSequential);
+  oracle.on_write_issue(0, 0, 0, 10);
+  oracle.on_commit(1, 2, 0, 1, 10);
+  oracle.on_read(2, 1, 0, 10, 1);
+  oracle.on_write_issue(3, 1, 0, 20);
+  oracle.on_commit(4, 2, 0, 2, 20);
+  oracle.on_read(5, 0, 0, 20, 2);
+  oracle.finish();
+  EXPECT_TRUE(oracle.ok()) << oracle.violations().front();
+  EXPECT_EQ(oracle.issues(), 2u);
+  EXPECT_EQ(oracle.commits(), 2u);
+  EXPECT_EQ(oracle.reads().size(), 2u);
+  EXPECT_EQ(oracle.value_at(0, 1), 10u);
+  EXPECT_EQ(oracle.value_at(0, 2), 20u);
+  EXPECT_EQ(oracle.value_at(0, 3), 0u);  // never serialized
+}
+
+TEST(Oracle, ValueZeroAndDuplicateIssuesAreViolations) {
+  CoherenceOracle oracle;
+  oracle.on_write_issue(0, 0, 0, 0);  // 0 is reserved
+  EXPECT_EQ(oracle.violations().size(), 1u);
+  oracle.on_write_issue(1, 0, 0, 5);
+  oracle.on_write_issue(2, 1, 0, 5);  // same value from another node
+  EXPECT_EQ(oracle.violations().size(), 2u);
+}
+
+TEST(Oracle, CommitOfUnissuedValueIsAViolation) {
+  CoherenceOracle oracle;
+  oracle.on_commit(0, 2, 0, 1, 99);  // 99 never entered via a write
+  EXPECT_FALSE(oracle.ok());
+}
+
+TEST(Oracle, VersionRebindIsAViolationButDuplicateReportIsNot) {
+  CoherenceOracle oracle;
+  oracle.on_write_issue(0, 0, 0, 10);
+  oracle.on_write_issue(0, 1, 0, 11);
+  oracle.on_commit(1, 2, 0, 1, 10);
+  oracle.on_commit(2, 0, 0, 1, 10);  // two-phase: both ends report
+  EXPECT_TRUE(oracle.ok());
+  oracle.on_commit(3, 2, 0, 1, 11);  // rebinding version 1
+  EXPECT_FALSE(oracle.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Read rules, sequential mode.
+// ---------------------------------------------------------------------------
+
+TEST(Oracle, SequentialReadMustReturnLatestWrite) {
+  CoherenceOracle oracle(OracleMode::kSequential);
+  oracle.on_write_issue(0, 0, 0, 10);
+  oracle.on_commit(1, 2, 0, 1, 10);
+  oracle.on_write_issue(2, 1, 0, 20);
+  oracle.on_commit(3, 2, 0, 2, 20);
+  oracle.on_read(4, 0, 0, 10, 1);  // stale: latest is (20, 2)
+  ASSERT_EQ(oracle.violations().size(), 1u);
+  EXPECT_NE(oracle.violations().front().find("latest serialized write"),
+            std::string::npos);
+}
+
+TEST(Oracle, SequentialOwnWriteMayCarryStaleVersion) {
+  // Dragon: the writer applies its value optimistically and keeps the old
+  // version until the next foreign update.  Value must match, version may
+  // lag — but only for the issuing node.
+  CoherenceOracle oracle(OracleMode::kSequential);
+  oracle.on_write_issue(0, 0, 0, 10);
+  oracle.on_commit(1, 2, 0, 1, 10);
+  oracle.on_read(2, 0, 0, 10, 0);  // own write, stale version: fine
+  EXPECT_TRUE(oracle.ok());
+  oracle.on_read(3, 1, 0, 10, 0);  // foreign reader must see version 1
+  EXPECT_FALSE(oracle.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Read rules, concurrent mode.
+// ---------------------------------------------------------------------------
+
+TEST(Oracle, ConcurrentReadsMayBeStaleButNotFabricated) {
+  CoherenceOracle oracle(OracleMode::kConcurrent);
+  oracle.on_write_issue(0, 0, 0, 10);
+  oracle.on_commit(1, 2, 0, 1, 10);
+  oracle.on_write_issue(2, 1, 0, 20);
+  oracle.on_commit(3, 2, 0, 2, 20);
+  oracle.on_read(4, 0, 0, 10, 1);  // stale but serialized: fine
+  EXPECT_TRUE(oracle.ok());
+  oracle.on_read(5, 0, 0, 33, 2);  // version 2 serialized 20, not 33
+  EXPECT_FALSE(oracle.ok());
+}
+
+TEST(Oracle, ConcurrentReadOfUnserializedVersionIsAViolation) {
+  CoherenceOracle oracle(OracleMode::kConcurrent);
+  oracle.on_write_issue(0, 0, 0, 10);
+  oracle.on_commit(1, 2, 0, 1, 10);
+  oracle.on_read(2, 1, 0, 10, 7);  // version 7 does not exist
+  EXPECT_FALSE(oracle.ok());
+}
+
+TEST(Oracle, ConcurrentNeverWrittenReadsAreFine) {
+  CoherenceOracle oracle(OracleMode::kConcurrent);
+  oracle.on_read(0, 0, 0, 0, 0);  // (0, 0) = "never written": fine
+  EXPECT_TRUE(oracle.ok());
+  oracle.on_read(1, 0, 0, 42, 0);  // nonzero value without a version
+  EXPECT_FALSE(oracle.ok());
+}
+
+TEST(Oracle, ConcurrentOwnWriteVisibleBeforeCommit) {
+  CoherenceOracle oracle(OracleMode::kConcurrent);
+  oracle.on_write_issue(0, 0, 0, 10);
+  oracle.on_read(1, 0, 0, 10, 0);  // writer sees its in-flight write
+  EXPECT_TRUE(oracle.ok());
+  oracle.on_read(2, 1, 0, 10, 0);  // another node must not
+  EXPECT_FALSE(oracle.ok());
+}
+
+TEST(Oracle, ConcurrentPerNodeVersionsAreMonotone) {
+  CoherenceOracle oracle(OracleMode::kConcurrent);
+  oracle.on_write_issue(0, 0, 0, 10);
+  oracle.on_commit(1, 2, 0, 1, 10);
+  oracle.on_write_issue(2, 0, 0, 20);
+  oracle.on_commit(3, 2, 0, 2, 20);
+  oracle.on_read(4, 1, 0, 20, 2);
+  oracle.on_read(5, 1, 0, 10, 1);  // node 1 travels back in time
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_NE(oracle.violations().front().find("after version"),
+            std::string::npos);
+}
+
+TEST(Oracle, FinishFlagsVersionGaps) {
+  CoherenceOracle oracle;
+  oracle.on_write_issue(0, 0, 0, 10);
+  oracle.on_write_issue(1, 1, 0, 20);
+  oracle.on_commit(2, 2, 0, 1, 10);
+  oracle.on_commit(3, 2, 0, 3, 20);  // version 2 never serialized
+  EXPECT_TRUE(oracle.ok());
+  oracle.finish();
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_NE(oracle.violations().front().find("gap"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Property harness: 1000 seeded random workloads per protocol, through
+// both runtimes (the acceptance bar of the verification subsystem).
+// ---------------------------------------------------------------------------
+
+class PropertyHarnessTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(PropertyHarnessTest, ThousandSeededWorkloadsPerProtocol) {
+  for (std::uint64_t seed = 1; seed <= 1000; ++seed) {
+    check::PropertyConfig config;
+    config.protocol = GetParam();
+    config.seed = seed;
+    config.num_clients = 3;
+    config.ops = 150;
+    const auto sim = check::run_simulator_property(config);
+    ASSERT_TRUE(sim.ok())
+        << "simulator seed " << seed << ": " << sim.violations.front();
+    ASSERT_GT(sim.reads.size() + sim.issues, 0u) << "empty run, seed "
+                                                 << seed;
+    const auto seq = check::run_sequential_property(config);
+    ASSERT_TRUE(seq.ok())
+        << "sequential seed " << seed << ": " << seq.violations.front();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, PropertyHarnessTest,
+                         ::testing::ValuesIn(protocols::kAllProtocols),
+                         [](const auto& info) {
+                           std::string name =
+                               protocols::to_string(info.param);
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace drsm

@@ -23,6 +23,7 @@
 #include "obs/trace.h"
 #include "protocols/protocol.h"
 #include "sim/event_sim.h"
+#include "test_util.h"
 #include "workload/generator.h"
 
 namespace drsm {
@@ -56,15 +57,7 @@ SimOptions golden_options() {
   return options;
 }
 
-struct Trajectory {
-  std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a offset basis
-  std::uint64_t events = 0;
-
-  void mix(std::uint64_t v) {
-    hash ^= v;
-    hash *= 1099511628211ULL;
-  }
-};
+using testing::Trajectory;
 
 // Runs the golden scenario and folds every observed message into an
 // FNV-1a hash over (time, src, dst, five-tuple, payload).
@@ -76,17 +69,7 @@ std::pair<Trajectory, SimStats> run_golden(ProtocolKind kind,
   Trajectory traj;
   simulator.set_observer([&](SimTime time, NodeId src, NodeId dst,
                              const fsm::Message& msg) {
-    traj.mix(static_cast<std::uint64_t>(time));
-    traj.mix(src);
-    traj.mix(dst);
-    traj.mix(static_cast<std::uint64_t>(msg.token.type));
-    traj.mix(msg.token.initiator);
-    traj.mix(msg.token.object);
-    traj.mix(static_cast<std::uint64_t>(msg.token.params));
-    traj.mix(msg.value);
-    traj.mix(msg.version);
-    traj.mix(msg.hops);
-    ++traj.events;
+    traj.mix_message(static_cast<std::uint64_t>(time), src, dst, msg);
   });
   workload::ConcurrentDriver driver(workload::read_disturbance(0.3, 0.2, 2),
                                     options.seed ^ 0xBEEF,
@@ -108,7 +91,9 @@ struct Golden {
 
 // Captured from the pre-overhaul engine (std::priority_queue of
 // heap-allocated closures) at the commit introducing the time wheel.
-// These constants are the bit-identity contract: they must never change.
+// These constants are the bit-identity contract: they change only when a
+// protocol machine is intentionally fixed, in which case the entry is
+// regenerated and the fix noted next to it.
 const Golden kGoldens[] = {
     {ProtocolKind::kWriteThrough, 0x5dea33ffed82effaULL, 10087u, 274913.0,
      5500u, 10087u, 32817.0, 397566u},
@@ -120,8 +105,12 @@ const Golden kGoldens[] = {
      12228u, 58036.0, 405974u},
     {ProtocolKind::kIllinois, 0x981aca4a7977cde3ULL, 8992u, 233012.0, 5501u,
      8992u, 42875.0, 400231u},
-    {ProtocolKind::kBerkeley, 0x611d511912a24dafULL, 5835u, 132723.0, 5500u,
-     5835u, 23822.0, 392382u},
+    // Berkeley regenerated after the grant/invalidation race fix (the
+    // inval_raced_ handling in berkeley.cc): a crossing W-INV no longer
+    // lets a stale R-GNT resurrect a VALID copy, which changes raced
+    // schedules.  Both schedulers agree on the new trajectory.
+    {ProtocolKind::kBerkeley, 0xcf8b0f26562f9b07ULL, 5891u, 135879.0, 5501u,
+     5891u, 24217.0, 392498u},
     {ProtocolKind::kDragon, 0x6de89b935407c69dULL, 5409u, 153326.0, 5500u,
      5409u, 11011.0, 389572u},
     {ProtocolKind::kFirefly, 0x23fb60dc12697463ULL, 7168u, 154254.0, 5500u,

@@ -42,6 +42,28 @@ TEST(BatchMeans, RejectsDegenerateBatching) {
   EXPECT_THROW(batch_means_ci({1.0}, 2), Error);
 }
 
+TEST(BatchMeans, DropsTheRemainderWhenBatchesDoNotDivide) {
+  // 7 samples, 2 batches -> batch size 3: the 7th sample (1000) must not
+  // leak into either batch mean.
+  const ConfidenceInterval ci =
+      batch_means_ci({1.0, 1.0, 1.0, 3.0, 3.0, 3.0, 1000.0}, 2);
+  EXPECT_DOUBLE_EQ(ci.mean, 2.0);
+}
+
+TEST(BatchMeans, OneSamplePerBatchIsTheBoundaryCase) {
+  const ConfidenceInterval ci = batch_means_ci({2.0, 4.0}, 2);
+  EXPECT_DOUBLE_EQ(ci.mean, 3.0);
+  EXPECT_GT(ci.half_width, 0.0);
+}
+
+TEST(RunningStats, EmptyStatsReportZeros) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
 TEST(ReplicationCi, ShrinksWithMoreReplicates) {
   Rng rng(5);
   std::vector<double> few, many;

@@ -1,0 +1,164 @@
+// drsm_check: standalone protocol verification driver.
+//
+// Runs the explicit-state model checker and the property-based coherence
+// harness from the command line, printing one summary row per protocol.
+// Exits nonzero on any violation; with --trace=FILE the first violation's
+// minimal counterexample is written as JSONL (see docs/TESTING.md for how
+// to read it).
+//
+// Usage:
+//   drsm_check [--protocol=all|wt|wtv|wo|syn|ill|ber|drg|ff]
+//              [--clients=N] [--reads=K] [--writes=K]
+//              [--seeds=S] [--ops=OPS] [--no-probes] [--trace=FILE]
+//
+// Defaults: all protocols, 2 clients, 1 read + 1 write per client, 25
+// property seeds of 150 operations each.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "check/model_checker.h"
+#include "check/property.h"
+#include "obs/trace.h"
+#include "protocols/protocol.h"
+#include "support/error.h"
+#include "support/text.h"
+
+namespace {
+
+using namespace drsm;
+
+struct Args {
+  std::vector<protocols::ProtocolKind> kinds{protocols::kAllProtocols.begin(),
+                                             protocols::kAllProtocols.end()};
+  std::size_t clients = 2;
+  std::size_t reads = 1;
+  std::size_t writes = 1;
+  std::size_t seeds = 25;
+  std::size_t ops = 150;
+  bool probes = true;
+  std::string trace_path;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--protocol=all|NAME] [--clients=N] [--reads=K] "
+               "[--writes=K] [--seeds=S] [--ops=OPS] [--no-probes] "
+               "[--trace=FILE]\n",
+               argv0);
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) -> std::string {
+      return arg.substr(std::string(prefix).size());
+    };
+    if (arg.rfind("--protocol=", 0) == 0) {
+      const std::string name = value("--protocol=");
+      if (name != "all")
+        args.kinds = {protocols::protocol_from_string(name)};
+    } else if (arg.rfind("--clients=", 0) == 0) {
+      args.clients = std::stoul(value("--clients="));
+    } else if (arg.rfind("--reads=", 0) == 0) {
+      args.reads = std::stoul(value("--reads="));
+    } else if (arg.rfind("--writes=", 0) == 0) {
+      args.writes = std::stoul(value("--writes="));
+    } else if (arg.rfind("--seeds=", 0) == 0) {
+      args.seeds = std::stoul(value("--seeds="));
+    } else if (arg.rfind("--ops=", 0) == 0) {
+      args.ops = std::stoul(value("--ops="));
+    } else if (arg == "--no-probes") {
+      args.probes = false;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      args.trace_path = value("--trace=");
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return args;
+}
+
+void dump_counterexample(const check::CheckResult& result,
+                         const std::string& path) {
+  obs::TraceRecorder recorder;
+  check::export_counterexample(result, recorder);
+  recorder.write_jsonl(path);
+  std::printf("  counterexample (%zu steps) written to %s\n",
+              result.counterexample.size(), path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const Args args = parse(argc, argv);
+  bool failed = false;
+
+  std::printf("model checker: %zu clients, %zu read(s) + %zu write(s) per "
+              "client, probes %s\n",
+              args.clients, args.reads, args.writes,
+              args.probes ? "on" : "off");
+  for (const auto kind : args.kinds) {
+    check::CheckConfig config;
+    config.protocol = kind;
+    config.num_clients = args.clients;
+    config.reads_per_client = args.reads;
+    config.writes_per_client = args.writes;
+    config.probe_quiescent_reads = args.probes;
+    const check::CheckResult result = check::check_protocol(config);
+    std::printf("  %-16s %8zu states %9zu transitions %6zu probes "
+                "depth %3zu  %s\n",
+                protocols::to_string(kind), result.states,
+                result.transitions, result.probes, result.max_depth,
+                result.ok() ? (result.hit_state_cap ? "PARTIAL" : "ok")
+                            : "VIOLATION");
+    if (!result.ok()) {
+      failed = true;
+      for (const auto& v : result.violations)
+        std::printf("    %s: %s\n", v.invariant, v.detail.c_str());
+      if (!args.trace_path.empty())
+        dump_counterexample(result, args.trace_path);
+    }
+  }
+
+  if (args.seeds > 0) {
+    std::printf("property harness: %zu seed(s), %zu ops each\n", args.seeds,
+                args.ops);
+    for (const auto kind : args.kinds) {
+      std::size_t bad_seed = 0;
+      std::vector<std::string> violations;
+      for (std::uint64_t seed = 1; seed <= args.seeds; ++seed) {
+        check::PropertyConfig config;
+        config.protocol = kind;
+        config.seed = seed;
+        config.ops = args.ops;
+        const auto sim = check::run_simulator_property(config);
+        const auto seq = check::run_sequential_property(config);
+        if (!sim.ok() || !seq.ok()) {
+          bad_seed = seed;
+          violations = sim.ok() ? seq.violations : sim.violations;
+          break;
+        }
+      }
+      if (bad_seed != 0) {
+        failed = true;
+        std::printf("  %-16s FAILED at seed %zu\n",
+                    protocols::to_string(kind),
+                    static_cast<std::size_t>(bad_seed));
+        for (const auto& v : violations)
+          std::printf("    %s\n", v.c_str());
+      } else {
+        std::printf("  %-16s ok\n", protocols::to_string(kind));
+      }
+    }
+  }
+
+  return failed ? 1 : 0;
+} catch (const drsm::Error& e) {
+  std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+  return 2;
+}
