@@ -235,6 +235,54 @@ void print_replicated(ProtocolKind kind,
               max_abs_disc);
 }
 
+// Phase 3: latency profile — all eight protocols under one representative
+// workload with a non-degenerate timing model (message latency uniform in
+// [1,3], one unit of per-message processing), so operation response times
+// are nonzero and the sketch percentiles are meaningful.  The default
+// Table-7 timing (latency 1, processing 0) completes every local
+// operation in zero simulated time, which is why the latency percentile
+// rows used to read all-zero for the fire-and-forget protocols.
+void run_latency_profile(bench::Report& report) {
+  constexpr double kP = 0.4;
+  constexpr double kSigma = 0.2;
+  const auto spec = workload::read_disturbance(kP, kSigma, kA);
+  std::printf("latency profile — all protocols, p=%.1f sigma=%.1f, "
+              "latency U[1,3], processing 1\n",
+              kP, kSigma);
+  std::vector<std::vector<std::string>> rows;
+  for (ProtocolKind kind : protocols::kAllProtocols) {
+    sim::SimOptions options;
+    options.warmup_ops = 500;
+    options.max_ops = 500 + 1500;
+    options.seed = cell_seed(kP, kSigma);
+    options.latency.min_latency = 1;
+    options.latency.max_latency = 3;
+    options.latency.processing_time = 1;
+    sim::EventSimulator simulator(kind, make_config(), options);
+    workload::ConcurrentDriver driver(spec, options.seed ^ 0xBEEF, kM);
+    const sim::SimStats stats = simulator.run(driver);
+
+    auto& result = report.add_result();
+    result["protocol"] = bench::short_name(kind);
+    result["run"] = "latency_profile";
+    result["p"] = kP;
+    result["sigma"] = kSigma;
+    result["sim"] = bench::sim_stats_json(stats);
+
+    rows.push_back({std::string(protocols::to_string(kind)),
+                    strfmt("%.2f", stats.mean_latency()),
+                    strfmt("%.0f", stats.latency_quantiles.query(0.50)),
+                    strfmt("%.0f", stats.latency_quantiles.query(0.90)),
+                    strfmt("%.0f", stats.latency_quantiles.query(0.99)),
+                    strfmt("%llu", static_cast<unsigned long long>(
+                                       stats.latency_max))});
+  }
+  std::printf("%s\n", render_table(
+                          {"protocol", "mean", "p50", "p90", "p99", "max"},
+                          rows)
+                          .c_str());
+}
+
 }  // namespace
 
 int main() {
@@ -307,6 +355,9 @@ int main() {
     }
     print_replicated(kind, cells);
   }
+
+  report.phase("latency_profile");
+  run_latency_profile(report);
 
   // The determinism contract, measured: the parallel pass must reproduce
   // the serial pass bit for bit, whatever the speedup this host allows.

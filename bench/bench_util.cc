@@ -44,9 +44,14 @@ obs::JsonValue sim_stats_json(const sim::SimStats& stats) {
   latency["mean_read"] = stats.mean_read_latency();
   latency["mean_write"] = stats.mean_write_latency();
   latency["max"] = static_cast<double>(stats.latency_max);
-  latency["p50"] = stats.latency_histogram.percentile(0.50);
-  latency["p90"] = stats.latency_histogram.percentile(0.90);
-  latency["p99"] = stats.latency_histogram.percentile(0.99);
+  // Percentiles come from the GK sketch: actual observed latencies, not
+  // the histogram's within-bucket interpolation (which fabricated
+  // fractional p50s for zero-heavy distributions).
+  latency["p50"] = stats.latency_quantiles.query(0.50);
+  latency["p90"] = stats.latency_quantiles.query(0.90);
+  latency["p99"] = stats.latency_quantiles.query(0.99);
+  latency["samples"] =
+      static_cast<double>(stats.latency_quantiles.count());
   out["latency"] = std::move(latency);
   return out;
 }

@@ -19,9 +19,21 @@ else
   benches=("$BUILD_DIR"/bench/*)
 fi
 
+# First "sim.events_per_sec" gauge in a BENCH report (the simulator's
+# wall-clock event-loop throughput), or "-" when the bench has none.
+events_per_sec() {
+  local json="$1"
+  [ -f "$json" ] || { echo "-"; return; }
+  local v
+  v=$(grep -m1 '"sim.events_per_sec"\|"events_per_sec"' "$json" \
+        | sed 's/.*: *//; s/[ ,].*//') || true
+  if [ -n "${v:-}" ]; then printf '%.0f' "$v"; else echo "-"; fi
+}
+
 {
   names=()
   times_ms=()
+  events=()
   for b in "${benches[@]}"; do
     if [ -x "$b" ] && [ -f "$b" ]; then
       echo "===== $(basename "$b") ====="
@@ -32,6 +44,7 @@ fi
       elapsed_ms=$(( ($(date +%s%N) - start_ns) / 1000000 ))
       names+=("$(basename "$b")")
       times_ms+=("$elapsed_ms")
+      events+=("$(events_per_sec "$ROOT/BENCH_${b##*/bench_}.json")")
       echo
     fi
   done
@@ -39,10 +52,11 @@ fi
   # Per-bench wall-clock summary (printed inside the group so it reaches
   # both the console and bench_output.txt).
   echo "===== wall-clock summary ====="
-  printf '%-28s %12s\n' "bench" "wall (ms)"
+  printf '%-28s %12s %16s\n' "bench" "wall (ms)" "sim events/s"
   total_ms=0
   for i in "${!names[@]}"; do
-    printf '%-28s %12s\n' "${names[$i]}" "${times_ms[$i]}"
+    printf '%-28s %12s %16s\n' "${names[$i]}" "${times_ms[$i]}" \
+      "${events[$i]}"
     total_ms=$(( total_ms + times_ms[i] ))
   done
   printf '%-28s %12s\n' "total" "$total_ms"

@@ -1,5 +1,6 @@
 #include "adaptive/selector.h"
 
+#include <algorithm>
 #include <array>
 
 #include "support/error.h"
@@ -50,7 +51,9 @@ workload::WorkloadSpec WorkloadEstimator::empirical_spec() const {
 AdaptiveSelector::AdaptiveSelector(
     const sim::SystemConfig& config,
     std::vector<ProtocolKind> candidates)
-    : solver_(config), candidates_(std::move(candidates)) {
+    : solver_(config),
+      candidates_(std::move(candidates)),
+      num_clients_(config.num_clients) {
   if (candidates_.empty())
     candidates_.assign(protocols::kAllProtocols.begin(),
                        protocols::kAllProtocols.end());
@@ -65,6 +68,34 @@ AdaptiveSelector::Classification AdaptiveSelector::classify(
     if (acc < best.predicted_acc) best = {candidates_[i], acc};
   }
   return best;
+}
+
+workload::WorkloadSpec AdaptiveSelector::spec_from_telemetry(
+    const obs::AccessStats& stats, ObjectId object,
+    std::size_t num_clients) {
+  const std::vector<obs::AccessStats::NodeMix> mix = stats.node_mix(object);
+  double total = 0.0;
+  const std::size_t nodes = std::min(mix.size(), num_clients);
+  for (std::size_t node = 0; node < nodes; ++node)
+    total += static_cast<double>(mix[node].reads + mix[node].writes);
+  DRSM_CHECK(total > 0.0,
+             "spec_from_telemetry: no recent client accesses to the object");
+  workload::WorkloadSpec spec;
+  spec.name = "telemetry";
+  for (NodeId node = 0; node < nodes; ++node) {
+    const double reads = static_cast<double>(mix[node].reads);
+    const double writes = static_cast<double>(mix[node].writes);
+    if (reads == 0.0 && writes == 0.0) continue;
+    spec.events.push_back({node, OpKind::kRead, reads / total});
+    spec.events.push_back({node, OpKind::kWrite, writes / total});
+  }
+  spec.validate();
+  return spec;
+}
+
+AdaptiveSelector::Classification AdaptiveSelector::classify_object(
+    const obs::AccessStats& stats, ObjectId object) {
+  return classify(spec_from_telemetry(stats, object, num_clients_));
 }
 
 AdaptiveSharedMemory::AdaptiveSharedMemory(const Options& options)
@@ -95,6 +126,7 @@ void AdaptiveSharedMemory::write(NodeId node, ObjectId object,
 
 void AdaptiveSharedMemory::observe(NodeId node, ObjectId object,
                                    OpKind op) {
+  telemetry_.on_access(node, object, op);
   if (node >= options_.memory.num_clients) return;
   estimators_[options_.per_object ? object : 0].observe(node, op);
   maybe_reclassify();

@@ -17,6 +17,7 @@
 
 #include "analytic/solver.h"
 #include "dsm/dsm.h"
+#include "obs/access_stats.h"
 #include "workload/spec.h"
 
 namespace drsm::adaptive {
@@ -55,11 +56,27 @@ class AdaptiveSelector {
   };
   Classification classify(const workload::WorkloadSpec& spec);
 
+  /// Builds an empirical per-object sample space from live telemetry: the
+  /// recent (last closed + current window) per-node read/write mix of
+  /// `object`, restricted to client nodes.  Requires at least one client
+  /// access to the object in that window span.
+  static workload::WorkloadSpec spec_from_telemetry(
+      const obs::AccessStats& stats, ObjectId object,
+      std::size_t num_clients);
+
+  /// Classifies `object` straight from telemetry — the observe-path hook:
+  /// feed an AccessStats from the runtime's event stream, ask which
+  /// protocol the analytic model predicts cheapest for what the object is
+  /// *currently* experiencing.
+  Classification classify_object(const obs::AccessStats& stats,
+                                 ObjectId object);
+
   analytic::AccSolver& solver() { return solver_; }
 
  private:
   analytic::AccSolver solver_;
   std::vector<protocols::ProtocolKind> candidates_;
+  std::size_t num_clients_;
 };
 
 /// A SharedMemory that re-selects its protocol every `epoch_ops`
@@ -84,6 +101,11 @@ class AdaptiveSharedMemory {
   void write(NodeId node, ObjectId object, std::uint64_t value);
 
   dsm::SharedMemory& memory() { return memory_; }
+
+  /// Live access telemetry over everything this memory has served:
+  /// hot set, activity centers, drift log (see obs/access_stats.h).
+  const obs::AccessStats& telemetry() const { return telemetry_; }
+
   protocols::ProtocolKind current_protocol() const {
     return memory_.protocol();
   }
@@ -99,6 +121,7 @@ class AdaptiveSharedMemory {
 
   Options options_;
   dsm::SharedMemory memory_;
+  obs::AccessStats telemetry_;
   std::vector<WorkloadEstimator> estimators_;  // one, or one per object
   AdaptiveSelector selector_;
   std::size_t ops_in_epoch_ = 0;

@@ -644,8 +644,7 @@ CheckResult check_protocol(const CheckConfig& cfg) {
   return res;
 }
 
-void export_counterexample(const CheckResult& result,
-                           obs::TraceRecorder& out) {
+void export_counterexample(const CheckResult& result, obs::EventSink& out) {
   if (result.ok()) return;
   for (std::size_t i = 0; i < result.counterexample.size(); ++i) {
     const CheckStep& step = result.counterexample[i];
@@ -665,6 +664,16 @@ void export_counterexample(const CheckResult& result,
   event.kind = obs::EventKind::kViolation;
   event.detail = result.violations.front().invariant;
   out.on_event(event);
+}
+
+std::string dump_counterexample(const CheckResult& result,
+                                obs::FlightRecorder& recorder,
+                                const std::string& path) {
+  if (result.ok()) return {};
+  export_counterexample(result, recorder);
+  const Violation& v = result.violations.front();
+  return recorder.dump(path, std::string(v.invariant) +
+                                 (v.detail.empty() ? "" : ": " + v.detail));
 }
 
 }  // namespace drsm::check

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "fsm/mealy.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "protocols/protocol.h"
 
@@ -129,9 +130,17 @@ struct CheckResult {
 CheckResult check_protocol(const CheckConfig& config);
 
 /// Renders result.counterexample into `out` as kCheckStep events (time =
-/// step index) followed by one kViolation event, ready for
-/// TraceRecorder::write_jsonl.  No-op when the result is ok.
-void export_counterexample(const CheckResult& result,
-                           obs::TraceRecorder& out);
+/// step index) followed by one kViolation event.  Any sink works: a
+/// TraceRecorder for write_jsonl export, a FlightRecorder for post-mortem
+/// capture.  No-op when the result is ok.
+void export_counterexample(const CheckResult& result, obs::EventSink& out);
+
+/// Renders the counterexample into `recorder` (appending to whatever the
+/// ring already holds) and dumps it as a JSONL post-mortem to `path`.
+/// Returns the dump text (empty when the result is ok and nothing was
+/// written).
+std::string dump_counterexample(const CheckResult& result,
+                                obs::FlightRecorder& recorder,
+                                const std::string& path);
 
 }  // namespace drsm::check

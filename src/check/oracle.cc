@@ -22,7 +22,22 @@ CoherenceOracle::ObjectLog& CoherenceOracle::log(ObjectId object) {
   return logs_[object];
 }
 
+void CoherenceOracle::set_flight_recorder(obs::FlightRecorder* recorder,
+                                          std::string dump_path) {
+  recorder_ = recorder;
+  dump_path_ = std::move(dump_path);
+}
+
 void CoherenceOracle::violation(std::string text) {
+  if (violations_.empty() && recorder_ != nullptr) {
+    // First violation: mark the ring, then snapshot it while the window
+    // of traffic that led here is still retained.
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kViolation;
+    event.detail = "coherence";
+    recorder_->on_event(event);
+    if (!dump_path_.empty()) recorder_->dump(dump_path_, text);
+  }
   if (violations_.size() < kMaxViolations)
     violations_.push_back(std::move(text));
 }

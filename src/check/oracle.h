@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "sim/coherence_tap.h"
 
 namespace drsm::check {
@@ -59,6 +60,15 @@ class CoherenceOracle final : public sim::CoherenceTap {
 
   bool ok() const { return violations_.empty(); }
   const std::vector<std::string>& violations() const { return violations_; }
+
+  /// Attaches a flight recorder for post-mortems: on the *first* violation
+  /// the oracle appends a kViolation marker to the recorder's ring and
+  /// dumps it as JSONL to `dump_path` (empty path = record the marker but
+  /// leave dumping to the caller).  Typically the same recorder is also
+  /// the runtime's event sink, so the dump shows the window of traffic
+  /// leading up to the violation.  Pass nullptr to detach.
+  void set_flight_recorder(obs::FlightRecorder* recorder,
+                           std::string dump_path = {});
 
   /// One read as the application saw it, in tap order (the differential
   /// tests compare these sequences across protocols).
@@ -98,6 +108,8 @@ class CoherenceOracle final : public sim::CoherenceTap {
   std::vector<std::string> violations_;
   std::size_t commit_count_ = 0;
   std::size_t issue_count_ = 0;
+  obs::FlightRecorder* recorder_ = nullptr;
+  std::string dump_path_;
 };
 
 }  // namespace drsm::check

@@ -81,6 +81,12 @@ struct Message {
   std::uint64_t version = 0;  // write sequence number of `value`
   std::uint32_t hops = 0;     // forwarding count (ownership races)
   NodeId sender = kNoNode;    // filled in by the runtime on send()
+  // Causal span id of the application operation this message serves,
+  // stamped by the runtime on send(): a message sent while handling
+  // another message inherits that message's span, so grants,
+  // invalidations, recalls and NACK retries all trace back to the
+  // operation that triggered them.  0 = no causal context.
+  std::uint64_t span = 0;
 
   std::string debug_string() const;
 };

@@ -1,0 +1,217 @@
+#include "obs/access_stats.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace drsm::obs {
+
+AccessStats::AccessStats(AccessStatsOptions options) : opt_(options) {
+  DRSM_CHECK(opt_.window_ops >= 1, "telemetry window must be positive");
+  DRSM_CHECK(opt_.ewma_alpha > 0.0 && opt_.ewma_alpha <= 1.0,
+             "ewma_alpha must be in (0, 1]");
+  DRSM_CHECK(opt_.dominance_threshold > 0.0 &&
+                 opt_.dominance_threshold <= 1.0,
+             "dominance_threshold must be in (0, 1]");
+}
+
+void AccessStats::ensure_object(ObjectId object) {
+  if (object >= objects_.size()) objects_.resize(object + 1);
+  PerObject& po = objects_[object];
+  if (po.window_counts.size() < nodes_) {
+    po.window_counts.resize(nodes_);
+    po.prev_counts.resize(nodes_);
+  }
+}
+
+void AccessStats::on_access(NodeId node, ObjectId object, fsm::OpKind op) {
+  if (node >= nodes_) {
+    nodes_ = node + 1;
+    for (PerObject& po : objects_) {
+      po.window_counts.resize(nodes_);
+      po.prev_counts.resize(nodes_);
+    }
+  }
+  ensure_object(object);
+  PerObject& po = objects_[object];
+  ++accesses_;
+  ++po.window_accesses;
+  if (op == fsm::OpKind::kRead) {
+    ++reads_;
+    ++po.stats.reads;
+    ++po.window_reads;
+    ++po.window_counts[node].reads;
+  } else if (op == fsm::OpKind::kWrite) {
+    ++writes_;
+    ++po.stats.writes;
+    ++po.window_writes;
+    ++po.window_counts[node].writes;
+  }
+  if (++in_window_ >= opt_.window_ops) close_window();
+}
+
+void AccessStats::on_event(const TraceEvent& event) {
+  if (event.kind == EventKind::kOpIssue)
+    on_access(event.node, event.object, event.op);
+  if (next_ != nullptr) next_->on_event(event);
+}
+
+void AccessStats::close_window() {
+  in_window_ = 0;
+  const double alpha = opt_.ewma_alpha;
+  for (ObjectId object = 0; object < objects_.size(); ++object) {
+    PerObject& po = objects_[object];
+    ObjectStats& s = po.stats;
+    s.rate = alpha * static_cast<double>(po.window_accesses) +
+             (1.0 - alpha) * s.rate;
+    s.write_rate = alpha * static_cast<double>(po.window_writes) +
+                   (1.0 - alpha) * s.write_rate;
+    if (po.window_accesses > 0) {
+      ++s.windows_active;
+
+      // Dominant accessor / top writer of this window; lowest node id
+      // wins ties so the result is deterministic.
+      NodeId top_node = kNoNode;
+      std::uint64_t top_count = 0;
+      NodeId top_writer = kNoNode;
+      std::uint64_t top_writes = 0;
+      for (NodeId node = 0; node < po.window_counts.size(); ++node) {
+        const NodeMix& mix = po.window_counts[node];
+        const std::uint64_t total = mix.reads + mix.writes;
+        if (total > top_count) {
+          top_count = total;
+          top_node = node;
+        }
+        if (mix.writes > top_writes) {
+          top_writes = mix.writes;
+          top_writer = node;
+        }
+      }
+      const double share = static_cast<double>(top_count) /
+                           static_cast<double>(po.window_accesses);
+      const NodeId center =
+          share + 1e-12 >= opt_.dominance_threshold ? top_node : kNoNode;
+      if (center != s.center)
+        drifts_.push_back({windows_, object, s.center, center});
+      s.center = center;
+      s.center_share = share;
+      s.top_writer = top_writer;
+      s.writer_locality =
+          po.window_writes == 0
+              ? 0.0
+              : static_cast<double>(top_writes) /
+                    static_cast<double>(po.window_writes);
+      po.prev_counts = po.window_counts;
+      std::fill(po.window_counts.begin(), po.window_counts.end(), NodeMix{});
+    } else {
+      // Idle window: the center record is stale by construction but is
+      // kept (an object read once per epoch still has a home); only the
+      // rates decay, above.
+      std::fill(po.prev_counts.begin(), po.prev_counts.end(), NodeMix{});
+    }
+    po.window_reads = 0;
+    po.window_writes = 0;
+    po.window_accesses = 0;
+  }
+  ++windows_;
+}
+
+const AccessStats::ObjectStats& AccessStats::object(ObjectId object) const {
+  DRSM_CHECK(object < objects_.size(), "object never accessed");
+  return objects_[object].stats;
+}
+
+NodeId AccessStats::activity_center(ObjectId object) const {
+  if (object >= objects_.size()) return kNoNode;
+  return objects_[object].stats.center;
+}
+
+std::vector<AccessStats::HotObject> AccessStats::hot_set(
+    std::size_t k) const {
+  std::vector<HotObject> hot;
+  for (ObjectId object = 0; object < objects_.size(); ++object)
+    if (objects_[object].stats.rate > 0.0)
+      hot.push_back({object, objects_[object].stats.rate});
+  std::stable_sort(hot.begin(), hot.end(),
+                   [](const HotObject& a, const HotObject& b) {
+                     return a.rate > b.rate;
+                   });
+  if (hot.size() > k) hot.resize(k);
+  return hot;
+}
+
+std::vector<AccessStats::NodeMix> AccessStats::node_mix(
+    ObjectId object) const {
+  std::vector<NodeMix> mix(nodes_);
+  if (object >= objects_.size()) return mix;
+  const PerObject& po = objects_[object];
+  for (NodeId node = 0; node < po.window_counts.size(); ++node) {
+    mix[node].reads =
+        po.window_counts[node].reads + po.prev_counts[node].reads;
+    mix[node].writes =
+        po.window_counts[node].writes + po.prev_counts[node].writes;
+  }
+  return mix;
+}
+
+void AccessStats::publish(MetricsRegistry& metrics) const {
+  metrics.counter("telemetry.accesses").inc(accesses_);
+  metrics.counter("telemetry.reads").inc(reads_);
+  metrics.counter("telemetry.writes").inc(writes_);
+  metrics.counter("telemetry.windows").inc(windows_);
+  metrics.counter("telemetry.drifts").inc(drifts_.size());
+  metrics.gauge("telemetry.objects_seen")
+      .set(static_cast<double>(objects_.size()));
+  const auto hot = hot_set(1);
+  if (!hot.empty()) {
+    metrics.gauge("telemetry.hot_object")
+        .set(static_cast<double>(hot.front().object));
+    metrics.gauge("telemetry.hot_rate").set(hot.front().rate);
+    const ObjectStats& s = objects_[hot.front().object].stats;
+    metrics.gauge("telemetry.hot_writer_locality").set(s.writer_locality);
+  }
+}
+
+JsonValue AccessStats::to_json(std::size_t top_k) const {
+  JsonValue out = JsonValue::object();
+  out["accesses"] = static_cast<double>(accesses_);
+  out["reads"] = static_cast<double>(reads_);
+  out["writes"] = static_cast<double>(writes_);
+  out["windows"] = static_cast<double>(windows_);
+  out["window_ops"] = static_cast<double>(opt_.window_ops);
+
+  JsonValue hot = JsonValue::array();
+  for (const HotObject& h : hot_set(top_k)) {
+    const ObjectStats& s = objects_[h.object].stats;
+    JsonValue row = JsonValue::object();
+    row["object"] = static_cast<double>(h.object);
+    row["rate"] = h.rate;
+    row["write_rate"] = s.write_rate;
+    row["reads"] = static_cast<double>(s.reads);
+    row["writes"] = static_cast<double>(s.writes);
+    row["center"] = s.center == kNoNode ? JsonValue()
+                                        : JsonValue(static_cast<double>(
+                                              s.center));
+    row["center_share"] = s.center_share;
+    row["writer_locality"] = s.writer_locality;
+    hot.push_back(std::move(row));
+  }
+  out["hot_set"] = std::move(hot);
+
+  JsonValue drifts = JsonValue::array();
+  for (const DriftEvent& d : drifts_) {
+    JsonValue row = JsonValue::object();
+    row["window"] = static_cast<double>(d.window);
+    row["object"] = static_cast<double>(d.object);
+    row["from"] = d.from == kNoNode
+                      ? JsonValue()
+                      : JsonValue(static_cast<double>(d.from));
+    row["to"] =
+        d.to == kNoNode ? JsonValue() : JsonValue(static_cast<double>(d.to));
+    drifts.push_back(std::move(row));
+  }
+  out["drifts"] = std::move(drifts);
+  return out;
+}
+
+}  // namespace drsm::obs

@@ -1,0 +1,154 @@
+// Per-object / per-node access telemetry: the runtime's view of its own
+// workload, and the sensor layer for the adaptive selector (ROADMAP
+// item 2).
+//
+// AccessStats consumes the op_issue event stream (it is an EventSink, so
+// it attaches anywhere a TraceRecorder does and chains to one) or direct
+// on_access() calls, and maintains per shared object:
+//
+//  * lifetime and sliding-window read/write counts, per accessing node;
+//  * an EWMA access rate (accesses per window), the hot-set criterion;
+//  * the window's dominant accessor — the *empirical activity center* of
+//    the paper's workload model — and a drift log recording every window
+//    boundary at which that center moved (the phase changes a self-tuning
+//    protocol selector must react to);
+//  * writer locality: the top writer's share of the window's writes,
+//    which separates single-writer objects (where invalidation protocols
+//    shine) from write-shared ones.
+//
+// The window is counted in accesses, not simulated time, so the same
+// tracker serves the event simulator, the sequential runtime and the dsm
+// facade unchanged.  Everything is deterministic: no clocks, no sampling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fsm/token.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/types.h"
+
+namespace drsm::obs {
+
+struct AccessStatsOptions {
+  /// Accesses per sliding window (across all objects).
+  std::size_t window_ops = 256;
+  /// EWMA smoothing for per-window rates: rate' = alpha * window_count +
+  /// (1 - alpha) * rate.
+  double ewma_alpha = 0.3;
+  /// Minimum share of a window's accesses a node needs to count as the
+  /// object's activity center; below it the center is "contended".
+  double dominance_threshold = 0.5;
+};
+
+class AccessStats final : public EventSink {
+ public:
+  explicit AccessStats(AccessStatsOptions options = {});
+
+  /// Record one application access.  Node and object tables grow on
+  /// demand.  Eject/sync count as neither read nor write but do advance
+  /// the window.
+  void on_access(NodeId node, ObjectId object, fsm::OpKind op);
+
+  /// EventSink: consumes kOpIssue events, forwards nothing (chain with
+  /// set_next to keep recording too).
+  void on_event(const TraceEvent& event) override;
+
+  /// Optional pass-through sink, so one simulator sink slot can feed both
+  /// the telemetry and a TraceRecorder / FlightRecorder.
+  void set_next(EventSink* next) { next_ = next; }
+
+  struct ObjectStats {
+    std::uint64_t reads = 0;   // lifetime
+    std::uint64_t writes = 0;  // lifetime
+    double rate = 0.0;         // EWMA accesses per window
+    double write_rate = 0.0;   // EWMA writes per window
+    NodeId center = kNoNode;   // dominant accessor of the last closed window
+    double center_share = 0.0; // its share of that window's accesses
+    NodeId top_writer = kNoNode;
+    double writer_locality = 0.0;  // top writer's share of window writes
+    std::uint64_t windows_active = 0;  // closed windows with any access
+  };
+
+  struct HotObject {
+    ObjectId object = 0;
+    double rate = 0.0;
+  };
+
+  /// One activity-center move, recorded at the window boundary where the
+  /// dominant accessor of `object` changed from `from` to `to` (kNoNode =
+  /// previously contended / idle).
+  struct DriftEvent {
+    std::uint64_t window = 0;  // index of the closed window
+    ObjectId object = 0;
+    NodeId from = kNoNode;
+    NodeId to = kNoNode;
+  };
+
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+  /// Closed windows so far.
+  std::uint64_t windows() const { return windows_; }
+  std::size_t num_objects() const { return objects_.size(); }
+  std::size_t num_nodes() const { return nodes_; }
+  const ObjectStats& object(ObjectId object) const;
+
+  /// The k highest-EWMA-rate objects with nonzero rate, rate-descending
+  /// (object id ascending among ties — deterministic).
+  std::vector<HotObject> hot_set(std::size_t k) const;
+
+  const std::vector<DriftEvent>& drift_events() const { return drifts_; }
+
+  /// Activity center of `object` after the last closed window (kNoNode
+  /// when contended or never accessed).
+  NodeId activity_center(ObjectId object) const;
+
+  /// Per-node read/write counts of `object` over the last closed window
+  /// plus the current partial one — the recent mix the adaptive
+  /// selector's observe path classifies from.  Indexed by node.
+  struct NodeMix {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+  };
+  std::vector<NodeMix> node_mix(ObjectId object) const;
+
+  /// Publishes the telemetry.* metrics (docs/OBSERVABILITY.md).
+  void publish(MetricsRegistry& metrics) const;
+
+  /// {"accesses", "windows", "drifts": [...], "hot_set": [...]} with the
+  /// top_k hottest objects fully described.
+  JsonValue to_json(std::size_t top_k = 8) const;
+
+ private:
+  struct PerObject {
+    ObjectStats stats;
+    // counts[node] = {reads, writes} — current window, then the last
+    // closed window (node_mix sums both so early-window queries are not
+    // starved).
+    std::vector<NodeMix> window_counts;
+    std::vector<NodeMix> prev_counts;
+    std::uint64_t window_reads = 0;
+    std::uint64_t window_writes = 0;
+    std::uint64_t window_accesses = 0;
+  };
+
+  void ensure_object(ObjectId object);
+  void close_window();
+
+  AccessStatsOptions opt_;
+  std::vector<PerObject> objects_;
+  std::size_t nodes_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t in_window_ = 0;
+  std::uint64_t windows_ = 0;
+  std::vector<DriftEvent> drifts_;
+  EventSink* next_ = nullptr;
+};
+
+}  // namespace drsm::obs

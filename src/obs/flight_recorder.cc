@@ -1,0 +1,69 @@
+#include "obs/flight_recorder.h"
+
+#include "obs/json.h"
+#include "support/error.h"
+#include "support/text.h"
+
+namespace drsm::obs {
+
+namespace {
+
+// The fatal hook is a bare function pointer (support/error.h cannot
+// depend on obs), so the active recorder rides in a file-local slot.
+FlightRecorder* g_fatal_recorder = nullptr;
+
+void fatal_dump_hook(const std::string& what, void* arg) {
+  auto* recorder = static_cast<FlightRecorder*>(arg);
+  if (recorder != g_fatal_recorder) return;  // stale registration
+  recorder->dump(/*path=*/std::string(), what);  // path bound at install
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity) : ring_(capacity) {}
+
+FlightRecorder::~FlightRecorder() { uninstall(); }
+
+void FlightRecorder::uninstall() {
+  if (g_fatal_recorder == this) {
+    g_fatal_recorder = nullptr;
+    set_fatal_hook(nullptr, nullptr);
+  }
+}
+
+void FlightRecorder::on_event(const TraceEvent& event) {
+  ring_.on_event(event);
+  if (next_ != nullptr) next_->on_event(event);
+}
+
+std::string FlightRecorder::dump(const std::string& path,
+                                 const std::string& reason) {
+  const std::string target =
+      !path.empty() ? path : fatal_path_;
+  std::string out = strfmt(
+      "{\"postmortem\":{\"reason\":\"%s\",\"retained\":%zu,"
+      "\"dropped\":%llu,\"total\":%llu}}\n",
+      json_escape(reason).c_str(), ring_.size(),
+      static_cast<unsigned long long>(ring_.dropped()),
+      static_cast<unsigned long long>(ring_.total()));
+  out += ring_.to_jsonl();
+  if (!target.empty()) {
+    write_file(target, out);
+    last_dump_path_ = target;
+  }
+  ++dumps_;
+  return out;
+}
+
+void FlightRecorder::install_fatal_dump(std::string path) {
+  if (path.empty()) {
+    uninstall();
+    fatal_path_.clear();
+    return;
+  }
+  fatal_path_ = std::move(path);
+  g_fatal_recorder = this;
+  set_fatal_hook(&fatal_dump_hook, this);
+}
+
+}  // namespace drsm::obs

@@ -1,0 +1,78 @@
+// Flight recorder: always-on bounded recording of the most recent trace
+// events, dumped as a JSONL post-mortem when something goes wrong.
+//
+// The recorder is a TraceRecorder ring behind an EventSink facade plus a
+// dump() that writes a one-line JSON header (reason, retained/dropped
+// counts) followed by the retained events, oldest first — the file format
+// docs/OBSERVABILITY.md's "reading a post-mortem" walkthrough describes.
+// Three triggers use it:
+//
+//  * check::CoherenceOracle dumps on its first violation (the events
+//    leading up to the inconsistent read are exactly what is needed to
+//    localize it);
+//  * check::export_counterexample renders a model-checker counterexample
+//    through it, so checker and simulator post-mortems share one format;
+//  * install_fatal_dump() registers the recorder with the support-layer
+//    fatal hook: a failing DRSM_CHECK writes the post-mortem before the
+//    error propagates, turning "invariant X failed" into a replayable
+//    event history.
+//
+// The ring records every event unconditionally; size it for the tail you
+// want to keep (default 4096 ≈ the last ~600 simulated operations).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace drsm::obs {
+
+class FlightRecorder final : public EventSink {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 4096);
+  ~FlightRecorder() override;
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void on_event(const TraceEvent& event) override;
+
+  /// Pass-through sink: every event is also forwarded, so the recorder
+  /// can sit in front of a TraceRecorder or AccessStats.
+  void set_next(EventSink* next) { next_ = next; }
+
+  /// Renders the post-mortem: header line
+  ///   {"postmortem":{"reason":...,"retained":R,"dropped":D,"total":T}}
+  /// followed by the retained events as JSONL, oldest first.  Writes it
+  /// to `path` unless empty; returns the rendered text either way.
+  std::string dump(const std::string& path, const std::string& reason);
+
+  /// Registers this recorder as the process-wide fatal-error recorder: a
+  /// failing DRSM_CHECK dumps the ring to `path` (reason = the check
+  /// message) before the drsm::Error is thrown.  One recorder at a time;
+  /// the destructor (or an empty path) deregisters.
+  void install_fatal_dump(std::string path);
+
+  std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return ring_.capacity(); }
+  std::uint64_t total() const { return ring_.total(); }
+  const TraceRecorder& ring() const { return ring_; }
+  void clear() { ring_.clear(); }
+
+  /// Post-mortems produced so far and where the last one went.
+  std::uint64_t dumps() const { return dumps_; }
+  const std::string& last_dump_path() const { return last_dump_path_; }
+
+ private:
+  void uninstall();
+
+  TraceRecorder ring_;
+  EventSink* next_ = nullptr;
+  std::uint64_t dumps_ = 0;
+  std::string last_dump_path_;
+  std::string fatal_path_;
+};
+
+}  // namespace drsm::obs

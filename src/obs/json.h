@@ -5,10 +5,11 @@
 //    documents directly into a string (the trace exporters, which would
 //    waste memory building a value tree for 10^5 events);
 //  * JsonValue — an ordered document tree for code that assembles nested
-//    reports incrementally (metrics snapshots, BENCH_*.json emission).
-//
-// Emission only: nothing in the repository consumes JSON, so there is no
-// parser here (tests carry their own tiny validator).
+//    reports incrementally (metrics snapshots, BENCH_*.json emission);
+//  * parse_json — a small recursive-descent parser producing JsonValue
+//    trees, for the code that consumes our own reports (the
+//    drsm_bench_diff regression gate).  It accepts exactly standard JSON;
+//    object key order is preserved, duplicate keys keep the last value.
 #pragma once
 
 #include <cstdint>
@@ -44,8 +45,31 @@ class JsonValue {
   static JsonValue object();
 
   bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
   bool is_array() const { return kind_ == Kind::kArray; }
   bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Value readers with a fallback for kind mismatches — parsed reports
+  /// are read defensively, not validated.
+  bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double as_number(double fallback = 0.0) const {
+    return is_number() ? num_ : fallback;
+  }
+  const std::string& as_string() const { return str_; }  // empty if not one
+
+  /// Object field lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// i-th array element (or object value, in insertion order); bounds are
+  /// DRSM_CHECKed.
+  const JsonValue& at(std::size_t i) const;
+
+  /// i-th object key, parallel to at().
+  const std::string& key(std::size_t i) const;
 
   /// Array append; the value must be (or becomes) an array.
   JsonValue& push_back(JsonValue v);
@@ -77,8 +101,15 @@ class JsonValue {
   std::vector<std::string> keys_;
 };
 
+/// Parses standard JSON.  Throws drsm::Error (with a byte offset) on any
+/// syntax error or trailing garbage.
+JsonValue parse_json(std::string_view text);
+
 /// Writes `text` to `path` atomically enough for our purposes (truncate +
 /// write).  Throws drsm::Error on I/O failure.
 void write_file(const std::string& path, std::string_view text);
+
+/// Reads the whole file; throws drsm::Error if it cannot be opened.
+std::string read_file(const std::string& path);
 
 }  // namespace drsm::obs

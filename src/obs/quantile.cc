@@ -1,0 +1,135 @@
+#include "obs/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace drsm::obs {
+
+Quantile::Quantile(double epsilon) : epsilon_(epsilon) {
+  DRSM_CHECK(epsilon > 0.0 && epsilon < 0.5,
+             "quantile epsilon must be in (0, 0.5)");
+}
+
+void Quantile::record(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  sum_ += value;
+  insert(value);
+  ++count_;
+  // Compress every 1/(2 epsilon) inserts — the standard GK cadence: often
+  // enough to keep the summary near its space bound, rarely enough that
+  // the amortized cost per record stays O(log summary).
+  if (++since_compress_ >=
+      static_cast<std::uint64_t>(1.0 / (2.0 * epsilon_))) {
+    since_compress_ = 0;
+    compress();
+  }
+}
+
+void Quantile::insert(double value) {
+  // New tuples carry g = 1; interior inserts take the maximal allowed
+  // delta = floor(2 epsilon n), extreme inserts delta = 0 so min and max
+  // stay exact.
+  Tuple t{value, 1, 0};
+  if (tuples_.empty() || value < tuples_.front().value) {
+    tuples_.insert(tuples_.begin(), t);
+    return;
+  }
+  if (value >= tuples_.back().value) {
+    tuples_.push_back(t);
+    return;
+  }
+  const auto it = std::upper_bound(
+      tuples_.begin(), tuples_.end(), value,
+      [](double v, const Tuple& tuple) { return v < tuple.value; });
+  t.delta = static_cast<std::uint64_t>(
+      2.0 * epsilon_ * static_cast<double>(count_));
+  tuples_.insert(it, t);
+}
+
+void Quantile::compress() {
+  if (tuples_.size() < 3) return;
+  const auto cap = static_cast<std::uint64_t>(
+      2.0 * epsilon_ * static_cast<double>(count_));
+  // Right-to-left merge of each tuple into its (live) successor where the
+  // combined band stays under the 2 epsilon n cap; the first and last
+  // tuples are never merged away (exact min/max).  The summary is a few
+  // hundred tuples, so the eager erase is cheap.
+  for (std::size_t i = tuples_.size() - 2; i >= 1; --i) {
+    const Tuple& cur = tuples_[i];
+    Tuple& next = tuples_[i + 1];
+    if (cur.g + next.g + next.delta <= cap) {
+      next.g += cur.g;
+      tuples_.erase(tuples_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+}
+
+double Quantile::query(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const auto rank = static_cast<std::uint64_t>(std::max(
+      1.0, std::ceil(q * static_cast<double>(count_))));
+  const double slack = epsilon_ * static_cast<double>(count_);
+  // Return the largest summary value whose maximal possible rank does not
+  // overshoot rank + epsilon n; the GK invariant guarantees its true rank
+  // is within epsilon n of the target.  The first tuple always qualifies
+  // (rmax = g + delta <= 1 + 2 epsilon n with rank >= 1).
+  std::uint64_t rmin = 0;
+  double best = tuples_.front().value;
+  for (const Tuple& t : tuples_) {
+    rmin += t.g;
+    const double rmax = static_cast<double>(rmin + t.delta);
+    if (rmax <= static_cast<double>(rank) + slack)
+      best = t.value;
+    else
+      break;
+  }
+  return best;
+}
+
+void Quantile::merge(const Quantile& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+  epsilon_ = std::max(epsilon_, other.epsilon_);
+  // Merge the sorted tuple lists; each kept tuple keeps its (g, delta),
+  // which preserves both summaries' rank bands relative to the combined
+  // stream (Greenwald–Khanna merge of mergeable-summaries folklore).
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + other.tuples_.size());
+  std::merge(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
+             other.tuples_.end(), std::back_inserter(merged),
+             [](const Tuple& a, const Tuple& b) { return a.value < b.value; });
+  tuples_ = std::move(merged);
+  since_compress_ = 0;
+  compress();
+}
+
+JsonValue Quantile::to_json() const {
+  JsonValue out = JsonValue::object();
+  out["count"] = static_cast<double>(count_);
+  out["min"] = min();
+  out["max"] = max();
+  out["mean"] = mean();
+  out["p50"] = query(0.50);
+  out["p90"] = query(0.90);
+  out["p99"] = query(0.99);
+  out["epsilon"] = epsilon_;
+  return out;
+}
+
+}  // namespace drsm::obs

@@ -55,6 +55,12 @@ namespace {
 void append_common(std::string& out, const TraceEvent& e) {
   out += strfmt("\"t\":%s,\"kind\":\"%s\",\"node\":%u",
                 json_number(e.time).c_str(), to_string(e.kind), e.node);
+  if (e.span != 0)
+    out += strfmt(",\"span\":%llu",
+                  static_cast<unsigned long long>(e.span));
+  if (e.parent != 0)
+    out += strfmt(",\"parent\":%llu",
+                  static_cast<unsigned long long>(e.parent));
 }
 
 void append_message_fields(std::string& out, const TraceEvent& e) {
@@ -123,10 +129,16 @@ std::string TraceRecorder::to_jsonl() const {
   return out;
 }
 
-std::string TraceRecorder::to_chrome_trace(double time_scale) const {
-  // Track layout: pid 0 carries one thread per node (operation spans plus
-  // queue/state instants); pid 1 carries the network (async begin/end per
-  // inter-node message, matched by id, one row per message type).
+std::string TraceRecorder::to_chrome_trace(
+    const ChromeTraceOptions& options) const {
+  // Track layout (all inside options.pid — one process per runtime):
+  //   tid 0..max_node            node lanes: operation duration slices,
+  //                              queue/state instants;
+  //   tid max_node+1+src         network lanes, one per sending node:
+  //                              async begin/end per inter-node message
+  //                              (matched by msg_id).
+  // Flow arrows (ph "s"/"f", matched by msg_id) connect each send to its
+  // delivery across the node lanes, rendering the causal chain of a span.
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   auto emit = [&](const std::string& record) {
@@ -136,28 +148,47 @@ std::string TraceRecorder::to_chrome_trace(double time_scale) const {
     out += record;
   };
 
+  const int pid = options.pid;
   NodeId max_node = 0;
   for (std::size_t i = 0; i < size(); ++i) {
     const TraceEvent& e = event(i);
     max_node = std::max(max_node, e.node);
     if (e.peer != kNoNode) max_node = std::max(max_node, e.peer);
   }
-  emit("{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\","
-       "\"args\":{\"name\":\"nodes\"}}");
-  emit("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
-       "\"args\":{\"name\":\"network\"}}");
+  const NodeId net_base = max_node + 1;
+
+  emit(strfmt("{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\","
+              "\"args\":{\"name\":\"%s\"}}",
+              pid, json_escape(options.process_name).c_str()));
+  emit(strfmt("{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_sort_index\","
+              "\"args\":{\"sort_index\":%d}}",
+              pid, pid));
   for (NodeId node = 0; node <= max_node; ++node) {
     const std::string label =
         node == max_node ? std::string("sequencer")
                          : strfmt("client%u", node);
-    emit(strfmt("{\"ph\":\"M\",\"pid\":0,\"tid\":%u,"
+    emit(strfmt("{\"ph\":\"M\",\"pid\":%d,\"tid\":%u,"
                 "\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}",
-                node, label.c_str()));
+                pid, node, label.c_str()));
+    emit(strfmt("{\"ph\":\"M\",\"pid\":%d,\"tid\":%u,"
+                "\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":%u}}",
+                pid, node, node));
+    emit(strfmt("{\"ph\":\"M\",\"pid\":%d,\"tid\":%u,"
+                "\"name\":\"thread_name\",\"args\":{\"name\":\"net %s\"}}",
+                pid, net_base + node, label.c_str()));
+    emit(strfmt("{\"ph\":\"M\",\"pid\":%d,\"tid\":%u,"
+                "\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":%u}}",
+                pid, net_base + node, net_base + node));
   }
 
   for (std::size_t i = 0; i < size(); ++i) {
     const TraceEvent& e = event(i);
-    const std::string ts = json_number(e.time * time_scale);
+    const std::string ts = json_number(e.time * options.time_scale);
+    const std::string span_arg =
+        e.span != 0
+            ? strfmt(",\"span\":%llu",
+                     static_cast<unsigned long long>(e.span))
+            : std::string();
     switch (e.kind) {
       case EventKind::kMsgSend:
       case EventKind::kMsgRecv: {
@@ -166,58 +197,70 @@ std::string TraceRecorder::to_chrome_trace(double time_scale) const {
         const NodeId dst = send ? e.peer : e.node;
         emit(strfmt(
             "{\"ph\":\"%s\",\"cat\":\"msg\",\"id\":%llu,\"ts\":%s,"
-            "\"pid\":1,\"tid\":%u,\"name\":\"%s\",\"args\":{\"src\":%u,"
-            "\"dst\":%u,\"object\":%u,\"cost\":%s,\"version\":%llu}}",
+            "\"pid\":%d,\"tid\":%u,\"name\":\"%s\",\"args\":{\"src\":%u,"
+            "\"dst\":%u,\"object\":%u,\"cost\":%s,\"version\":%llu%s}}",
             send ? "b" : "e", static_cast<unsigned long long>(e.msg_id),
-            ts.c_str(), src, fsm::to_string(e.token.type), src, dst,
-            e.token.object, json_number(e.cost).c_str(),
-            static_cast<unsigned long long>(e.version)));
+            ts.c_str(), pid, net_base + src, fsm::to_string(e.token.type),
+            src, dst, e.token.object, json_number(e.cost).c_str(),
+            static_cast<unsigned long long>(e.version), span_arg.c_str()));
+        if (options.flow_events && e.msg_id != 0) {
+          // Flow arrow endpoints live on the node lanes: the send binds
+          // to whatever slice is open at the source, the finish (bp "e")
+          // to the delivery point at the destination.
+          emit(strfmt(
+              "{\"ph\":\"%s\",%s\"cat\":\"msgflow\",\"id\":%llu,"
+              "\"ts\":%s,\"pid\":%d,\"tid\":%u,\"name\":\"%s\"}",
+              send ? "s" : "f", send ? "" : "\"bp\":\"e\",",
+              static_cast<unsigned long long>(e.msg_id), ts.c_str(), pid,
+              send ? src : dst, fsm::to_string(e.token.type)));
+        }
         break;
       }
       case EventKind::kQueueDisable:
       case EventKind::kQueueEnable:
         emit(strfmt(
-            "{\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":0,\"tid\":%u,"
-            "\"name\":\"%s\",\"args\":{\"object\":%u}}",
-            ts.c_str(), e.node,
+            "{\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":%d,\"tid\":%u,"
+            "\"name\":\"%s\",\"args\":{\"object\":%u%s}}",
+            ts.c_str(), pid, e.node,
             e.kind == EventKind::kQueueDisable ? "local queue disabled"
                                                : "local queue enabled",
-            e.object));
+            e.object, span_arg.c_str()));
         break;
       case EventKind::kOpIssue:
         emit(strfmt(
-            "{\"ph\":\"B\",\"ts\":%s,\"pid\":0,\"tid\":%u,"
-            "\"name\":\"%s\",\"args\":{\"object\":%u}}",
-            ts.c_str(), e.node, fsm::to_string(e.op), e.object));
+            "{\"ph\":\"B\",\"ts\":%s,\"pid\":%d,\"tid\":%u,"
+            "\"name\":\"%s\",\"args\":{\"object\":%u%s}}",
+            ts.c_str(), pid, e.node, fsm::to_string(e.op), e.object,
+            span_arg.c_str()));
         break;
       case EventKind::kOpComplete:
-        emit(strfmt("{\"ph\":\"E\",\"ts\":%s,\"pid\":0,\"tid\":%u,"
-                    "\"name\":\"%s\",\"args\":{\"latency\":%s}}",
-                    ts.c_str(), e.node, fsm::to_string(e.op),
-                    json_number(e.cost).c_str()));
+        emit(strfmt("{\"ph\":\"E\",\"ts\":%s,\"pid\":%d,\"tid\":%u,"
+                    "\"name\":\"%s\",\"args\":{\"latency\":%s%s}}",
+                    ts.c_str(), pid, e.node, fsm::to_string(e.op),
+                    json_number(e.cost).c_str(), span_arg.c_str()));
         break;
       case EventKind::kStateTransition:
         emit(strfmt(
-            "{\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":0,\"tid\":%u,"
-            "\"name\":\"%s -> %s\",\"args\":{\"object\":%u}}",
-            ts.c_str(), e.node,
+            "{\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":%d,\"tid\":%u,"
+            "\"name\":\"%s -> %s\",\"args\":{\"object\":%u%s}}",
+            ts.c_str(), pid, e.node,
             json_escape(e.detail != nullptr ? e.detail : "?").c_str(),
             json_escape(e.detail2 != nullptr ? e.detail2 : "?").c_str(),
-            e.object));
+            e.object, span_arg.c_str()));
         break;
       case EventKind::kCheckStep:
         emit(strfmt(
-            "{\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":0,\"tid\":%u,"
+            "{\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":%d,\"tid\":%u,"
             "\"name\":\"%s %s\",\"args\":{\"object\":%u}}",
-            ts.c_str(), e.node,
+            ts.c_str(), pid, e.node,
             json_escape(e.detail != nullptr ? e.detail : "step").c_str(),
             fsm::to_string(e.token.type), e.token.object));
         break;
       case EventKind::kViolation:
         emit(strfmt(
-            "{\"ph\":\"i\",\"s\":\"g\",\"ts\":%s,\"pid\":0,\"tid\":%u,"
+            "{\"ph\":\"i\",\"s\":\"g\",\"ts\":%s,\"pid\":%d,\"tid\":%u,"
             "\"name\":\"violation: %s\",\"args\":{\"object\":%u}}",
-            ts.c_str(), e.node,
+            ts.c_str(), pid, e.node,
             json_escape(e.detail != nullptr ? e.detail : "?").c_str(),
             e.object));
         break;
@@ -234,6 +277,11 @@ void TraceRecorder::write_jsonl(const std::string& path) const {
 void TraceRecorder::write_chrome_trace(const std::string& path,
                                        double time_scale) const {
   write_file(path, to_chrome_trace(time_scale));
+}
+
+void TraceRecorder::write_chrome_trace(
+    const std::string& path, const ChromeTraceOptions& options) const {
+  write_file(path, to_chrome_trace(options));
 }
 
 }  // namespace drsm::obs

@@ -9,9 +9,12 @@
 // TraceRecorder is the standard sink: a fixed-capacity ring buffer (old
 // events are overwritten, never reallocated mid-run) with two exporters:
 //  * JSONL — one JSON object per event, the compact machine-readable form;
-//  * Chrome trace-event JSON — loadable in Perfetto / chrome://tracing,
-//    with one track per node (operation spans, queue and state-transition
-//    instants) and async begin/end pairs per inter-node message.
+//  * Chrome trace-event JSON — loadable in Perfetto / chrome://tracing:
+//    one process per runtime, one lane per node (operation duration
+//    slices, queue and state-transition instants), a parallel block of
+//    network lanes with an async begin/end pair per inter-node message,
+//    and flow arrows connecting each send to its delivery.  Causal span
+//    ids (TraceEvent::span) ride along as slice arguments.
 #pragma once
 
 #include <cstddef>
@@ -56,6 +59,13 @@ struct TraceEvent {
   std::uint64_t version = 0;   // message payload version
   std::uint32_t hops = 0;      // message forwarding count
   double cost = 0.0;       // message cost, or op latency on kOpComplete
+  // Causal span: every application operation gets a unique nonzero span
+  // id at issue; every message, queue toggle, state transition and
+  // completion *caused* by that operation (transitively, through the
+  // protocol's message chains — request, grant, invalidation, recall)
+  // carries the same id.  0 = no causal context.
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;  // enclosing span (reserved; 0 = root)
   const char* detail = nullptr;   // state transition: from-state
   const char* detail2 = nullptr;  // state transition: to-state
 };
@@ -91,14 +101,38 @@ class TraceRecorder final : public EventSink {
   /// One JSON object per line, oldest first.
   std::string to_jsonl() const;
 
+  /// Perfetto-facing track layout of the Chrome export: one pid per
+  /// runtime (so traces from several runtimes concatenate cleanly), one
+  /// tid lane per simulated node, and a parallel block of network lanes
+  /// in the same process.
+  struct ChromeTraceOptions {
+    /// Multiplies event times into microseconds-equivalent ts values
+    /// (the viewer's display unit).
+    double time_scale = 1.0;
+    /// Process id for this runtime's tracks.
+    int pid = 1;
+    /// Process name shown by the viewer.
+    std::string process_name = "drsm";
+    /// Emit flow arrows (ph "s"/"f") from each msg_send to its msg_recv,
+    /// so causal chains render as arrows between node lanes.
+    bool flow_events = true;
+  };
+
   /// Chrome trace-event format (the {"traceEvents": [...]} flavour).
-  /// `time_scale` multiplies event times into microseconds-equivalent ts
-  /// values (the viewer's display unit).
-  std::string to_chrome_trace(double time_scale = 1.0) const;
+  std::string to_chrome_trace(const ChromeTraceOptions& options) const;
+
+  /// Compatibility overload: default layout with the given time scale.
+  std::string to_chrome_trace(double time_scale = 1.0) const {
+    ChromeTraceOptions options;
+    options.time_scale = time_scale;
+    return to_chrome_trace(options);
+  }
 
   void write_jsonl(const std::string& path) const;
   void write_chrome_trace(const std::string& path,
                           double time_scale = 1.0) const;
+  void write_chrome_trace(const std::string& path,
+                          const ChromeTraceOptions& options) const;
 
  private:
   std::size_t capacity_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstring>
 #include <map>
 
@@ -84,6 +85,7 @@ struct EventSimulator::Impl {
     event.version = msg.version;
     event.hops = msg.hops;
     event.cost = cost;
+    event.span = msg.span;
     sink->on_event(event);
   }
 
@@ -110,6 +112,7 @@ struct EventSimulator::Impl {
     ObjectId object = 0;
     OpKind kind = OpKind::kRead;
     SimTime issued = 0;
+    std::uint64_t span = 0;  // causal span id assigned at issue
   };
   std::vector<Outstanding> outstanding;
   bool stopped_issuing = false;
@@ -149,7 +152,13 @@ struct EventSimulator::Impl {
   obs::TimeSeries* seq_depth_series = nullptr;  // resolved at run start
   obs::TimeSeries* seq_util_series = nullptr;
   obs::Histogram latency_hist;  // post-warmup, always collected
+  obs::Quantile latency_q;      // post-warmup quantile sketch
   std::uint64_t msg_seq = 0;    // pairs sends with receives
+  std::uint64_t span_seq = 0;   // causal span ids, one per application op
+  // Span of the message currently being handled; messages sent while
+  // handling inherit it, so causality propagates through grant /
+  // invalidation / recall / NACK chains automatically.
+  std::uint64_t current_span_ = 0;
 
   WorkloadDriver* driver = nullptr;
 
@@ -284,8 +293,8 @@ struct EventSimulator::Impl {
 
   [[gnu::cold, gnu::noinline]] void emit_op_event(obs::EventKind kind_,
                                                   fsm::OpKind op, NodeId node,
-                                                  ObjectId object,
-                                                  double cost) const {
+                                                  ObjectId object, double cost,
+                                                  std::uint64_t span) const {
     obs::TraceEvent event;
     event.time = static_cast<double>(now);
     event.kind = kind_;
@@ -293,6 +302,7 @@ struct EventSimulator::Impl {
     event.node = node;
     event.object = object;
     event.cost = cost;
+    event.span = span;
     sink->on_event(event);
   }
 
@@ -314,11 +324,17 @@ struct EventSimulator::Impl {
     event.kind = kind_;
     event.node = node;
     event.object = current_object_;
+    event.span = current_span_;
     sink->on_event(event);
   }
 
   void send_message(NodeId src, NodeId dst, Message msg) {
     msg.sender = src;
+    // Inherit the span of the message being handled: protocol machines
+    // never set spans themselves, so the runtime stamps causality here
+    // (before the local-action early return — self-sends continue the
+    // same causal chain when they are eventually handled).
+    msg.span = current_span_;
     if (src == dst) {
       // Local action: free, delivered instantly at the next event; not an
       // inter-node message, so never traced or queue-depth sampled.
@@ -394,6 +410,7 @@ struct EventSimulator::Impl {
   void handle(NodeId node, const Message& msg) {
     ++handled_by_node[node];
     current_object_ = msg.token.object;
+    current_span_ = msg.span;
     DRSM_CHECK(current_object_ < config.num_objects, "bad object id");
     Ctx ctx(*this, node);
     if (sink == nullptr) {
@@ -416,6 +433,7 @@ struct EventSimulator::Impl {
       event.kind = obs::EventKind::kStateTransition;
       event.node = node;
       event.object = object;
+      event.span = msg.span;
       event.detail = before;
       event.detail2 = after;
       sink->on_event(event);
@@ -432,11 +450,14 @@ struct EventSimulator::Impl {
 
   void start_op(NodeId node, const WorkloadDriver::Op& op) {
     DRSM_CHECK(!outstanding[node].active, "node already has an op in flight");
-    outstanding[node] = {true, op.object, op.kind, now};
+    const std::uint64_t span = ++span_seq;
+    outstanding[node] = {true, op.object, op.kind, now, span};
     if (sink != nullptr) [[unlikely]]
-      emit_op_event(obs::EventKind::kOpIssue, op.kind, node, op.object, 0.0);
+      emit_op_event(obs::EventKind::kOpIssue, op.kind, node, op.object, 0.0,
+                    span);
 
     Message request;
+    request.span = span;
     switch (op.kind) {
       case OpKind::kRead: request.token.type = MsgType::kReadReq; break;
       case OpKind::kWrite: request.token.type = MsgType::kWriteReq; break;
@@ -489,12 +510,14 @@ struct EventSimulator::Impl {
     if (sink != nullptr) [[unlikely]]
       emit_op_event(obs::EventKind::kOpComplete, kind, node,
                     outstanding[node].object,
-                    static_cast<double>(latency));
+                    static_cast<double>(latency),
+                    outstanding[node].span);
 
     ++completed_ops;
     if (completed_ops == options.warmup_ops) cost_at_warmup = total_cost;
     if (completed_ops > options.warmup_ops) {
       latency_hist.record(static_cast<double>(latency));
+      latency_q.record(static_cast<double>(latency));
       latency_sum += static_cast<double>(latency);
       latency_max = std::max(latency_max, latency);
       if (kind == OpKind::kRead) {
@@ -526,6 +549,7 @@ struct EventSimulator::Impl {
     // completed no new operations are issued, but the tails of in-flight
     // traces (e.g. invalidations behind a fire-and-forget write) still
     // execute and are charged, so measured costs cover whole traces.
+    const auto wall_start = std::chrono::steady_clock::now();
     SimEvent ev;
     while (events.pop(ev)) {
       DRSM_CHECK(ev.time >= now, "time went backwards");
@@ -548,6 +572,12 @@ struct EventSimulator::Impl {
           break;
       }
     }
+    // Wall-clock throughput of the event loop.  Only ever published as a
+    // gauge: simulated results stay bit-identical regardless of how fast
+    // the host ran.
+    wall_seconds_ = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
 
     SimStats stats;
     const std::size_t warm =
@@ -576,9 +606,12 @@ struct EventSimulator::Impl {
     stats.cost_by_object = cost_by_object;
     stats.handled_by_node = handled_by_node;
     stats.latency_histogram = latency_hist;
+    stats.latency_quantiles = latency_q;
     if (metrics != nullptr) publish_metrics(stats);
     return stats;
   }
+
+  double wall_seconds_ = 0.0;  // event-loop wall time of the last run
 
   /// Bytes held by the per-node ring buffers (their high-water capacity).
   std::size_t queue_bytes() const {
@@ -609,6 +642,10 @@ struct EventSimulator::Impl {
     metrics->gauge("sim.measured_cost").add(stats.measured_cost);
     metrics->gauge("sim.end_time").set(static_cast<double>(stats.end_time));
     metrics->gauge("sim.mean_latency").set(stats.mean_latency());
+    metrics->gauge("sim.wall_seconds").set(wall_seconds_);
+    if (wall_seconds_ > 0.0)
+      metrics->gauge("sim.events_per_sec")
+          .set(static_cast<double>(events.scheduled()) / wall_seconds_);
     if (options.latency.processing_time > 0)
       metrics->gauge("sim.seq_utilization_total")
           .set(stats.utilization(static_cast<NodeId>(config.num_clients),

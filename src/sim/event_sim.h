@@ -21,6 +21,7 @@
 
 #include "fsm/mealy.h"
 #include "obs/metrics.h"
+#include "obs/quantile.h"
 #include "obs/trace.h"
 #include "protocols/protocol.h"
 #include "sim/coherence_tap.h"
@@ -66,9 +67,16 @@ struct SimStats {
   double read_latency_sum = 0.0;
   double write_latency_sum = 0.0;
 
-  /// Post-warmup latency distribution (default exponential buckets), the
-  /// source of the percentile fields in BENCH_*.json reports.
+  /// Post-warmup latency distribution (default exponential buckets),
+  /// kept for bucket-shaped readouts and merging with fixed bounds.
   obs::Histogram latency_histogram;
+
+  /// Post-warmup latency quantile sketch (Greenwald–Khanna): the source
+  /// of the p50/p90/p99 fields in BENCH_*.json reports.  Unlike the
+  /// histogram's interpolated bucket percentiles, queries return actual
+  /// observed latencies (so a zero-heavy distribution reports p50 = 0,
+  /// not a fraction interpolated across the first bucket).
+  obs::Quantile latency_quantiles;
 
   double mean_latency() const {
     return measured_ops == 0 ? 0.0

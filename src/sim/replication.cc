@@ -58,6 +58,7 @@ void merge_stats(SimStats& into, const SimStats& from) {
   into.read_latency_sum += from.read_latency_sum;
   into.write_latency_sum += from.write_latency_sum;
   into.latency_histogram.merge(from.latency_histogram);
+  into.latency_quantiles.merge(from.latency_quantiles);
   for (const auto& [type, count] : from.message_mix)
     into.message_mix[type] += count;
   add_vector(into.cost_by_initiator, from.cost_by_initiator);

@@ -25,6 +25,9 @@ class SequentialRuntime::Context final : public fsm::MachineContext {
   void send(NodeId dest, Message msg) override {
     DRSM_CHECK(dest < num_nodes(), "send: destination out of range");
     msg.sender = self_;
+    // Messages sent while handling a message inherit its causal span
+    // (the machines never stamp spans themselves).
+    msg.span = span_;
     std::uint64_t id = 0;
     if (dest != self_) {
       const Cost cost = costs().message_cost(msg.token.params);
@@ -45,6 +48,7 @@ class SequentialRuntime::Context final : public fsm::MachineContext {
         event.version = msg.version;
         event.hops = msg.hops;
         event.cost = cost;
+        event.span = msg.span;
         rt_.sink_->on_event(event);
       }
     }
@@ -93,11 +97,13 @@ class SequentialRuntime::Context final : public fsm::MachineContext {
   /// Re-targets the context at another node while draining the network.
   void set_self(NodeId self) { self_ = self; }
   void set_object(ObjectId object) { object_ = object; }
+  void set_span(std::uint64_t span) { span_ = span; }
 
  private:
   SequentialRuntime& rt_;
   NodeId self_;
   ObjectId object_ = 0;
+  std::uint64_t span_ = 0;  // span of the message being handled
   OpResult& result_;
 };
 
@@ -143,7 +149,8 @@ SequentialRuntime::SequentialRuntime(const SequentialRuntime& other)
       version_counter_(other.version_counter_),
       latest_value_(other.latest_value_),
       op_index_(other.op_index_),
-      msg_seq_(other.msg_seq_) {
+      msg_seq_(other.msg_seq_),
+      span_seq_(other.span_seq_) {
   machines_.reserve(other.machines_.size());
   for (const auto& machine : other.machines_)
     machines_.push_back(machine->clone());
@@ -190,6 +197,7 @@ OpResult SequentialRuntime::execute(NodeId node, OpKind op,
                                               : ParamPresence::kReadParams;
   request.value = value;
   request.sender = node;
+  request.span = ++span_seq_;
 
   if (sink_ != nullptr) {
     obs::TraceEvent event;
@@ -197,6 +205,7 @@ OpResult SequentialRuntime::execute(NodeId node, OpKind op,
     event.kind = obs::EventKind::kOpIssue;
     event.op = op;
     event.node = node;
+    event.span = request.span;
     sink_->on_event(event);
   }
   if (tap_ != nullptr && op == OpKind::kWrite)
@@ -213,6 +222,7 @@ OpResult SequentialRuntime::execute(NodeId node, OpKind op,
     event.op = op;
     event.node = node;
     event.cost = result.cost;
+    event.span = request.span;
     sink_->on_event(event);
   }
   ++op_index_;
@@ -241,6 +251,7 @@ void SequentialRuntime::drain(Context& ctx) {
       event.value = msg.value;
       event.version = msg.version;
       event.hops = msg.hops;
+      event.span = msg.span;
       sink_->on_event(event);
     }
     fsm::ProtocolMachine* target = machine(dest);
@@ -255,6 +266,7 @@ void SequentialRuntime::drain(Context& ctx) {
 void SequentialRuntime::dispatch(Context& ctx, fsm::ProtocolMachine& target,
                                  NodeId node, const fsm::Message& msg) {
   ctx.set_object(msg.token.object);
+  ctx.set_span(msg.span);
   if (sink_ == nullptr) {
     target.on_message(ctx, msg);
     return;
@@ -268,6 +280,7 @@ void SequentialRuntime::dispatch(Context& ctx, fsm::ProtocolMachine& target,
     event.kind = obs::EventKind::kStateTransition;
     event.node = node;
     event.object = msg.token.object;
+    event.span = msg.span;
     event.detail = before;
     event.detail2 = after;
     sink_->on_event(event);

@@ -132,6 +132,7 @@ class SequentialRuntime {
   std::uint64_t latest_value_ = 0;
   std::uint64_t op_index_ = 0;   // trace time axis
   std::uint64_t msg_seq_ = 0;
+  std::uint64_t span_seq_ = 0;   // causal span ids, one per execute()
   Observer observer_;  // not copied by design (snapshots stay silent)
   obs::EventSink* sink_ = nullptr;  // likewise not copied
   CoherenceTap* tap_ = nullptr;     // likewise not copied

@@ -1,11 +1,33 @@
 #include "support/error.h"
 
-namespace drsm::detail {
+namespace drsm {
+
+namespace {
+FatalHook g_fatal_hook = nullptr;
+void* g_fatal_arg = nullptr;
+bool g_in_fatal_hook = false;
+}  // namespace
+
+void set_fatal_hook(FatalHook hook, void* arg) {
+  g_fatal_hook = hook;
+  g_fatal_arg = arg;
+}
+
+namespace detail {
 
 void check_failed(const char* expr, const char* file, int line,
                   const std::string& msg) {
-  throw Error(std::string("DRSM_CHECK failed: (") + expr + ") at " + file +
-              ":" + std::to_string(line) + (msg.empty() ? "" : ": " + msg));
+  const std::string what = std::string("DRSM_CHECK failed: (") + expr +
+                           ") at " + file + ":" + std::to_string(line) +
+                           (msg.empty() ? "" : ": " + msg);
+  if (g_fatal_hook != nullptr && !g_in_fatal_hook) {
+    // A check failing inside the hook itself must not recurse.
+    g_in_fatal_hook = true;
+    g_fatal_hook(what, g_fatal_arg);
+    g_in_fatal_hook = false;
+  }
+  throw Error(what);
 }
 
-}  // namespace drsm::detail
+}  // namespace detail
+}  // namespace drsm

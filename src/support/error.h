@@ -18,6 +18,15 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Hook invoked once, just before a failed DRSM_CHECK throws, with the
+/// full error text.  Used by the observability layer's flight recorder to
+/// write a post-mortem of the events leading up to the failure — the hook
+/// must not throw and must not itself trip a DRSM_CHECK (re-entrant
+/// failures skip the hook).  Pass nullptr to deregister.  Not thread-safe:
+/// install before spawning workers, as with the metrics registry.
+using FatalHook = void (*)(const std::string& what, void* arg);
+void set_fatal_hook(FatalHook hook, void* arg);
+
 namespace detail {
 [[noreturn]] void check_failed(const char* expr, const char* file, int line,
                                const std::string& msg);

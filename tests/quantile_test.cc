@@ -1,0 +1,184 @@
+// Tests for the Greenwald–Khanna streaming quantile sketch: exactness on
+// small inputs, the epsilon rank-error bound on large streams, the
+// zero-heavy latency distributions that motivated it (see obs/quantile.h),
+// merging, and the summary-size bound.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "obs/quantile.h"
+
+namespace drsm {
+namespace {
+
+using obs::Quantile;
+
+// Deterministic 64-bit LCG so the large-stream tests are reproducible.
+std::uint64_t lcg(std::uint64_t& state) {
+  state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+  return state >> 33;
+}
+
+double exact_quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  std::size_t rank = static_cast<std::size_t>(std::ceil(q * n));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return values[rank - 1];
+}
+
+// Rank error of `value` against the sorted sample: distance from the
+// target rank to the closest rank at which `value` appears.
+double rank_error(std::vector<double> values, double value, double q) {
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  const auto lo = std::lower_bound(values.begin(), values.end(), value);
+  const auto hi = std::upper_bound(values.begin(), values.end(), value);
+  const double lo_rank = static_cast<double>(lo - values.begin()) + 1.0;
+  const double hi_rank = static_cast<double>(hi - values.begin());
+  double target = std::ceil(q * n);
+  if (target < 1.0) target = 1.0;
+  if (target < lo_rank) return lo_rank - target;
+  if (target > hi_rank) return target - hi_rank;
+  return 0.0;
+}
+
+TEST(QuantileTest, EmptySketchReturnsZero) {
+  Quantile sketch;
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_EQ(sketch.query(0.5), 0.0);
+  EXPECT_EQ(sketch.min(), 0.0);
+  EXPECT_EQ(sketch.max(), 0.0);
+  EXPECT_EQ(sketch.mean(), 0.0);
+}
+
+TEST(QuantileTest, SmallStreamsAreExact) {
+  Quantile sketch;
+  std::vector<double> values;
+  for (int i = 100; i >= 1; --i) {
+    sketch.record(i);
+    values.push_back(i);
+  }
+  ASSERT_EQ(sketch.count(), 100u);
+  for (double q : {0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0})
+    EXPECT_EQ(sketch.query(q), exact_quantile(values, q)) << "q=" << q;
+  EXPECT_EQ(sketch.min(), 1.0);
+  EXPECT_EQ(sketch.max(), 100.0);
+  EXPECT_NEAR(sketch.mean(), 50.5, 1e-12);
+}
+
+TEST(QuantileTest, LargeStreamStaysWithinEpsilonRankError) {
+  const double epsilon = 0.005;
+  Quantile sketch(epsilon);
+  std::vector<double> values;
+  std::uint64_t state = 42;
+  const std::size_t n = 50'000;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Mixed scale: uniform ints plus a heavy tail, like message costs.
+    const double v = static_cast<double>(lcg(state) % 1000) +
+                     (i % 97 == 0 ? 10'000.0 : 0.0);
+    sketch.record(v);
+    values.push_back(v);
+  }
+  ASSERT_EQ(sketch.count(), n);
+  // 2*epsilon: the merge/compress slack documented in obs/quantile.h.
+  const double budget = 2.0 * epsilon * static_cast<double>(n);
+  for (double q : {0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999}) {
+    const double got = sketch.query(q);
+    EXPECT_LE(rank_error(values, got, q), budget) << "q=" << q;
+  }
+}
+
+TEST(QuantileTest, QueriesReturnObservedValuesOnZeroHeavyData) {
+  // The distribution that exposed the histogram interpolation bug: 90%
+  // of latencies are exactly 0, the rest exactly 5.  Every percentile
+  // must be one of the two observed values — never a fabricated 0.5.
+  Quantile sketch;
+  std::uint64_t state = 7;
+  for (std::size_t i = 0; i < 10'000; ++i)
+    sketch.record(lcg(state) % 10 == 0 ? 5.0 : 0.0);
+  EXPECT_EQ(sketch.query(0.5), 0.0);
+  EXPECT_EQ(sketch.query(0.99), 5.0);
+  for (double q : {0.1, 0.25, 0.75, 0.9, 0.95}) {
+    const double got = sketch.query(q);
+    EXPECT_TRUE(got == 0.0 || got == 5.0) << "q=" << q << " got " << got;
+  }
+}
+
+TEST(QuantileTest, PercentilesAreMonotone) {
+  Quantile sketch;
+  std::uint64_t state = 3;
+  for (std::size_t i = 0; i < 20'000; ++i)
+    sketch.record(static_cast<double>(lcg(state) % 5000));
+  double prev = sketch.query(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = sketch.query(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+}
+
+TEST(QuantileTest, MergeMatchesConcatenatedStream) {
+  const double epsilon = 0.005;
+  Quantile left(epsilon);
+  Quantile right(epsilon);
+  std::vector<double> values;
+  std::uint64_t state = 11;
+  for (std::size_t i = 0; i < 8'000; ++i) {
+    const double v = static_cast<double>(lcg(state) % 300);
+    (i % 2 == 0 ? left : right).record(v);
+    values.push_back(v);
+  }
+  left.merge(right);
+  ASSERT_EQ(left.count(), values.size());
+  EXPECT_EQ(left.min(), exact_quantile(values, 0.0));
+  EXPECT_EQ(left.max(), exact_quantile(values, 1.0));
+  const double budget = 2.0 * epsilon * static_cast<double>(values.size());
+  for (double q : {0.1, 0.5, 0.9, 0.99})
+    EXPECT_LE(rank_error(values, left.query(q), q), budget) << "q=" << q;
+}
+
+TEST(QuantileTest, MergeWithEmptyIsIdentity) {
+  Quantile sketch;
+  for (int i = 0; i < 10; ++i) sketch.record(i);
+  Quantile empty;
+  sketch.merge(empty);
+  EXPECT_EQ(sketch.count(), 10u);
+  EXPECT_EQ(sketch.query(1.0), 9.0);
+  empty.merge(sketch);
+  EXPECT_EQ(empty.count(), 10u);
+  EXPECT_EQ(empty.query(1.0), 9.0);
+}
+
+TEST(QuantileTest, SummarySizeStaysSublinear) {
+  Quantile sketch(0.005);
+  std::uint64_t state = 99;
+  const std::size_t n = 200'000;
+  for (std::size_t i = 0; i < n; ++i)
+    sketch.record(static_cast<double>(lcg(state)));
+  // O((1/eps) * log(eps*n)) tuples; leave generous headroom but stay far
+  // below the sample count.
+  EXPECT_LT(sketch.tuples(), 5'000u);
+  EXPECT_EQ(sketch.count(), n);
+}
+
+TEST(QuantileTest, ToJsonCarriesTheSummary) {
+  Quantile sketch;
+  for (int i = 1; i <= 100; ++i) sketch.record(i);
+  const obs::JsonValue json = sketch.to_json();
+  ASSERT_TRUE(json.is_object());
+  EXPECT_EQ(json.find("count")->as_number(), 100.0);
+  EXPECT_EQ(json.find("min")->as_number(), 1.0);
+  EXPECT_EQ(json.find("max")->as_number(), 100.0);
+  EXPECT_EQ(json.find("p50")->as_number(), 50.0);
+  EXPECT_EQ(json.find("p90")->as_number(), 90.0);
+  EXPECT_EQ(json.find("p99")->as_number(), 99.0);
+  EXPECT_NEAR(json.find("mean")->as_number(), 50.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace drsm

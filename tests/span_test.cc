@@ -1,0 +1,174 @@
+// Causal span tests: every application operation gets a unique nonzero
+// span id at issue, and every event its protocol activity causes —
+// messages, queue toggles, state transitions, the completion — carries
+// that id.  Checked on both runtimes, plus the span/flow rendering of the
+// JSONL and Chrome-trace exporters.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "obs/trace.h"
+#include "sim/event_sim.h"
+#include "sim/sequential.h"
+#include "workload/generator.h"
+
+namespace drsm {
+namespace {
+
+using obs::EventKind;
+using obs::TraceEvent;
+using obs::TraceRecorder;
+
+sim::SystemConfig make_config(std::size_t n, std::size_t objects = 1) {
+  sim::SystemConfig config;
+  config.num_clients = n;
+  config.costs.s = 100.0;
+  config.costs.p = 30.0;
+  config.num_objects = objects;
+  return config;
+}
+
+// Walks a recorded trace checking span well-formedness: unique nonzero
+// issue spans, and every span-carrying event referring to an operation
+// already issued (causality never points forward).
+void check_span_wellformedness(const TraceRecorder& recorder) {
+  std::set<std::uint64_t> issued;
+  std::set<std::uint64_t> completed;
+  for (std::size_t i = 0; i < recorder.size(); ++i) {
+    const TraceEvent& e = recorder.event(i);
+    if (e.kind == EventKind::kOpIssue) {
+      ASSERT_NE(e.span, 0u) << "issue without a span at event " << i;
+      ASSERT_TRUE(issued.insert(e.span).second)
+          << "span " << e.span << " issued twice";
+    } else if (e.span != 0) {
+      EXPECT_TRUE(issued.count(e.span))
+          << obs::to_string(e.kind) << " at event " << i
+          << " carries unissued span " << e.span;
+    }
+    if (e.kind == EventKind::kOpComplete) {
+      ASSERT_NE(e.span, 0u) << "completion without a span at event " << i;
+      EXPECT_TRUE(completed.insert(e.span).second)
+          << "span " << e.span << " completed twice";
+    }
+  }
+  EXPECT_FALSE(issued.empty());
+  for (std::uint64_t span : completed) EXPECT_TRUE(issued.count(span));
+}
+
+TEST(SpanTest, EventSimulatorThreadsSpansThroughMessageChains) {
+  sim::SimOptions options;
+  options.max_ops = 300;
+  options.warmup_ops = 0;
+  options.seed = 5;
+  sim::EventSimulator simulator(protocols::ProtocolKind::kWriteOnce,
+                                make_config(3, 2), options);
+  TraceRecorder recorder(1 << 16);
+  simulator.set_sink(&recorder);
+  workload::ConcurrentDriver driver(workload::read_disturbance(0.3, 0.2, 2),
+                                    6, 2);
+  simulator.run(driver);
+
+  ASSERT_EQ(recorder.dropped(), 0u);
+  check_span_wellformedness(recorder);
+
+  // Every message is caused by some operation, so no message event may be
+  // span-less.
+  std::size_t messages = 0;
+  for (std::size_t i = 0; i < recorder.size(); ++i) {
+    const TraceEvent& e = recorder.event(i);
+    if (e.kind == EventKind::kMsgSend || e.kind == EventKind::kMsgRecv) {
+      ++messages;
+      EXPECT_NE(e.span, 0u) << "message without causal span at event " << i;
+    }
+  }
+  EXPECT_GT(messages, 0u);
+}
+
+TEST(SpanTest, SequentialRuntimeScopesEachOperationToOneSpan) {
+  sim::SequentialRuntime runtime(protocols::ProtocolKind::kWriteThrough,
+                                 make_config(2), {0, 1});
+  TraceRecorder recorder;
+  runtime.set_sink(&recorder);
+  runtime.execute(0, fsm::OpKind::kWrite, 1);
+  runtime.execute(1, fsm::OpKind::kRead);
+  runtime.execute(1, fsm::OpKind::kWrite, 2);
+
+  check_span_wellformedness(recorder);
+
+  // Sequential semantics: operations are atomic, so the trace is a strict
+  // sequence of [issue_k .. complete_k] blocks whose every span-carrying
+  // event holds span k.
+  std::uint64_t current = 0;
+  std::size_t issues = 0;
+  for (std::size_t i = 0; i < recorder.size(); ++i) {
+    const TraceEvent& e = recorder.event(i);
+    if (e.kind == EventKind::kOpIssue) {
+      EXPECT_EQ(current, 0u) << "nested issue at event " << i;
+      current = e.span;
+      ++issues;
+    } else if (e.kind == EventKind::kOpComplete) {
+      EXPECT_EQ(e.span, current);
+      current = 0;
+    } else if (e.span != 0) {
+      EXPECT_EQ(e.span, current)
+          << obs::to_string(e.kind) << " leaked outside its operation";
+    }
+  }
+  EXPECT_EQ(issues, 3u);
+  EXPECT_EQ(current, 0u) << "unterminated operation span";
+}
+
+TEST(SpanTest, JsonlCarriesSpanIds) {
+  sim::SequentialRuntime runtime(protocols::ProtocolKind::kWriteThrough,
+                                 make_config(2), {0, 1});
+  TraceRecorder recorder;
+  runtime.set_sink(&recorder);
+  runtime.execute(0, fsm::OpKind::kWrite, 1);
+  const std::string jsonl = recorder.to_jsonl();
+  EXPECT_NE(jsonl.find("\"span\":1"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"op_issue\""), std::string::npos);
+}
+
+TEST(SpanTest, ChromeTraceRendersLanesFlowsAndSpans) {
+  sim::SimOptions options;
+  options.max_ops = 100;
+  options.warmup_ops = 0;
+  options.seed = 9;
+  sim::EventSimulator simulator(protocols::ProtocolKind::kWriteThrough,
+                                make_config(2), options);
+  TraceRecorder recorder(1 << 16);
+  simulator.set_sink(&recorder);
+  workload::ConcurrentDriver driver(workload::ideal_workload(0.4), 10, 1);
+  simulator.run(driver);
+
+  TraceRecorder::ChromeTraceOptions chrome;
+  chrome.pid = 7;
+  chrome.process_name = "sim0";
+  const std::string trace = recorder.to_chrome_trace(chrome);
+
+  // Track layout: the runtime's process, one lane per node, a parallel
+  // network-lane block.
+  EXPECT_NE(trace.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(trace.find("\"sim0\""), std::string::npos);
+  EXPECT_NE(trace.find("\"pid\":7"), std::string::npos);
+  EXPECT_NE(trace.find("\"client0\""), std::string::npos);
+  EXPECT_NE(trace.find("\"sequencer\""), std::string::npos);
+  EXPECT_NE(trace.find("\"net client0\""), std::string::npos);
+  // Message activity: async begin/end pairs plus flow arrows.
+  EXPECT_NE(trace.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(trace.find("\"msgflow\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"f\""), std::string::npos);
+  // Causal spans ride along as slice arguments.
+  EXPECT_NE(trace.find("\"span\":"), std::string::npos);
+
+  TraceRecorder::ChromeTraceOptions no_flows;
+  no_flows.flow_events = false;
+  EXPECT_EQ(recorder.to_chrome_trace(no_flows).find("\"msgflow\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace drsm

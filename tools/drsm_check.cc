@@ -10,9 +10,12 @@
 //   drsm_check [--protocol=all|wt|wtv|wo|syn|ill|ber|drg|ff]
 //              [--clients=N] [--reads=K] [--writes=K]
 //              [--seeds=S] [--ops=OPS] [--no-probes] [--trace=FILE]
+//              [--postmortem=FILE]
 //
 // Defaults: all protocols, 2 clients, 1 read + 1 write per client, 25
-// property seeds of 150 operations each.
+// property seeds of 150 operations each.  --postmortem dumps the first
+// violation's counterexample through the flight recorder as a JSONL
+// post-mortem (header line + events; see docs/OBSERVABILITY.md).
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +24,7 @@
 
 #include "check/model_checker.h"
 #include "check/property.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "protocols/protocol.h"
 #include "support/error.h"
@@ -40,13 +44,14 @@ struct Args {
   std::size_t ops = 150;
   bool probes = true;
   std::string trace_path;
+  std::string postmortem_path;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--protocol=all|NAME] [--clients=N] [--reads=K] "
                "[--writes=K] [--seeds=S] [--ops=OPS] [--no-probes] "
-               "[--trace=FILE]\n",
+               "[--trace=FILE] [--postmortem=FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -76,6 +81,8 @@ Args parse(int argc, char** argv) {
       args.probes = false;
     } else if (arg.rfind("--trace=", 0) == 0) {
       args.trace_path = value("--trace=");
+    } else if (arg.rfind("--postmortem=", 0) == 0) {
+      args.postmortem_path = value("--postmortem=");
     } else {
       usage(argv[0]);
     }
@@ -122,6 +129,12 @@ int main(int argc, char** argv) try {
         std::printf("    %s: %s\n", v.invariant, v.detail.c_str());
       if (!args.trace_path.empty())
         dump_counterexample(result, args.trace_path);
+      if (!args.postmortem_path.empty()) {
+        obs::FlightRecorder recorder;
+        check::dump_counterexample(result, recorder, args.postmortem_path);
+        std::printf("  post-mortem written to %s\n",
+                    args.postmortem_path.c_str());
+      }
     }
   }
 
