@@ -30,10 +30,22 @@ events_per_sec() {
   if [ -n "${v:-}" ]; then printf '%.0f' "$v"; else echo "-"; fi
 }
 
+# Peak operation throughput of the concurrent runtime ("peak_ops_per_sec"
+# in BENCH_runtime.json), or "-" for benches without one.
+ops_per_sec() {
+  local json="$1"
+  [ -f "$json" ] || { echo "-"; return; }
+  local v
+  v=$(grep -m1 '"peak_ops_per_sec"' "$json" \
+        | sed 's/.*: *//; s/[ ,].*//') || true
+  if [ -n "${v:-}" ]; then printf '%.0f' "$v"; else echo "-"; fi
+}
+
 {
   names=()
   times_ms=()
   events=()
+  ops=()
   for b in "${benches[@]}"; do
     if [ -x "$b" ] && [ -f "$b" ]; then
       echo "===== $(basename "$b") ====="
@@ -45,6 +57,7 @@ events_per_sec() {
       names+=("$(basename "$b")")
       times_ms+=("$elapsed_ms")
       events+=("$(events_per_sec "$ROOT/BENCH_${b##*/bench_}.json")")
+      ops+=("$(ops_per_sec "$ROOT/BENCH_${b##*/bench_}.json")")
       echo
     fi
   done
@@ -52,11 +65,12 @@ events_per_sec() {
   # Per-bench wall-clock summary (printed inside the group so it reaches
   # both the console and bench_output.txt).
   echo "===== wall-clock summary ====="
-  printf '%-28s %12s %16s\n' "bench" "wall (ms)" "sim events/s"
+  printf '%-28s %12s %16s %16s\n' "bench" "wall (ms)" "sim events/s" \
+    "peak ops/s"
   total_ms=0
   for i in "${!names[@]}"; do
-    printf '%-28s %12s %16s\n' "${names[$i]}" "${times_ms[$i]}" \
-      "${events[$i]}"
+    printf '%-28s %12s %16s %16s\n' "${names[$i]}" "${times_ms[$i]}" \
+      "${events[$i]}" "${ops[$i]}"
     total_ms=$(( total_ms + times_ms[i] ))
   done
   printf '%-28s %12s\n' "total" "$total_ms"

@@ -1,0 +1,56 @@
+#include "check/sharded_oracle.h"
+
+#include "support/error.h"
+#include "support/text.h"
+
+namespace drsm::check {
+
+ShardedOracle::ShardedOracle(std::size_t num_shards, OracleMode mode) {
+  DRSM_CHECK(num_shards >= 1, "need at least one shard");
+  oracles_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i)
+    oracles_.push_back(std::make_unique<CoherenceOracle>(mode));
+}
+
+sim::CoherenceTap* ShardedOracle::tap(std::size_t shard) {
+  DRSM_CHECK(shard < oracles_.size(), "shard index out of range");
+  return oracles_[shard].get();
+}
+
+void ShardedOracle::finish() {
+  for (auto& oracle : oracles_) oracle->finish();
+}
+
+bool ShardedOracle::ok() const {
+  for (const auto& oracle : oracles_)
+    if (!oracle->ok()) return false;
+  return true;
+}
+
+std::vector<std::string> ShardedOracle::violations() const {
+  std::vector<std::string> all;
+  for (std::size_t i = 0; i < oracles_.size(); ++i)
+    for (const std::string& v : oracles_[i]->violations())
+      all.push_back(strfmt("shard %zu: ", i) + v);
+  return all;
+}
+
+std::size_t ShardedOracle::commits() const {
+  std::size_t n = 0;
+  for (const auto& oracle : oracles_) n += oracle->commits();
+  return n;
+}
+
+std::size_t ShardedOracle::issues() const {
+  std::size_t n = 0;
+  for (const auto& oracle : oracles_) n += oracle->issues();
+  return n;
+}
+
+std::size_t ShardedOracle::reads() const {
+  std::size_t n = 0;
+  for (const auto& oracle : oracles_) n += oracle->reads().size();
+  return n;
+}
+
+}  // namespace drsm::check

@@ -20,6 +20,15 @@ namespace drsm::fsm {
 
 /// Runtime services available to a protocol process while it handles one
 /// message.  All sends are charged to the current operation's trace.
+///
+/// Threading contract: a machine and the context it is handed are confined
+/// to one thread at a time.  Every runtime in the repo honors this by
+/// construction — the sequential/event runtimes are single-threaded, the
+/// threaded runtime gives each node's machines to that node's thread, and
+/// the sharded concurrent runtime confines each object's machine set to
+/// its shard's event-loop thread.  Implementations of this interface that
+/// are shared across threads (e.g. ThreadedCtx) must make their own
+/// members safe; the machine itself never needs internal synchronization.
 class MachineContext {
  public:
   virtual ~MachineContext() = default;

@@ -1,0 +1,148 @@
+// Sharded sequencers: the true-concurrency execution substrate behind
+// dsm::ConcurrentSharedMemory.
+//
+// Objects are partitioned across S shards by ObjectId (shard_of); each
+// shard owns one SequentialRuntime per object it hosts and runs a batched
+// event loop on a dedicated thread:
+//
+//   client threads ──MpscRing<ShardRequest>──▶ shard loop ──▶ per-object
+//   SequentialRuntime::execute (atomic, run-to-quiescence) ──▶
+//   MpscRing<ShardGrant> back to the issuing session.
+//
+// Each wakeup drains up to max_batch requests, executes them back to
+// back (amortizing the park/unpark and dispatch overhead), then wakes
+// every session that received grants exactly once.  Per-object operation
+// order inside a shard is the request-ring order, which preserves each
+// producer's program order (see mpsc_ring.h) — this is what lets the
+// coherence oracle referee a live run in its strict kSequential mode, per
+// object, without any cross-shard synchronization.
+//
+// A coherence tap attached to a shard observes all of the shard's objects
+// through one sim::CoherenceTap; the shard relabels the per-runtime
+// object id 0 to the global ObjectId before forwarding.  The tap is
+// touched only by the shard's own thread (thread safety by confinement).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "protocols/protocol.h"
+#include "sim/config.h"
+#include "sim/mpsc_ring.h"
+#include "sim/sequential.h"
+
+namespace drsm::sim {
+
+/// Which shard hosts `object` under S shards.  Modulo keeps consecutive
+/// (Zipf-hot) objects on distinct shards.
+inline std::size_t shard_of(ObjectId object, std::size_t num_shards) {
+  return static_cast<std::size_t>(object) % num_shards;
+}
+
+struct ShardGrant {
+  ObjectId object = 0;
+  fsm::OpKind op = fsm::OpKind::kRead;
+  std::uint64_t value = 0;    // read: value returned; write: value stored
+  std::uint64_t version = 0;  // read: version returned; write: latest seq
+  Cost cost = 0.0;            // communication cost of the operation
+  std::uint64_t ticket = 0;   // session-local issue ticket
+  std::uint64_t issue_ns = 0; // session's issue timestamp (latency)
+};
+
+using GrantRing = MpscRing<ShardGrant>;
+
+struct ShardRequest {
+  fsm::OpKind op = fsm::OpKind::kRead;
+  NodeId node = 0;            // issuing DSM node (protocol client id)
+  ObjectId object = 0;        // global object id
+  std::uint64_t value = 0;    // write payload
+  std::uint64_t ticket = 0;
+  std::uint64_t issue_ns = 0;
+  GrantRing* reply = nullptr;       // session grant ring (never full: the
+                                    // session window bounds occupancy)
+  EventGate* reply_gate = nullptr;  // session park gate, woken per batch
+};
+
+/// One sequencer shard: request ring + dedicated batched event loop.
+class SequencerShard {
+ public:
+  struct Options {
+    protocols::ProtocolKind protocol =
+        protocols::ProtocolKind::kWriteThrough;
+    SystemConfig config;               // num_objects ignored (per-object
+                                       // runtimes host one object each)
+    std::vector<ObjectId> objects;     // global ids this shard owns
+    std::size_t ring_capacity = 4096;  // request ring (backpressure knob)
+    std::size_t max_batch = 256;       // K: requests drained per wakeup
+    /// Yield-spins on an empty ring before futex-parking.  Producers are
+    /// usually one scheduler quantum away from refilling the ring, so a
+    /// yield is much cheaper than a park/notify round trip; only a
+    /// genuinely idle shard pays the futex.
+    std::size_t idle_spins = 4;
+    CoherenceTap* tap = nullptr;       // live referee (optional)
+  };
+
+  explicit SequencerShard(const Options& options);
+  ~SequencerShard();
+
+  SequencerShard(const SequencerShard&) = delete;
+  SequencerShard& operator=(const SequencerShard&) = delete;
+
+  void start();
+  /// Asks the loop to exit once the ring is drained, then joins.
+  void stop();
+
+  /// Producer side (any thread): false when the ring is full — the caller
+  /// pumps its grant ring and retries (never parks holding work, so the
+  /// shard can always drain toward it).
+  bool try_submit(const ShardRequest& request) {
+    return ring_.try_push(request);
+  }
+
+  /// A failed protocol invariant inside the loop (drsm::Error) stops the
+  /// shard and is reported here; empty = clean.
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+  const std::string& error() const { return error_; }
+
+  // -- post-join statistics (stable after stop()) ---------------------------
+  struct Stats {
+    std::uint64_t ops = 0;
+    Cost cost = 0.0;
+    std::uint64_t messages = 0;
+    std::uint64_t batches = 0;       // non-empty wakeup drains
+    std::uint64_t max_batch = 0;     // largest single drain
+    std::uint64_t parks = 0;         // times the loop futex-slept on empty
+    std::uint64_t idle_yields = 0;   // empty-ring yields that avoided a park
+    std::uint64_t ring_full_stalls = 0;  // producer backpressure events
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Latest write sequence number of a hosted object (diagnostics/tests).
+  std::uint64_t object_version(ObjectId object) const;
+  const char* state_name(ObjectId object, NodeId node) const;
+
+ private:
+  class Relabel;
+
+  void run();
+  void handle(const ShardRequest& request);
+  std::size_t local_index(ObjectId object) const;
+
+  Options options_;
+  std::vector<std::unique_ptr<SequentialRuntime>> runtimes_;  // by local idx
+  std::vector<std::unique_ptr<Relabel>> taps_;                // parallel
+  std::vector<ObjectId> local_of_;  // global object -> local idx (dense)
+
+  MpscRing<ShardRequest> ring_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> failed_{false};
+  std::string error_;
+  Stats stats_;
+};
+
+}  // namespace drsm::sim

@@ -2,12 +2,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <deque>
 #include <mutex>
 #include <string>
 #include <thread>
 
+#include "sim/mpsc_ring.h"
 #include "support/error.h"
 #include "support/text.h"
 
@@ -26,11 +25,15 @@ struct Shared;
 /// Everything owned by one node.  The machine state and the local tallies
 /// are touched only by the node's own thread; the inbox is the only
 /// cross-thread surface.
+// With one operation in flight per node, inbox occupancy is bounded by a
+// few messages per peer; this capacity leaves orders of magnitude of slack
+// (overflow is a failed run, not a wait — see send()).
+constexpr std::size_t kInboxCapacity = 1 << 13;
+
 struct Node {
-  // Cross-thread: the inbox.
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<Message> inbox;
+  // Cross-thread: the inbox (lock-free MPSC; this node's thread is the
+  // single consumer, every peer a producer).
+  MpscRing<Message> inbox{kInboxCapacity};
 
   // Thread-local to the owning node thread.
   std::vector<std::unique_ptr<fsm::ProtocolMachine>> machines;  // per object
@@ -107,11 +110,22 @@ class ThreadedCtx final : public fsm::MachineContext {
     }
     Node& target = *shared_.nodes[dest];
     shared_.pending_msgs.fetch_add(1, std::memory_order_acq_rel);
-    {
-      std::lock_guard<std::mutex> lock(target.mu);
-      target.inbox.push_back(msg);
+    if (!target.inbox.try_push(msg)) {
+      // The closed loop bounds occupancy far below capacity, so a full
+      // inbox means the receiver stopped draining (it failed or wedged).
+      // Yield-retry briefly, then declare the run failed rather than hang.
+      bool pushed = false;
+      for (int spin = 0; spin < 1'000'000 && !pushed; ++spin) {
+        if (shared_.failed.load(std::memory_order_relaxed)) break;
+        std::this_thread::yield();
+        pushed = target.inbox.try_push(msg);
+      }
+      if (!pushed) {
+        shared_.pending_msgs.fetch_sub(1, std::memory_order_acq_rel);
+        shared_.fail(strfmt("inbox overflow: node %u -> node %u", self_,
+                            dest));
+      }
     }
-    target.cv.notify_one();
   }
 
   void send_except(const std::vector<NodeId>& excluded,
@@ -231,18 +245,19 @@ bool try_issue(Shared& shared, ThreadedCtx& ctx, Node& node, NodeId id) {
 void node_main(std::stop_token stop, Shared& shared, NodeId id) {
   Node& node = *shared.nodes[id];
   ThreadedCtx ctx(shared, id);
+  std::vector<Message> batch(256);
   while (!stop.stop_requested() && !shared.failed.load()) {
-    // Drain the inbox.
-    std::deque<Message> batch;
-    {
-      std::lock_guard<std::mutex> lock(node.mu);
-      batch.swap(node.inbox);
+    // Drain the inbox in batches.
+    bool processed = false;
+    for (;;) {
+      const std::size_t n = node.inbox.pop_batch(batch.data(), batch.size());
+      if (n == 0) break;
+      processed = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        process(shared, ctx, node, batch[i]);
+        shared.pending_msgs.fetch_sub(1, std::memory_order_acq_rel);
+      }
     }
-    for (const Message& msg : batch) {
-      process(shared, ctx, node, msg);
-      shared.pending_msgs.fetch_sub(1, std::memory_order_acq_rel);
-    }
-    const bool processed = !batch.empty();
 
     // Closed loop: issue while operations complete synchronously.
     bool issued_any = false;
@@ -252,10 +267,15 @@ void node_main(std::stop_token stop, Shared& shared, NodeId id) {
     }
 
     if (!processed && !issued_any) {
-      std::unique_lock<std::mutex> lock(node.mu);
-      node.cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
-        return !node.inbox.empty() || stop.stop_requested();
-      });
+      // Park on the inbox gate; a send() to us (or the final poke) wakes
+      // us.  The eventcount handshake closes the lost-wakeup window.
+      const std::uint32_t ticket = node.inbox.prepare_wait();
+      if (node.inbox.can_pop() || stop.stop_requested() ||
+          shared.failed.load()) {
+        node.inbox.cancel_wait();
+        continue;
+      }
+      node.inbox.wait(ticket);
     }
   }
 }
@@ -312,7 +332,7 @@ ThreadedStats run_threaded(protocols::ProtocolKind kind,
     }
     for (auto& thread : threads) thread.request_stop();
     for (NodeId id = 0; id < node_count; ++id)
-      shared.nodes[id]->cv.notify_all();
+      shared.nodes[id]->inbox.poke();
   }  // jthreads join here
 
   if (shared.failed.load()) {
@@ -337,6 +357,10 @@ ThreadedStats run_threaded(protocols::ProtocolKind kind,
     m.counter("threaded.runs").inc();
     m.counter("threaded.ops").inc(stats.total_ops);
     m.counter("threaded.messages").inc(stats.messages);
+    std::uint64_t inbox_stalls = 0;
+    for (const auto& node : shared.nodes)
+      inbox_stalls += node->inbox.full_stalls();
+    m.counter("threaded.inbox_stalls").inc(inbox_stalls);
     m.gauge("threaded.acc").set(stats.acc());
     m.gauge("threaded.measured_cost").add(stats.measured_cost);
     m.gauge("threaded.wall_ms")

@@ -3,20 +3,21 @@
 // The paper validated its analysis against a multitasking Ada simulator —
 // genuinely concurrent tasks, not a discrete-event loop.  This runtime is
 // the C++ counterpart of that design point: one std::jthread per node,
-// FIFO inboxes guarded by mutex + condition variable, and the same
-// protocol machines as everywhere else.  Unlike sim::EventSimulator it has
-// no virtual clock and is not deterministic; what it demonstrates is that
-// the protocol adaptations are correct under true parallel execution
-// (arbitrary real interleavings), and it measures the same communication
-// cost metric.
+// lock-free FIFO inboxes (sim::MpscRing), and the same protocol machines
+// as everywhere else.  Unlike sim::EventSimulator it has no virtual clock
+// and is not deterministic; what it demonstrates is that the protocol
+// adaptations are correct under true parallel execution (arbitrary real
+// interleavings), and it measures the same communication cost metric.
 //
 // Concurrency structure (a node's machine state is only ever touched by
 // its own thread; cross-thread communication is exclusively through the
 // inboxes and a few atomic counters):
-//   * node thread loop: drain inbox -> maybe issue the next application
-//     operation (closed loop: one in flight per node) -> block on the cv;
-//   * send(): lock the target inbox, push, notify — FIFO per channel is
-//     inherited from FIFO per inbox;
+//   * node thread loop: drain inbox in batches -> maybe issue the next
+//     application operation (closed loop: one in flight per node) -> park
+//     on the inbox's event gate;
+//   * send(): lock-free push into the target's ring (FIFO per channel is
+//     inherited from the ring's per-producer FIFO), futex wake only when
+//     the receiver is parked;
 //   * termination: an atomic count of undelivered messages plus an atomic
 //     count of in-flight operations; both zero with the issue budget
 //     exhausted means quiescence.

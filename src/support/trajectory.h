@@ -1,0 +1,62 @@
+// Trajectory hashing: folds an observed event stream into one FNV-1a
+// accumulator so two runs can be compared with a single integer equality.
+//
+// The determinism suites pin full message trajectories this way (tests),
+// the model-checker counterexample replayer pins counterexamples, and the
+// concurrent runtime's determinism checks pin grant streams.  Keeping the
+// accumulator here (rather than in tests/) gives all three the same
+// folding order and constants, so hashes are comparable across binaries.
+//
+// mix_message is templated on the message type instead of including
+// fsm/token.h: support/ sits below fsm/ in the layering, and the template
+// only needs the (token, value, version, hops) shape at instantiation
+// time.
+#pragma once
+
+#include <cstdint>
+
+#include "support/types.h"
+
+namespace drsm {
+
+struct TrajectoryHash {
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a offset basis
+  std::uint64_t events = 0;
+
+  void mix(std::uint64_t v) {
+    hash ^= v;
+    hash *= 1099511628211ULL;
+  }
+
+  /// Folds an observed message into the hash as the (time, src, dst,
+  /// five-tuple, payload) record the golden constants were captured under.
+  template <class Message>
+  void mix_message(std::uint64_t time, NodeId src, NodeId dst,
+                   const Message& msg) {
+    mix(time);
+    mix(src);
+    mix(dst);
+    mix(static_cast<std::uint64_t>(msg.token.type));
+    mix(msg.token.initiator);
+    mix(msg.token.object);
+    mix(static_cast<std::uint64_t>(msg.token.params));
+    mix(msg.value);
+    mix(msg.version);
+    mix(msg.hops);
+    ++events;
+  }
+
+  /// Folds one completed-operation grant record (the concurrent runtime's
+  /// determinism unit: what the application observed, in completion order).
+  void mix_grant(std::uint64_t object, std::uint64_t op, std::uint64_t value,
+                 std::uint64_t version, std::uint64_t cost_units) {
+    mix(object);
+    mix(op);
+    mix(value);
+    mix(version);
+    mix(cost_units);
+    ++events;
+  }
+};
+
+}  // namespace drsm

@@ -1,46 +1,18 @@
 // Shared test helpers.
 //
 // Trajectory is the FNV-1a accumulator the determinism suites use to pin
-// full message trajectories into a single golden hash.  Folding every
-// observed message through `mix_message` makes two runs comparable with
-// one EXPECT_EQ while keeping mismatch localisation to the (already
-// deterministic) replay tooling.
+// full message trajectories into a single golden hash.  The accumulator
+// itself lives in support/trajectory.h (the model checker and the
+// concurrent runtime's determinism checks fold the same constants); this
+// alias keeps the suites' historical spelling.
 #ifndef DRSM_TESTS_TEST_UTIL_H_
 #define DRSM_TESTS_TEST_UTIL_H_
 
-#include <cstdint>
-
-#include "fsm/token.h"
-#include "support/types.h"
+#include "support/trajectory.h"
 
 namespace drsm::testing {
 
-struct Trajectory {
-  std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a offset basis
-  std::uint64_t events = 0;
-
-  void mix(std::uint64_t v) {
-    hash ^= v;
-    hash *= 1099511628211ULL;
-  }
-
-  // Folds an observed message into the hash as the (time, src, dst,
-  // five-tuple, payload) record the golden constants were captured under.
-  void mix_message(std::uint64_t time, NodeId src, NodeId dst,
-                   const fsm::Message& msg) {
-    mix(time);
-    mix(src);
-    mix(dst);
-    mix(static_cast<std::uint64_t>(msg.token.type));
-    mix(msg.token.initiator);
-    mix(msg.token.object);
-    mix(static_cast<std::uint64_t>(msg.token.params));
-    mix(msg.value);
-    mix(msg.version);
-    mix(msg.hops);
-    ++events;
-  }
-};
+using Trajectory = drsm::TrajectoryHash;
 
 }  // namespace drsm::testing
 
