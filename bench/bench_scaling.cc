@@ -138,6 +138,10 @@ int main() {
     struct SimResult {
       sim::SimStats stats;
       double elapsed_us = 0.0;
+      // Task-local engine metrics (sim.events_per_sec and friends);
+      // merged in task order below so the report is thread-count
+      // independent.
+      std::unique_ptr<obs::MetricsRegistry> metrics;
     };
     exec::SweepRunner runner({.metrics = &exec_metrics});
     const auto sims = runner.run<SimResult>(
@@ -152,15 +156,20 @@ int main() {
           options.seed = 3;
           sim::EventSimulator simulator(ProtocolKind::kWriteOnce, config,
                                         options);
+          SimResult out;
+          out.metrics = std::make_unique<obs::MetricsRegistry>();
+          simulator.set_metrics(out.metrics.get());
           workload::ConcurrentDriver driver(spec, 4);
           const auto sim_start = std::chrono::steady_clock::now();
-          SimResult out;
           out.stats = simulator.run(driver);
           out.elapsed_us = std::chrono::duration<double, std::micro>(
                                std::chrono::steady_clock::now() - sim_start)
                                .count();
           return out;
         });
+    obs::MetricsRegistry sim_metrics;
+    for (const auto& s : sims) sim_metrics.merge(*s.metrics);
+    report.root()["sim_metrics"] = sim_metrics.to_json();
     std::vector<std::vector<std::string>> rows;
     for (std::size_t i = 0; i < sim_sizes.size(); ++i) {
       const sim::SimStats& stats = sims[i].stats;

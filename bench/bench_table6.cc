@@ -153,6 +153,7 @@ int main() {
   // Simulator spot-check of one mid-table cell, so the report also carries
   // a measured message mix and latency distribution for these parameters.
   report.phase("sim_spot_check");
+  obs::MetricsRegistry sim_metrics;
   {
     const double p = 0.2, sigma = 0.01;
     const auto spec = workload::read_disturbance(p, sigma, kA);
@@ -164,6 +165,7 @@ int main() {
       options.warmup_ops = 500;
       options.seed = 6;
       sim::EventSimulator simulator(kind, config, options);
+      simulator.set_metrics(&sim_metrics);
       workload::ConcurrentDriver driver(spec, 61);
       const sim::SimStats sim_stats = simulator.run(driver);
       auto& result = report.add_result();
@@ -181,6 +183,7 @@ int main() {
   }
   report.root()["solver_metrics"] = solver_metrics.to_json();
   report.root()["exec_metrics"] = exec_metrics.to_json();
+  report.root()["sim_metrics"] = sim_metrics.to_json();
   report.write();
   return 0;
 }

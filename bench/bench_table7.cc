@@ -23,6 +23,7 @@
 
 #include "analytic/solver.h"
 #include "bench_util.h"
+#include "exec/batched_sweep.h"
 #include "exec/sweep.h"
 #include "exec/thread_pool.h"
 #include "sim/event_sim.h"
@@ -79,9 +80,12 @@ struct CellResult {
 };
 
 // Phase 1: the paper's setup verbatim — one fixed-seed run per cell.
+// `analytic_acc` holds the batched analytic answers, row-major over the
+// grid (invalid cells 0) — see the BatchedSweepRunner call in main().
 void run_table(bench::Report& report, exec::SweepRunner& runner,
-               ProtocolKind kind, std::size_t warmup_ops,
-               std::size_t measured_ops, const char* label) {
+               const std::vector<double>& analytic_acc, ProtocolKind kind,
+               std::size_t warmup_ops, std::size_t measured_ops,
+               const char* label) {
   std::printf(
       "%s protocol — %s (%zu warmup + %zu measured operations)\n",
       protocols::to_string(kind), label, warmup_ops, measured_ops);
@@ -97,8 +101,7 @@ void run_table(bench::Report& report, exec::SweepRunner& runner,
         if (p + static_cast<double>(kA) * sigma > 1.0 + 1e-12) return out;
         out.valid = true;
         const auto spec = workload::read_disturbance(p, sigma, kA);
-        analytic::AccSolver solver({kN, {kScost, kPcost}, 1});
-        out.analytic_acc = solver.acc(kind, spec);
+        out.analytic_acc = analytic_acc[task.index];
         out.sim_stats = simulate(kind, spec, warmup_ops, measured_ops,
                                  cell_seed(p, sigma));
         return out;
@@ -159,9 +162,9 @@ struct ReplicatedCell {
   sim::ReplicatedStats stats;
 };
 
-std::vector<ReplicatedCell> run_replicated(ProtocolKind kind,
-                                           std::size_t threads,
-                                           obs::MetricsRegistry* metrics) {
+std::vector<ReplicatedCell> run_replicated(
+    const std::vector<double>& analytic_acc, ProtocolKind kind,
+    std::size_t threads, obs::MetricsRegistry* metrics) {
   std::vector<ReplicatedCell> cells;
   for (double p : grid()) {
     for (double sigma : grid()) {
@@ -174,8 +177,7 @@ std::vector<ReplicatedCell> run_replicated(ProtocolKind kind,
       }
       cell.valid = true;
       const auto spec = workload::read_disturbance(p, sigma, kA);
-      analytic::AccSolver solver({kN, {kScost, kPcost}, 1});
-      cell.analytic_acc = solver.acc(kind, spec);
+      cell.analytic_acc = analytic_acc[cells.size()];
 
       sim::SimOptions options;
       options.warmup_ops = 500;
@@ -294,22 +296,55 @@ int main() {
   obs::MetricsRegistry exec_metrics;
   obs::MetricsRegistry sim_metrics;
   exec::SweepRunner runner({.metrics = &exec_metrics});
+  // Both protocols' analytic grids answered up front by one
+  // BatchedSweepRunner call: cells are grouped per protocol, each group
+  // goes through one SoA stationary solve — bit-identical to the former
+  // per-cell scalar solvers (tests/solver_batch_test.cc).
+  analytic::AccSolver analytic_solver({kN, {kScost, kPcost}, 1});
+  analytic_solver.set_metrics(&exec_metrics);
+  const std::vector<ProtocolKind> kinds = {ProtocolKind::kWriteOnce,
+                                           ProtocolKind::kWriteThroughV};
+  std::vector<exec::AnalyticCell> analytic_cells;
+  std::vector<std::pair<std::size_t, std::size_t>> slots;  // (kind, cell)
+  for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
+    std::size_t index = 0;
+    for (double p : grid()) {
+      for (double sigma : grid()) {
+        if (p + static_cast<double>(kA) * sigma <= 1.0 + 1e-12) {
+          analytic_cells.push_back(
+              {kinds[ki], workload::read_disturbance(p, sigma, kA)});
+          slots.push_back({ki, index});
+        }
+        ++index;
+      }
+    }
+  }
+  exec::BatchedSweepRunner batched_runner({.metrics = &exec_metrics});
+  const std::vector<double> batched_acc =
+      batched_runner.acc_grid(analytic_solver, analytic_cells);
+  std::vector<std::vector<double>> analytic_acc(
+      kinds.size(), std::vector<double>(grid().size() * grid().size(), 0.0));
+  for (std::size_t i = 0; i < slots.size(); ++i)
+    analytic_acc[slots[i].first][slots[i].second] = batched_acc[i];
 
   double serial_ms_total = 0.0;
   double parallel_ms_total = 0.0;
   bool identical = true;
 
-  for (ProtocolKind kind :
-       {ProtocolKind::kWriteOnce, ProtocolKind::kWriteThroughV}) {
+  for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
+    const ProtocolKind kind = kinds[ki];
+    const std::vector<double>& acc_grid = analytic_acc[ki];
     report.phase(std::string(bench::short_name(kind)) + "_paper_run");
-    run_table(report, runner, kind, 500, 1500, "paper-sized run");
+    run_table(report, runner, acc_grid, kind, 500, 1500,
+              "paper-sized run");
 
     // Serial reference pass (threads = 1): timing baseline and the
     // bit-identity reference for the parallel pass.
     auto& serial_phase = report.phase(
         std::string(bench::short_name(kind)) + "_replicated_serial");
     const auto t0 = std::chrono::steady_clock::now();
-    const auto serial = run_replicated(kind, /*threads=*/1, nullptr);
+    const auto serial =
+        run_replicated(acc_grid, kind, /*threads=*/1, nullptr);
     const double serial_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - t0)
@@ -320,7 +355,8 @@ int main() {
     // Parallel pass (default thread count): the emitted results.
     report.phase(std::string(bench::short_name(kind)) + "_replicated");
     const auto t1 = std::chrono::steady_clock::now();
-    const auto cells = run_replicated(kind, /*threads=*/0, &sim_metrics);
+    const auto cells =
+        run_replicated(acc_grid, kind, /*threads=*/0, &sim_metrics);
     const double parallel_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - t1)

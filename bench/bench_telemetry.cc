@@ -152,6 +152,7 @@ int main() {
   const obs::Gauge* eps = sim_metrics.find_gauge("sim.events_per_sec");
   stream["events_per_sec"] = eps == nullptr ? 0.0 : eps->value();
   stream["sim"] = bench::sim_stats_json(sim_stats);
+  report.root()["sim_metrics"] = sim_metrics.to_json();
   std::printf("sim_stream: %llu accesses over %zu objects, %.0f events/s\n",
               (unsigned long long)stream_stats.accesses(),
               stream_stats.num_objects(),

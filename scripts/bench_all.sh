@@ -30,6 +30,16 @@ events_per_sec() {
   if [ -n "${v:-}" ]; then printf '%.0f' "$v"; else echo "-"; fi
 }
 
+# Serial/parallel speedup recorded under "parallelism" in the report
+# (benches that run a phase twice, serial then parallel), or "-".
+speedup() {
+  local json="$1"
+  [ -f "$json" ] || { echo "-"; return; }
+  local v
+  v=$(grep -m1 '"speedup"' "$json" | sed 's/.*: *//; s/[ ,].*//') || true
+  if [ -n "${v:-}" ]; then printf '%.2fx' "$v"; else echo "-"; fi
+}
+
 # Peak operation throughput of the concurrent runtime ("peak_ops_per_sec"
 # in BENCH_runtime.json), or "-" for benches without one.
 ops_per_sec() {
@@ -45,6 +55,7 @@ ops_per_sec() {
   names=()
   times_ms=()
   events=()
+  speedups=()
   ops=()
   for b in "${benches[@]}"; do
     if [ -x "$b" ] && [ -f "$b" ]; then
@@ -57,6 +68,7 @@ ops_per_sec() {
       names+=("$(basename "$b")")
       times_ms+=("$elapsed_ms")
       events+=("$(events_per_sec "$ROOT/BENCH_${b##*/bench_}.json")")
+      speedups+=("$(speedup "$ROOT/BENCH_${b##*/bench_}.json")")
       ops+=("$(ops_per_sec "$ROOT/BENCH_${b##*/bench_}.json")")
       echo
     fi
@@ -65,12 +77,12 @@ ops_per_sec() {
   # Per-bench wall-clock summary (printed inside the group so it reaches
   # both the console and bench_output.txt).
   echo "===== wall-clock summary ====="
-  printf '%-28s %12s %16s %16s\n' "bench" "wall (ms)" "sim events/s" \
-    "peak ops/s"
+  printf '%-28s %12s %16s %10s %16s\n' "bench" "wall (ms)" "sim events/s" \
+    "speedup" "peak ops/s"
   total_ms=0
   for i in "${!names[@]}"; do
-    printf '%-28s %12s %16s %16s\n' "${names[$i]}" "${times_ms[$i]}" \
-      "${events[$i]}" "${ops[$i]}"
+    printf '%-28s %12s %16s %10s %16s\n' "${names[$i]}" "${times_ms[$i]}" \
+      "${events[$i]}" "${speedups[$i]}" "${ops[$i]}"
     total_ms=$(( total_ms + times_ms[i] ))
   done
   printf '%-28s %12s\n' "total" "$total_ms"

@@ -60,6 +60,27 @@ class ProtocolChain {
   /// event probabilities (aligned with spec.events; must sum to 1).
   double average_cost(const std::vector<double>& probabilities) const;
 
+  /// How a batched solve decomposed (the analytic.batch_* metrics).
+  struct BatchTelemetry {
+    std::size_t lanes = 0;             // probability assignments solved
+    std::size_t groups = 0;            // distinct positive-probability masks
+    std::size_t direct_lanes = 0;      // lanes solved by the LU path
+    std::size_t power_iterations = 0;  // summed over power-path lanes
+    std::size_t max_states = 0;        // largest reachable set of any group
+  };
+
+  /// average_cost for a whole batch of probability assignments in one
+  /// call.  Lanes are grouped by positive-probability event mask; each
+  /// group shares one reachability pass and one transition structure and
+  /// is handed to linalg::batched_stationary as a lane-major SoA value
+  /// block.  Element i is bit-for-bit what average_cost(probabilities[i])
+  /// returns on a freshly built chain (cold start — the batch neither
+  /// reads nor seeds the warm-start cache, so results do not depend on
+  /// solve order).
+  std::vector<double> average_cost_batch(
+      const std::vector<std::vector<double>>& probabilities,
+      BatchTelemetry* batch = nullptr) const;
+
   /// Convenience overload using the probabilities stored in the spec.
   double average_cost() const;
 

@@ -39,6 +39,16 @@ class AccSolver {
   /// Thread-safe; concurrent calls share cached chains.
   double acc(protocols::ProtocolKind kind, const workload::WorkloadSpec& spec);
 
+  /// acc() for a whole grid of workloads in one call.  Specs are grouped
+  /// by sample-space structure (the chain-cache key), each group's chain
+  /// is built or fetched once, and the group's probability vectors are
+  /// solved by the batched SoA kernel.  Element i is bit-for-bit the value
+  /// a fresh solver's acc(kind, specs[i]) returns (cold solves — results
+  /// do not depend on the order of cells within the batch).  Publishes
+  /// analytic.batch_* metrics when a registry is attached.
+  std::vector<double> acc_batch(protocols::ProtocolKind kind,
+                                const std::vector<workload::WorkloadSpec>& specs);
+
   /// The cached chain for this (protocol, sample-space structure).  The
   /// reference stays valid for the solver's lifetime.
   const ProtocolChain& chain(protocols::ProtocolKind kind,

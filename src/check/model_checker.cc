@@ -110,7 +110,7 @@ class Ctx final : public fsm::MachineContext {
     channel.push_back(msg);
   }
 
-  void send_except(const std::vector<NodeId>& excluded,
+  void send_except(std::initializer_list<NodeId> excluded,
                    Message msg) override {
     for (NodeId node = 0; node < w_.num_nodes(); ++node) {
       bool skip = false;

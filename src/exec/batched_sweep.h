@@ -1,0 +1,64 @@
+// BatchedSweepRunner: grid-at-a-time analytic sweeps.
+//
+// SweepRunner fans independent scalar cells across threads; for analytic
+// sweeps that shape leaves the dominant structure on the table — hundreds
+// of grid points share one protocol and one sample-space structure, so
+// they share one Markov chain and differ only in their probability
+// vectors.  BatchedSweepRunner exploits that: cells are grouped by
+// protocol (AccSolver::acc_batch then groups by chain-cache key within
+// each protocol), each group's chain is enumerated once, and the group's
+// stationary solves run through the SoA kernel in linalg/batch.h — one
+// structure traversal for the whole grid instead of one per cell.
+//
+// Determinism contract (same as SweepRunner's): results are written in
+// cell order and each cell's acc is bit-for-bit what a freshly built
+// scalar AccSolver::acc computes for that cell, independent of grouping,
+// batch order, or thread count.  tests/solver_batch_test.cc enforces
+// this; the scalar SweepRunner path remains as the differential
+// reference.
+#pragma once
+
+#include <vector>
+
+#include "analytic/solver.h"
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace drsm::exec {
+
+/// One analytic sweep cell.
+struct AnalyticCell {
+  protocols::ProtocolKind kind = protocols::ProtocolKind::kWriteThrough;
+  workload::WorkloadSpec spec;
+};
+
+class BatchedSweepRunner {
+ public:
+  struct Options {
+    /// Threads for fanning protocol groups (0 = default).  Grouping and
+    /// result placement are deterministic at any thread count.
+    std::size_t threads = 0;
+    /// When non-null: exec.batched_sweeps / exec.batched_cells /
+    /// exec.batched_groups are published here after each acc_grid call
+    /// (calling thread only).
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  BatchedSweepRunner() : BatchedSweepRunner(Options{}) {}
+  explicit BatchedSweepRunner(Options options);
+
+  /// acc for every cell, in cell order.  Cells are grouped by protocol;
+  /// each group goes through solver.acc_batch (one batched stationary
+  /// solve per chain shape).  Groups run in parallel on the pool; every
+  /// group writes only its own cells' slots.
+  std::vector<double> acc_grid(analytic::AccSolver& solver,
+                               const std::vector<AnalyticCell>& cells);
+
+  std::size_t threads() const { return pool_.threads(); }
+
+ private:
+  Options options_;
+  ThreadPool pool_;
+};
+
+}  // namespace drsm::exec

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <initializer_list>
 #include <vector>
 
 #include "fsm/token.h"
@@ -54,8 +55,11 @@ class MachineContext {
   virtual void send(NodeId dest, Message msg) = 0;
 
   /// The paper's push(except(list), ...): send to every node whose index is
-  /// not in `excluded`.  The caller includes itself in the list.
-  virtual void send_except(const std::vector<NodeId>& excluded,
+  /// not in `excluded`.  The caller includes itself in the list.  Takes an
+  /// initializer_list — the exclusion sets are tiny brace-lists at every
+  /// call site, and a braced std::vector argument would heap-allocate on
+  /// each broadcast of the simulator's hot path.
+  virtual void send_except(std::initializer_list<NodeId> excluded,
                            Message msg) = 0;
 
   /// Returns read data to the local application process (the paper's

@@ -1,0 +1,146 @@
+#include "linalg/batch.h"
+
+#include <cmath>
+#include <string>
+
+#include "linalg/lu.h"
+
+namespace drsm::linalg {
+
+namespace {
+
+/// One lane's LU solve — the batched counterpart of the scalar
+/// solve_direct in stationary.cc.  The dense system A = P^T - I with the
+/// last row replaced by the normalization constraint is assembled
+/// straight from the pattern into the shared workspace `a`: every
+/// (r, c) appears once in CSR form, so writing value - (r == c) yields
+/// element-for-element the matrix the scalar path builds via
+/// transposed() - identity().
+Vector direct_lane(const CsrPattern& pattern,
+                   const std::vector<double>& values, std::size_t lanes,
+                   std::size_t lane, Matrix& a, Vector& b) {
+  const std::size_t n = pattern.rows;
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = r == c ? -1.0 : 0.0;
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t k = pattern.row_ptr[r]; k < pattern.row_ptr[r + 1]; ++k) {
+      const std::size_t c = pattern.col_idx[k];
+      // Transposed entry; the diagonal keeps its -1 from the identity.
+      a(c, r) = values[k * lanes + lane] - (c == r ? 1.0 : 0.0);
+    }
+  for (std::size_t c = 0; c < n; ++c) a(n - 1, c) = 1.0;
+  b.assign(n, 0.0);
+  b[n - 1] = 1.0;
+  Vector pi = Lu(a).solve(b);
+  double sum = 0.0;
+  for (double& v : pi) {
+    if (v < 0.0 && v > -1e-9) v = 0.0;
+    sum += v;
+  }
+  DRSM_CHECK(sum > 0.0, "stationary: degenerate solution");
+  for (double& v : pi) v /= sum;
+  return pi;
+}
+
+}  // namespace
+
+void check_stochastic_batch(const CsrPattern& pattern,
+                            const std::vector<double>& values,
+                            std::size_t lanes, double tol) {
+  DRSM_CHECK(values.size() == pattern.nonzeros() * lanes,
+             "batch: value block does not match pattern x lanes");
+  for (double v : values)
+    if (v < -tol)
+      throw Error("check_stochastic: negative transition probability");
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    for (std::size_t r = 0; r < pattern.rows; ++r) {
+      double sum = 0.0;
+      for (std::size_t k = pattern.row_ptr[r]; k < pattern.row_ptr[r + 1];
+           ++k)
+        sum += values[k * lanes + lane];
+      if (std::fabs(sum - 1.0) > tol)
+        throw Error("check_stochastic: row " + std::to_string(r) +
+                    " sums to " + std::to_string(sum));
+    }
+  }
+}
+
+std::vector<Vector> batched_stationary(const CsrPattern& pattern,
+                                       const std::vector<double>& values,
+                                       std::size_t lanes,
+                                       const StationaryOptions& options,
+                                       BatchSolveStats* stats) {
+  DRSM_CHECK(pattern.rows == pattern.cols,
+             "stationary: matrix must be square");
+  DRSM_CHECK(pattern.row_ptr.size() == pattern.rows + 1,
+             "batch: malformed row_ptr");
+  DRSM_CHECK(values.size() == pattern.nonzeros() * lanes,
+             "batch: value block does not match pattern x lanes");
+  const std::size_t n = pattern.rows;
+  std::vector<Vector> out(lanes);
+  if (stats != nullptr) *stats = {.lanes = lanes, .states = n};
+  if (lanes == 0) return out;
+
+  if (n <= options.direct_limit) {
+    if (stats != nullptr) stats->direct = true;
+    Matrix a(n, n);
+    Vector b(n);
+    for (std::size_t lane = 0; lane < lanes; ++lane)
+      out[lane] = direct_lane(pattern, values, lanes, lane, a, b);
+    return out;
+  }
+
+  // Blocked power iteration: one pass over the shared structure advances
+  // every live lane, touching each lane's SoA values column exactly as
+  // the scalar CsrMatrix::multiply_left would (same nonzero order, same
+  // zero-source skip), so per-lane arithmetic is order-identical to the
+  // scalar solver.  A converged lane freezes at its own iteration count.
+  const double d = options.damping;
+  std::vector<Vector> pi(lanes, Vector(n, 1.0 / static_cast<double>(n)));
+  std::vector<Vector> next(lanes);
+  std::vector<std::uint8_t> live(lanes, 1);
+  std::size_t remaining = lanes;
+  for (std::size_t it = 0; it < options.max_iterations && remaining > 0;
+       ++it) {
+    for (std::size_t lane = 0; lane < lanes; ++lane)
+      if (live[lane]) next[lane].assign(n, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        if (!live[lane]) continue;
+        const double xv = pi[lane][r];
+        if (xv == 0.0) continue;
+        Vector& y = next[lane];
+        for (std::size_t k = pattern.row_ptr[r]; k < pattern.row_ptr[r + 1];
+             ++k)
+          y[pattern.col_idx[k]] += xv * values[k * lanes + lane];
+      }
+    }
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      if (!live[lane]) continue;
+      Vector& nx = next[lane];
+      if (d > 0.0)
+        for (std::size_t i = 0; i < n; ++i)
+          nx[i] = (1.0 - d) * nx[i] + d * pi[lane][i];
+      const double s = norm1(nx);
+      DRSM_CHECK(s > 0.0, "stationary: vanished iterate");
+      for (double& v : nx) v /= s;
+      const double delta = max_abs_diff(nx, pi[lane]);
+      pi[lane] = std::move(nx);
+      nx = Vector();
+      if (delta < options.tolerance) {
+        live[lane] = 0;
+        --remaining;
+        out[lane] = std::move(pi[lane]);
+        if (stats != nullptr) {
+          stats->total_iterations += it + 1;
+          stats->max_iterations = std::max(stats->max_iterations, it + 1);
+        }
+      }
+    }
+  }
+  if (remaining > 0)
+    throw Error("stationary_distribution: power iteration did not converge");
+  return out;
+}
+
+}  // namespace drsm::linalg

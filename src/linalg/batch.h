@@ -1,0 +1,73 @@
+// Batched stationary solves for Markov chains sharing one sparsity
+// pattern.
+//
+// Parameter sweeps re-solve the same chain shape for hundreds of
+// probability assignments: the reachable-state set, the transition
+// structure, and every workspace are pure functions of the chain and the
+// positive-probability event mask, so only the numeric values differ
+// between sweep points.  The batched solver takes that shared structure
+// once plus a lane-major structure-of-arrays value block and solves all
+// lanes in one call.
+//
+// Bit-identity contract: each lane's stationary vector is bit-for-bit the
+// vector stationary_distribution(CsrMatrix(...), options) computes for
+// that lane's matrix with a cold start.  The batch executes the identical
+// per-lane operation sequence — same duplicate summation, same LU or
+// power-iteration arithmetic in the same order, same per-lane convergence
+// cut-off — and batching only amortizes structure traversal, allocation
+// and cache traffic.  tests/solver_batch_test.cc enforces this against
+// the scalar path for all eight protocols.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/stationary.h"
+
+namespace drsm::linalg {
+
+/// CSR row/column structure without values — the shape shared by every
+/// lane of a batch.  Indices follow CsrMatrix: row_ptr has rows+1
+/// entries, col_idx has one entry per (deduplicated) nonzero.
+struct CsrPattern {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::size_t> row_ptr;
+  std::vector<std::size_t> col_idx;
+
+  std::size_t nonzeros() const { return col_idx.size(); }
+};
+
+/// How a batched solve went (the analytic.batch_* metrics).
+struct BatchSolveStats {
+  std::size_t lanes = 0;
+  std::size_t states = 0;
+  bool direct = false;               // LU path taken (all lanes)
+  std::size_t total_iterations = 0;  // power iterations summed over lanes
+  std::size_t max_iterations = 0;    // slowest lane (0 for direct)
+};
+
+/// Verifies every lane of the batch is row-stochastic (CsrMatrix
+/// semantics: entries >= -tol, row sums within tol of 1); throws
+/// drsm::Error otherwise.  `values[k * lanes + lane]` is nonzero k of
+/// lane `lane`, k in CSR order.
+void check_stochastic_batch(const CsrPattern& pattern,
+                            const std::vector<double>& values,
+                            std::size_t lanes, double tol = 1e-9);
+
+/// Stationary distribution of every lane.  `values` is the lane-major
+/// SoA block described above.  Small chains (pattern.rows <=
+/// options.direct_limit) run one LU solve per lane over a shared dense
+/// workspace; larger chains run a blocked power iteration over the SoA
+/// values with a per-lane convergence mask — a lane that reaches
+/// options.tolerance is frozen at exactly the iterate the scalar solver
+/// would have returned while the remaining lanes continue.
+/// options.initial is ignored (lanes start cold, matching a fresh
+/// scalar solver).
+std::vector<Vector> batched_stationary(const CsrPattern& pattern,
+                                       const std::vector<double>& values,
+                                       std::size_t lanes,
+                                       const StationaryOptions& options = {},
+                                       BatchSolveStats* stats = nullptr);
+
+}  // namespace drsm::linalg

@@ -16,7 +16,6 @@
 // survived the races in flight.
 #include "protocols/detail.h"
 
-#include <deque>
 
 #include "support/error.h"
 
@@ -322,7 +321,7 @@ class IllinoisSequencer final : public ProtocolMachine {
       case Pending::kNone:
         DRSM_CHECK(false, "ILL: flush without recall");
     }
-    std::deque<Message> backlog;
+    std::vector<Message> backlog;
     backlog.swap(deferred_);
     for (const Message& queued : backlog) on_message(ctx, queued);
   }
@@ -335,7 +334,7 @@ class IllinoisSequencer final : public ProtocolMachine {
   Pending pending_ = Pending::kNone;
   bool recall_kept_copy_ = false;
   Message pending_msg_;
-  std::deque<Message> deferred_;
+  std::vector<Message> deferred_;
 };
 
 }  // namespace

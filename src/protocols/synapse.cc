@@ -15,7 +15,6 @@
 //   2S+N+5  (adds RECALL + FLUSH(ui) + NACK + retry)   with a dirty owner.
 #include "protocols/detail.h"
 
-#include <deque>
 
 #include "support/error.h"
 
@@ -204,7 +203,7 @@ class SynapseSequencer final : public ProtocolMachine {
           apply_local_write(ctx, pending_value_, cause.token.object);
           local_op_ = LocalOp::kNone;
         }
-        std::deque<Message> backlog;
+        std::vector<Message> backlog;
         backlog.swap(deferred_);
         for (const Message& queued : backlog) on_message(ctx, queued);
         break;
@@ -285,7 +284,7 @@ class SynapseSequencer final : public ProtocolMachine {
   bool nack_requester_ = false;
   LocalOp local_op_ = LocalOp::kNone;
   Message recall_cause_;
-  std::deque<Message> deferred_;
+  std::vector<Message> deferred_;
 };
 
 }  // namespace

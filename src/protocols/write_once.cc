@@ -15,7 +15,6 @@
 // FLUSH-C (still clean, cost 1).
 #include "protocols/detail.h"
 
-#include <deque>
 
 #include "support/error.h"
 
@@ -345,7 +344,7 @@ class WoSequencer final : public ProtocolMachine {
       case Pending::kNone:
         DRSM_CHECK(false, "WO: flush without recall");
     }
-    std::deque<Message> backlog;
+    std::vector<Message> backlog;
     backlog.swap(deferred_);
     for (const Message& queued : backlog) on_message(ctx, queued);
   }
@@ -356,7 +355,7 @@ class WoSequencer final : public ProtocolMachine {
   NodeId owner_ = kNoNode;
   Pending pending_ = Pending::kNone;
   Message pending_msg_;
-  std::deque<Message> deferred_;
+  std::vector<Message> deferred_;
 };
 
 }  // namespace

@@ -15,7 +15,6 @@
 // p = S/(S+2) - a*sigma*S/(S+2) quoted in Section 5.1.
 #include "protocols/detail.h"
 
-#include <deque>
 
 #include "support/error.h"
 
@@ -160,7 +159,7 @@ class WtvSequencer final : public ProtocolMachine {
                         make_msg(MsgType::kInval, msg.token.initiator,
                                  msg.token.object, ParamPresence::kNone));
         // Drain requests that arrived during the grant window.
-        std::deque<Message> backlog;
+        std::vector<Message> backlog;
         backlog.swap(deferred_);
         for (const Message& pending : backlog) on_message(ctx, pending);
         break;
@@ -207,7 +206,7 @@ class WtvSequencer final : public ProtocolMachine {
   std::uint64_t value_ = 0;
   std::uint64_t version_ = 0;
   bool granting_ = false;
-  std::deque<Message> deferred_;
+  std::vector<Message> deferred_;
 };
 
 }  // namespace

@@ -1,76 +1,16 @@
 #include "sim/event_queue.h"
 
-#include <algorithm>
-
 namespace drsm::sim {
 
 EventQueue::EventQueue(SchedulerKind kind) : kind_(kind) {}
 
-std::uint32_t EventQueue::alloc() {
-  if (free_head_ != kNil) {
-    const std::uint32_t index = free_head_;
-    free_head_ = at(index).link;
-    return index;
-  }
+std::uint32_t EventQueue::alloc_slow() {
   if (blocks_.empty() || bump_ == kBlockEvents) {
     blocks_.push_back(std::make_unique<SimEvent[]>(kBlockEvents));
     bump_ = 0;
   }
   return static_cast<std::uint32_t>((blocks_.size() - 1) * kBlockEvents +
                                     bump_++);
-}
-
-void EventQueue::recycle(std::uint32_t index) {
-  at(index).link = free_head_;
-  free_head_ = index;
-}
-
-void EventQueue::bucket_append(Bucket& bucket, std::uint32_t index) {
-  at(index).link = kNil;
-  if (bucket.head == kNil) {
-    bucket.head = bucket.tail = index;
-  } else {
-    at(bucket.tail).link = index;
-    bucket.tail = index;
-  }
-}
-
-void EventQueue::l0_insert(std::uint32_t index) {
-  // An L0 slot holds a single tick, so its list is the final pop order
-  // for that time and must stay seq-sorted.  Direct schedules arrive in
-  // ascending seq (append fast path); events migrating in from L1 or the
-  // overflow heap may carry older seqs — they were scheduled earlier,
-  // toward a then-distant time — and walk to their sorted spot.
-  Bucket& bucket = l0_[at(index).time & (kL0Slots - 1)];
-  const std::uint64_t seq = at(index).seq;
-  if (bucket.head == kNil || at(bucket.tail).seq < seq) {
-    bucket_append(bucket, index);
-  } else if (seq < at(bucket.head).seq) {
-    at(index).link = bucket.head;
-    bucket.head = index;
-  } else {
-    std::uint32_t prev = bucket.head;
-    while (at(prev).link != kNil && at(at(prev).link).seq < seq)
-      prev = at(prev).link;
-    at(index).link = at(prev).link;
-    at(prev).link = index;
-  }
-  ++l0_size_;
-}
-
-void EventQueue::wheel_insert(std::uint32_t index) {
-  const SimTime time = at(index).time;
-  if (time - cur_ < kL0Slots) {
-    l0_insert(index);
-    ++wheel_size_;
-  } else if ((time >> kL0Bits) - (cur_ >> kL0Bits) < kL1Slots) {
-    // L1 lists need no ordering discipline: cascade() re-files each event
-    // through the seq-sorting l0_insert when its window opens.
-    bucket_append(l1_[(time >> kL0Bits) & (kL1Slots - 1)], index);
-    ++wheel_size_;
-  } else {
-    heap_push(index);
-  }
 }
 
 void EventQueue::cascade() {
@@ -122,60 +62,47 @@ std::uint32_t EventQueue::heap_pop() {
   return index;
 }
 
-SimEvent& EventQueue::schedule(SimTime time) {
-  DRSM_CHECK(time >= cur_, "EventQueue: scheduling into the past");
-  const std::uint32_t index = alloc();
-  SimEvent& event = at(index);
-  event.time = time;
-  event.seq = ++seq_;
-  event.msg_id = 0;
-  ++size_;
-  peak_pending_ = std::max(peak_pending_, size_);
-  if (kind_ == SchedulerKind::kBinaryHeap) {
-    heap_push(index);
-  } else {
-    wheel_insert(index);
+void EventQueue::advance_tick() {
+  // Entered with the tick bucket empty.  An occupied slot at index >= the
+  // cursor's slot always belongs to the current 1024-tick window (an
+  // event can only be filed into L0 while within the horizon, so a
+  // same-window-or-later collision is impossible); slots below the
+  // cursor's hold next-window events and are reached after the boundary
+  // hop + cascade, exactly as the old one-tick scan did.
+  tick_active_ = false;
+  for (;;) {
+    if (wheel_size_ == 0) {
+      // Everything pending sits beyond the old horizon: jump the wheel
+      // to the earliest overflow event and re-home the horizon there.
+      cur_ = at(overflow_.front()).time;
+      refill_from_overflow();
+      continue;
+    }
+    if (l0_size_ != 0) {
+      const std::uint32_t slot = next_occupied_slot(
+          static_cast<std::uint32_t>(cur_ & (kL0Slots - 1)));
+      if (slot != kNil) {
+        Bucket& bucket = l0_[slot];
+        cur_ = at(bucket.head).time;
+        tick_ = bucket;
+        bucket.head = bucket.tail = kNil;
+        l0_bits_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+        tick_active_ = true;
+        return;
+      }
+    }
+    // Current window exhausted; hop straight to the next boundary.
+    cur_ = (cur_ | (kL0Slots - 1)) + 1;
+    cascade();
   }
-  return event;
 }
 
 bool EventQueue::pop(SimEvent& out) {
-  if (size_ == 0) return false;
-  std::uint32_t index;
-  if (kind_ == SchedulerKind::kBinaryHeap) {
-    index = heap_pop();
-    cur_ = at(index).time;
-  } else {
-    for (;;) {
-      if (wheel_size_ == 0) {
-        // Everything pending sits beyond the old horizon: jump the wheel
-        // to the earliest overflow event and re-home the horizon there.
-        cur_ = at(overflow_.front()).time;
-        refill_from_overflow();
-        continue;
-      }
-      if (l0_size_ == 0) {
-        // Current window exhausted; hop straight to the next boundary.
-        cur_ = (cur_ | (kL0Slots - 1)) + 1;
-        cascade();
-        continue;
-      }
-      Bucket& bucket = l0_[cur_ & (kL0Slots - 1)];
-      if (bucket.head != kNil) {
-        index = bucket.head;
-        bucket.head = at(index).link;
-        if (bucket.head == kNil) bucket.tail = kNil;
-        --l0_size_;
-        --wheel_size_;
-        break;
-      }
-      ++cur_;
-      if ((cur_ & (kL0Slots - 1)) == 0) cascade();
-    }
-  }
-  out = at(index);
-  recycle(index);
-  --size_;
+  SimEvent* event = pop_next();
+  if (event == nullptr) return false;
+  out = *event;
+  recycle(pending_);
+  pending_ = kNil;
   return true;
 }
 

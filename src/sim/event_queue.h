@@ -24,7 +24,9 @@
 // footprint is published as the sim.alloc_bytes metric.
 #pragma once
 
+#include <algorithm>
 #include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -81,9 +83,25 @@ class EventQueue {
   /// insertion is safe).  `time` must be >= the last popped time.
   SimEvent& schedule(SimTime time);
 
+  /// Re-files the record handed out by the last pop_next() as a fresh
+  /// event at `time`, instead of recycling it: the record keeps its
+  /// payload fields and receives the same (time, seq) stamp schedule()
+  /// would have produced, so the pop order is exactly as if the caller
+  /// had scheduled a copy — minus the arena round trip and the payload
+  /// copy.  Requires an outstanding pop_next() record (checked); the
+  /// returned reference is that record.
+  SimEvent& refile_pending(SimTime time);
+
   /// Copies the earliest pending event into `out` and recycles its
   /// record.  Returns false when no events are pending.
   bool pop(SimEvent& out);
+
+  /// Zero-copy pop: returns the earliest pending event in place, or
+  /// nullptr when none are pending.  The record stays valid until the
+  /// next pop()/pop_next() call (it is recycled then), so the caller may
+  /// schedule new events while holding the pointer.  Pop order is
+  /// identical to pop().
+  SimEvent* pop_next();
 
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
@@ -120,18 +138,33 @@ class EventQueue {
     return blocks_[index / kBlockEvents][index % kBlockEvents];
   }
 
+  // The per-event path — allocation, filing, tick advance and pop — is
+  // defined inline below the class: the simulator's event loop calls
+  // these a handful of times per simulated event, and keeping them
+  // header-visible lets that loop inline them without LTO.
   std::uint32_t alloc();
   void recycle(std::uint32_t index);
+  /// Common tail of schedule()/refile_pending(): stamp (time, next seq)
+  /// on `index` and file it.
+  SimEvent& file_fresh(std::uint32_t index, SimTime time);
 
   void bucket_append(Bucket& bucket, std::uint32_t index);
   /// Seq-sorted insertion into the one-tick L0 slot for the event's time.
   void l0_insert(std::uint32_t index);
   /// Files an event into L0/L1/overflow according to its time.
   void wheel_insert(std::uint32_t index);
+  /// Allocates a fresh slab when the bump pointer exhausts the last one.
+  std::uint32_t alloc_slow();
   /// Crossing into a new L0 window: spill the L1 slot covering it into
   /// L0, then pull newly in-horizon overflow events into the wheel.
   void cascade();
   void refill_from_overflow();
+  /// First occupied L0 slot index >= `from` (kNil when the rest of the
+  /// current window is empty), via the occupancy bitmap.
+  std::uint32_t next_occupied_slot(std::uint32_t from) const;
+  /// Moves the wheel to the next pending tick and drains that tick's
+  /// whole L0 slot into the tick bucket.  Requires pending wheel events.
+  void advance_tick();
 
   bool heap_later(std::uint32_t a, std::uint32_t b) const;
   void heap_push(std::uint32_t index);
@@ -148,11 +181,162 @@ class EventQueue {
 
   SimTime cur_ = 0;  // last popped time; the wheel cursor
   std::size_t l0_size_ = 0;
-  std::size_t wheel_size_ = 0;  // events filed in L0 + L1
+  std::size_t wheel_size_ = 0;  // events filed in L0 + L1 + tick bucket
   std::array<Bucket, kL0Slots> l0_;
   std::array<Bucket, kL1Slots> l1_;
   std::vector<std::uint32_t> overflow_;  // (time, seq) min-heap of indices
+
+  // Batched-tick drain state.  The tick bucket caches the L0 slot of the
+  // tick currently being popped: advance_tick() moves a whole slot here
+  // in one motion, same-tick schedules append directly (their seq is the
+  // highest yet, so FIFO append preserves (time, seq) order), and pops
+  // take the head without re-touching the wheel.  `pending_` is the
+  // record handed out by the last pop_next(), recycled on the next pop.
+  Bucket tick_;
+  bool tick_active_ = false;
+  std::uint32_t pending_ = kNil;
+  // One bit per L0 slot: set when the slot's list is non-empty.  Lets the
+  // wheel jump to the next pending tick instead of scanning empty slots
+  // one tick at a time (think times average ~64 ticks, so the old scan
+  // visited ~64 empty slots per operation).
+  std::array<std::uint64_t, kL0Slots / 64> l0_bits_{};
 };
+
+// -- inline per-event path ---------------------------------------------------
+
+inline std::uint32_t EventQueue::alloc() {
+  if (free_head_ != kNil) {
+    const std::uint32_t index = free_head_;
+    free_head_ = at(index).link;
+    return index;
+  }
+  return alloc_slow();
+}
+
+inline void EventQueue::recycle(std::uint32_t index) {
+  at(index).link = free_head_;
+  free_head_ = index;
+}
+
+inline void EventQueue::bucket_append(Bucket& bucket, std::uint32_t index) {
+  at(index).link = kNil;
+  if (bucket.head == kNil) {
+    bucket.head = bucket.tail = index;
+  } else {
+    at(bucket.tail).link = index;
+    bucket.tail = index;
+  }
+}
+
+inline void EventQueue::l0_insert(std::uint32_t index) {
+  // An L0 slot holds a single tick, so its list is the final pop order
+  // for that time and must stay seq-sorted.  Direct schedules arrive in
+  // ascending seq (append fast path); events migrating in from L1 or the
+  // overflow heap may carry older seqs — they were scheduled earlier,
+  // toward a then-distant time — and walk to their sorted spot.
+  const std::uint32_t slot =
+      static_cast<std::uint32_t>(at(index).time & (kL0Slots - 1));
+  l0_bits_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+  Bucket& bucket = l0_[slot];
+  const std::uint64_t seq = at(index).seq;
+  if (bucket.head == kNil || at(bucket.tail).seq < seq) {
+    bucket_append(bucket, index);
+  } else if (seq < at(bucket.head).seq) {
+    at(index).link = bucket.head;
+    bucket.head = index;
+  } else {
+    std::uint32_t prev = bucket.head;
+    while (at(prev).link != kNil && at(at(prev).link).seq < seq)
+      prev = at(prev).link;
+    at(index).link = at(prev).link;
+    at(prev).link = index;
+  }
+  ++l0_size_;
+}
+
+inline void EventQueue::wheel_insert(std::uint32_t index) {
+  const SimTime time = at(index).time;
+  if (time - cur_ < kL0Slots) {
+    l0_insert(index);
+    ++wheel_size_;
+  } else if ((time >> kL0Bits) - (cur_ >> kL0Bits) < kL1Slots) {
+    // L1 lists need no ordering discipline: cascade() re-files each event
+    // through the seq-sorting l0_insert when its window opens.
+    bucket_append(l1_[(time >> kL0Bits) & (kL1Slots - 1)], index);
+    ++wheel_size_;
+  } else {
+    heap_push(index);
+  }
+}
+
+inline SimEvent& EventQueue::file_fresh(std::uint32_t index, SimTime time) {
+  SimEvent& event = at(index);
+  event.time = time;
+  event.seq = ++seq_;
+  event.msg_id = 0;
+  ++size_;
+  peak_pending_ = std::max(peak_pending_, size_);
+  if (kind_ == SchedulerKind::kBinaryHeap) {
+    heap_push(index);
+  } else if (tick_active_ && time == cur_) {
+    // Same-tick schedule while that tick is being drained: this record's
+    // seq is the highest yet, so a FIFO append onto the live tick bucket
+    // preserves (time, seq) order without touching the wheel.
+    bucket_append(tick_, index);
+    ++l0_size_;
+    ++wheel_size_;
+  } else {
+    wheel_insert(index);
+  }
+  return event;
+}
+
+inline SimEvent& EventQueue::schedule(SimTime time) {
+  DRSM_CHECK(time >= cur_, "EventQueue: scheduling into the past");
+  return file_fresh(alloc(), time);
+}
+
+inline SimEvent& EventQueue::refile_pending(SimTime time) {
+  DRSM_CHECK(pending_ != kNil, "EventQueue: no outstanding popped record");
+  DRSM_CHECK(time >= cur_, "EventQueue: scheduling into the past");
+  const std::uint32_t index = pending_;
+  pending_ = kNil;
+  return file_fresh(index, time);
+}
+
+inline std::uint32_t EventQueue::next_occupied_slot(std::uint32_t from) const {
+  std::uint32_t word = from >> 6;
+  std::uint64_t bits = l0_bits_[word] & (~std::uint64_t{0} << (from & 63));
+  for (;;) {
+    if (bits != 0)
+      return (word << 6) + static_cast<std::uint32_t>(std::countr_zero(bits));
+    if (++word == l0_bits_.size()) return kNil;
+    bits = l0_bits_[word];
+  }
+}
+
+inline SimEvent* EventQueue::pop_next() {
+  if (pending_ != kNil) {
+    recycle(pending_);
+    pending_ = kNil;
+  }
+  if (size_ == 0) return nullptr;
+  std::uint32_t index;
+  if (kind_ == SchedulerKind::kBinaryHeap) {
+    index = heap_pop();
+    cur_ = at(index).time;
+  } else {
+    if (tick_.head == kNil) advance_tick();
+    index = tick_.head;
+    tick_.head = at(index).link;
+    if (tick_.head == kNil) tick_.tail = kNil;
+    --l0_size_;
+    --wheel_size_;
+  }
+  --size_;
+  pending_ = index;
+  return &at(index);
+}
 
 /// Flat FIFO over a power-of-two buffer; replaces std::deque for the
 /// per-node message queues.  Grows by doubling (to the run's high-water

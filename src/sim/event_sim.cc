@@ -96,15 +96,23 @@ struct EventSimulator::Impl {
   // (time, schedule order) — see sim/event_queue.h.
   EventQueue events;
 
-  // machines[node][object]
-  std::vector<std::vector<std::unique_ptr<fsm::ProtocolMachine>>> machines;
+  // Cached dimensions of the flat matrices below.
+  std::uint32_t num_nodes = 1;
+  std::uint32_t num_objects = 1;
+  NodeId seq_node = 0;  // the sequencer, node num_clients
+
+  // machines[node * num_objects + object]: one flat matrix instead of a
+  // vector-of-vectors, so the hot lookup is one multiply, not two
+  // dependent loads.
+  std::vector<std::unique_ptr<fsm::ProtocolMachine>> machines;
   // Per-node queues and processing state.
   std::vector<RingQueue<Message>> local_queue;
   std::vector<RingQueue<Message>> dist_queue;
-  std::vector<std::vector<bool>> local_disabled;  // [node][object]
-  std::vector<bool> busy;
-  // FIFO channels: latest scheduled delivery per (src, dst).
-  std::vector<std::vector<SimTime>> channel_front;
+  std::vector<std::uint8_t> local_disabled;  // [node * num_objects + object]
+  std::vector<std::uint8_t> busy;            // vector<bool> proxies are slower
+  // FIFO channels: latest scheduled delivery per (src, dst), flat
+  // [src * num_nodes + dst].
+  std::vector<SimTime> channel_front;
 
   // Outstanding application op per node.
   struct Outstanding {
@@ -117,8 +125,9 @@ struct EventSimulator::Impl {
   std::vector<Outstanding> outstanding;
   bool stopped_issuing = false;
 
-  // Coherence checking: last version observed by each node per object.
-  std::vector<std::vector<std::uint64_t>> last_seen_version;
+  // Coherence checking: last version observed by each node per object,
+  // flat [node * num_objects + object].
+  std::vector<std::uint64_t> last_seen_version;
 
   std::uint64_t version_counter = 0;
   std::uint64_t write_value_counter = 0;
@@ -145,9 +154,9 @@ struct EventSimulator::Impl {
   obs::EventSink* external_sink = nullptr;
   std::unique_ptr<ObserverSink> observer_sink;
   CoherenceTap* tap = nullptr;
-  // In-flight message counts per (src, dst); sized only when
-  // options.max_channel_depth bounds the channels.
-  std::vector<std::vector<std::uint32_t>> channel_depth;
+  // In-flight message counts per (src, dst), flat [src * num_nodes + dst];
+  // sized only when options.max_channel_depth bounds the channels.
+  std::vector<std::uint32_t> channel_depth;
   obs::MetricsRegistry* metrics = nullptr;
   obs::TimeSeries* seq_depth_series = nullptr;  // resolved at run start
   obs::TimeSeries* seq_util_series = nullptr;
@@ -179,7 +188,7 @@ struct EventSimulator::Impl {
       impl_.send_message(self_, dest, msg);
     }
 
-    void send_except(const std::vector<NodeId>& excluded,
+    void send_except(std::initializer_list<NodeId> excluded,
                      Message msg) override {
       DRSM_CHECK(std::find(excluded.begin(), excluded.end(), self_) !=
                      excluded.end(),
@@ -201,12 +210,14 @@ struct EventSimulator::Impl {
     void complete_op() override { impl_.on_op_complete(self_, 0); }
 
     void disable_local_queue() override {
-      impl_.local_disabled[self_][impl_.current_object_] = true;
+      impl_.local_disabled[self_ * impl_.num_objects + impl_.current_object_] =
+          1;
       if (impl_.sink != nullptr) [[unlikely]]
         impl_.emit_queue_event(obs::EventKind::kQueueDisable, self_);
     }
     void enable_local_queue() override {
-      impl_.local_disabled[self_][impl_.current_object_] = false;
+      impl_.local_disabled[self_ * impl_.num_objects + impl_.current_object_] =
+          0;
       if (impl_.sink != nullptr) [[unlikely]]
         impl_.emit_queue_event(obs::EventKind::kQueueEnable, self_);
       impl_.try_process(self_);
@@ -234,27 +245,32 @@ struct EventSimulator::Impl {
        const SimOptions& opts)
       : kind(k), config(cfg), options(opts), rng(opts.seed),
         events(opts.scheduler) {
-    const std::size_t nodes = config.num_clients + 1;
-    machines.resize(nodes);
-    for (NodeId node = 0; node < nodes; ++node) {
-      machines[node].reserve(config.num_objects);
+    num_nodes = static_cast<std::uint32_t>(config.num_clients + 1);
+    num_objects = static_cast<std::uint32_t>(config.num_objects);
+    seq_node = static_cast<NodeId>(config.num_clients);
+    const std::size_t nodes = num_nodes;
+    machines.reserve(nodes * config.num_objects);
+    for (NodeId node = 0; node < nodes; ++node)
       for (ObjectId obj = 0; obj < config.num_objects; ++obj)
-        machines[node].push_back(
+        machines.push_back(
             protocols::make_machine(kind, node, config.num_clients));
-    }
     local_queue.resize(nodes);
     dist_queue.resize(nodes);
-    local_disabled.assign(nodes, std::vector<bool>(config.num_objects, false));
-    busy.assign(nodes, false);
-    channel_front.assign(nodes, std::vector<SimTime>(nodes, 0));
+    local_disabled.assign(nodes * config.num_objects, 0);
+    busy.assign(nodes, 0);
+    channel_front.assign(nodes * nodes, 0);
     if (options.max_channel_depth > 0)
-      channel_depth.assign(nodes, std::vector<std::uint32_t>(nodes, 0));
+      channel_depth.assign(nodes * nodes, 0);
     outstanding.resize(nodes);
     cost_by_initiator.assign(nodes, 0.0);
     cost_by_object.assign(config.num_objects, 0.0);
     handled_by_node.assign(nodes, 0);
-    last_seen_version.assign(
-        nodes, std::vector<std::uint64_t>(config.num_objects, 0));
+    last_seen_version.assign(nodes * config.num_objects, 0);
+    if (options.latency.max_latency > options.latency.min_latency) {
+      latency_range =
+          options.latency.max_latency - options.latency.min_latency + 1;
+      latency_threshold = (~latency_range + 1) % latency_range;
+    }
   }
 
   // Typed scheduling: every former closure is one POD record.  Payloads
@@ -284,11 +300,22 @@ struct EventSimulator::Impl {
     event.op = op.kind;
   }
 
+  // Channel latency draw, one per inter-node send.  The range and the
+  // Lemire rejection threshold are constants of the run, precomputed at
+  // construction: this is Rng::uniform_index unrolled with the two
+  // per-call 64-bit divisions for the threshold hoisted out (the result
+  // sequence is bit-identical — same raw draws, same rejections, same
+  // modulus).
+  std::uint64_t latency_range = 0;      // 0 = constant latency
+  std::uint64_t latency_threshold = 0;  // (2^64 - range) mod range
+
   SimTime draw_latency() {
-    const auto& l = options.latency;
-    if (l.max_latency <= l.min_latency) return l.min_latency;
-    return l.min_latency +
-           rng.uniform_index(l.max_latency - l.min_latency + 1);
+    if (latency_range == 0) return options.latency.min_latency;
+    for (;;) {
+      const std::uint64_t r = rng.next();
+      if (r >= latency_threshold)
+        return options.latency.min_latency + r % latency_range;
+    }
   }
 
   [[gnu::cold, gnu::noinline]] void emit_op_event(obs::EventKind kind_,
@@ -350,31 +377,65 @@ struct EventSimulator::Impl {
     if (msg.token.object < cost_by_object.size())
       cost_by_object[msg.token.object] += cost;
     if (!channel_depth.empty()) {
-      DRSM_CHECK(++channel_depth[src][dst] <= options.max_channel_depth,
+      DRSM_CHECK(++channel_depth[src * num_nodes + dst] <=
+                     options.max_channel_depth,
                  strfmt("channel %u->%u exceeded its depth bound", src, dst));
     }
     // FIFO channel: never deliver before the previously sent message.
     SimTime arrival = now + draw_latency();
-    arrival = std::max(arrival, channel_front[src][dst]);
-    channel_front[src][dst] = arrival;
-    if (sink == nullptr && seq_depth_series == nullptr) [[likely]] {
-      // Observability detached: deliveries carry no message id and skip
-      // the per-delivery trace checks.
+    arrival = std::max(arrival, channel_front[src * num_nodes + dst]);
+    channel_front[src * num_nodes + dst] = arrival;
+    if (sink == nullptr) [[likely]] {
+      // Tracing detached: deliveries carry no message id and skip the
+      // per-delivery trace emission (queue-depth sampling, when a metrics
+      // registry is attached, happens in route() and needs no id).
       schedule_deliver(arrival - now, dst, msg, /*msg_id=*/0);
       return;
     }
     const std::uint64_t id = ++msg_seq;
-    if (sink != nullptr)
-      emit_message_event(obs::EventKind::kMsgSend, src, dst, msg, id, cost);
+    emit_message_event(obs::EventKind::kMsgSend, src, dst, msg, id, cost);
     schedule_deliver(arrival - now, dst, msg, id);
   }
 
-  /// Delivery tail shared by the traced and untraced paths.
-  void route(NodeId dst, const Message& msg) {
+  /// Delivery tail shared by the traced and untraced paths.  When
+  /// kRefilePending is set the caller guarantees `msg` lives inside the
+  /// record handed out by the queue's last pop_next(): the idle-node fast
+  /// path then re-files that record as the kProcess event in place (same
+  /// (time, seq) stamp schedule() would assign, payload already there)
+  /// instead of allocating and copying a fresh one.
+  template <bool kRefilePending>
+  void route_impl(NodeId dst, const Message& msg) {
+    if (seq_depth_series != nullptr) [[unlikely]] {
+      // Sequencer queue-depth/utilization sampling, one sample per
+      // inter-node delivery to the sequencer (self-sends are local
+      // actions, never sampled), taken before the enqueue below — the
+      // same points and values the traced path used to record.
+      if (dst == seq_node && msg.sender != dst) sample_sequencer_series(dst);
+    }
     if (!channel_depth.empty() && msg.sender != dst)
-      --channel_depth[msg.sender][dst];
-    dist_queue[dst].push_back(msg);
+      --channel_depth[msg.sender * num_nodes + dst];
+    RingQueue<Message>& queue = dist_queue[dst];
+    if (!busy[dst] && queue.empty()) {
+      // The delivery is the only runnable work at dst: start processing
+      // directly, skipping the enqueue/dequeue round trip.
+      busy[dst] = 1;
+      if constexpr (kRefilePending) {
+        SimEvent& event =
+            events.refile_pending(now + options.latency.processing_time);
+        event.type = SimEventType::kProcess;
+        // event.node and event.msg already hold dst and the payload —
+        // the re-filed record is the delivery record itself.
+      } else {
+        schedule_process(dst, msg);
+      }
+      return;
+    }
+    queue.push_back(msg);
     try_process(dst);
+  }
+
+  void route(NodeId dst, const Message& msg) {
+    route_impl<false>(dst, msg);
   }
 
   [[gnu::cold, gnu::noinline]] void deliver_traced(NodeId dst,
@@ -383,28 +444,25 @@ struct EventSimulator::Impl {
     if (sink != nullptr)
       emit_message_event(obs::EventKind::kMsgRecv, dst, msg.sender, msg,
                          msg_id, config.costs.message_cost(msg.token.params));
-    if (seq_depth_series != nullptr &&
-        dst == static_cast<NodeId>(config.num_clients))
-      sample_sequencer_series(dst);
     route(dst, msg);
   }
 
   void try_process(NodeId node) {
     if (busy[node]) return;
-    Message msg;
-    if (!dist_queue[node].empty()) {
-      msg = dist_queue[node].front();
-      dist_queue[node].pop_front();
-    } else if (!local_queue[node].empty() &&
-               !local_disabled[node]
-                              [local_queue[node].front().token.object]) {
-      msg = local_queue[node].front();
-      local_queue[node].pop_front();
-    } else {
+    RingQueue<Message>& dq = dist_queue[node];
+    if (!dq.empty()) {
+      busy[node] = 1;
+      schedule_process(node, dq.front());
+      dq.pop_front();
       return;
     }
-    busy[node] = true;
-    schedule_process(node, msg);
+    RingQueue<Message>& lq = local_queue[node];
+    if (!lq.empty() &&
+        !local_disabled[node * num_objects + lq.front().token.object]) {
+      busy[node] = 1;
+      schedule_process(node, lq.front());
+      lq.pop_front();
+    }
   }
 
   void handle(NodeId node, const Message& msg) {
@@ -414,7 +472,7 @@ struct EventSimulator::Impl {
     DRSM_CHECK(current_object_ < config.num_objects, "bad object id");
     Ctx ctx(*this, node);
     if (sink == nullptr) {
-      machines[node][current_object_]->on_message(ctx, msg);
+      machines[node * num_objects + current_object_]->on_message(ctx, msg);
       return;
     }
     handle_traced(ctx, node, msg);
@@ -422,7 +480,8 @@ struct EventSimulator::Impl {
 
   [[gnu::cold, gnu::noinline]] void handle_traced(Ctx& ctx, NodeId node,
                                                   const Message& msg) {
-    fsm::ProtocolMachine& machine = *machines[node][current_object_];
+    fsm::ProtocolMachine& machine =
+        *machines[node * num_objects + current_object_];
     const char* before = machine.state_name();
     const ObjectId object = current_object_;
     machine.on_message(ctx, msg);
@@ -476,13 +535,30 @@ struct EventSimulator::Impl {
                           request.value);
 
     // Client application requests enter the local queue; the sequencer's
-    // enter its distributed queue (Section 2).
-    if (node == static_cast<NodeId>(config.num_clients)) {
+    // enter its distributed queue (Section 2).  When the node is idle and
+    // the request would be the next message dequeued anyway, it goes
+    // straight to processing — identical to push-then-try_process, which
+    // pops this very message in that situation, minus the queue round
+    // trip.
+    if (node == seq_node) {
       request.token.queue = QueueKind::kDistributed;
-      dist_queue[node].push_back(request);
+      RingQueue<Message>& dq = dist_queue[node];
+      if (!busy[node] && dq.empty()) {
+        busy[node] = 1;
+        schedule_process(node, request);
+        return;
+      }
+      dq.push_back(request);
     } else {
       request.token.queue = QueueKind::kLocal;
-      local_queue[node].push_back(request);
+      RingQueue<Message>& lq = local_queue[node];
+      if (!busy[node] && dist_queue[node].empty() && lq.empty() &&
+          !local_disabled[node * num_objects + request.token.object]) {
+        busy[node] = 1;
+        schedule_process(node, request);
+        return;
+      }
+      lq.push_back(request);
     }
     try_process(node);
   }
@@ -493,11 +569,12 @@ struct EventSimulator::Impl {
       tap->on_read(static_cast<double>(now), node, current_object_, value,
                    version);
     if (options.check_coherence) {
-      const ObjectId obj = current_object_;
-      DRSM_CHECK(version >= last_seen_version[node][obj] || version == 0,
+      std::uint64_t& seen = last_seen_version[node * num_objects +
+                                              current_object_];
+      DRSM_CHECK(version >= seen || version == 0,
                  strfmt("coherence: node %u saw version regress on object %u",
-                        node, obj));
-      if (version > 0) last_seen_version[node][obj] = version;
+                        node, current_object_));
+      if (version > 0) seen = version;
     }
     on_op_complete(node, version);
   }
@@ -536,6 +613,34 @@ struct EventSimulator::Impl {
     issue_next(node);
   }
 
+  // -- dense event dispatch ------------------------------------------------
+  // One flat handler per SimEventType, indexed directly by the type tag.
+  // The table replaces the per-event switch in the hot loop: the indirect
+  // call is unconditionally predicted-taken and each handler body stays
+  // small enough to inline its own fast paths.
+  static void dispatch_deliver(Impl& self, SimEvent& ev) {
+    if (ev.msg_id != 0) [[unlikely]]
+      self.deliver_traced(ev.node, ev.msg, ev.msg_id);
+    else
+      self.route_impl<true>(ev.node, ev.msg);
+  }
+
+  static void dispatch_process(Impl& self, SimEvent& ev) {
+    const NodeId node = ev.node;
+    self.handle(node, ev.msg);
+    self.busy[node] = 0;
+    self.try_process(node);
+  }
+
+  static void dispatch_start_op(Impl& self, SimEvent& ev) {
+    if (!self.stopped_issuing)
+      self.start_op(ev.node, {ev.object, ev.op, /*think_time=*/0});
+  }
+
+  static constexpr std::array<void (*)(Impl&, SimEvent&), 3> kDispatch = {
+      &Impl::dispatch_deliver, &Impl::dispatch_process,
+      &Impl::dispatch_start_op};
+
   SimStats run(WorkloadDriver& wl) {
     driver = &wl;
     if (metrics != nullptr) {
@@ -550,26 +655,42 @@ struct EventSimulator::Impl {
     // traces (e.g. invalidations behind a fire-and-forget write) still
     // execute and are charged, so measured costs cover whole traces.
     const auto wall_start = std::chrono::steady_clock::now();
-    SimEvent ev;
-    while (events.pop(ev)) {
-      DRSM_CHECK(ev.time >= now, "time went backwards");
-      now = ev.time;
-      switch (ev.type) {
-        case SimEventType::kDeliver:
-          if (ev.msg_id != 0) [[unlikely]]
-            deliver_traced(ev.node, ev.msg, ev.msg_id);
-          else
-            route(ev.node, ev.msg);
-          break;
-        case SimEventType::kProcess:
-          handle(ev.node, ev.msg);
-          busy[ev.node] = false;
-          try_process(ev.node);
-          break;
-        case SimEventType::kStartOp:
-          if (!stopped_issuing)
-            start_op(ev.node, {ev.object, ev.op, /*think_time=*/0});
-          break;
+    if (options.dispatch == DispatchKind::kDenseTable) {
+      // Production loop: zero-copy batched-tick pops (the queue hands out
+      // whole one-tick FIFOs without re-touching the wheel) driven
+      // through a flat function-pointer table indexed by the event type.
+      // The popped record stays valid for the whole handler call — the
+      // arena recycles it on the next pop — so the Message payload is
+      // never copied out of the queue.
+      while (SimEvent* ev = events.pop_next()) {
+        DRSM_CHECK(ev->time >= now, "time went backwards");
+        now = ev->time;
+        kDispatch[static_cast<std::size_t>(ev->type)](*this, *ev);
+      }
+    } else {
+      // Reference loop: per-event copy-out switch, kept as the
+      // differential baseline for tests/sim_determinism_test.cc.
+      SimEvent ev;
+      while (events.pop(ev)) {
+        DRSM_CHECK(ev.time >= now, "time went backwards");
+        now = ev.time;
+        switch (ev.type) {
+          case SimEventType::kDeliver:
+            if (ev.msg_id != 0) [[unlikely]]
+              deliver_traced(ev.node, ev.msg, ev.msg_id);
+            else
+              route(ev.node, ev.msg);
+            break;
+          case SimEventType::kProcess:
+            handle(ev.node, ev.msg);
+            busy[ev.node] = 0;
+            try_process(ev.node);
+            break;
+          case SimEventType::kStartOp:
+            if (!stopped_issuing)
+              start_op(ev.node, {ev.object, ev.op, /*think_time=*/0});
+            break;
+        }
       }
     }
     // Wall-clock throughput of the event loop.  Only ever published as a
@@ -688,9 +809,9 @@ SimStats EventSimulator::run(WorkloadDriver& driver) {
 }
 
 const char* EventSimulator::state_name(NodeId node, ObjectId object) const {
-  DRSM_CHECK(node < impl_->machines.size(), "node out of range");
-  DRSM_CHECK(object < impl_->machines[node].size(), "object out of range");
-  return impl_->machines[node][object]->state_name();
+  DRSM_CHECK(node < impl_->num_nodes, "node out of range");
+  DRSM_CHECK(object < impl_->num_objects, "object out of range");
+  return impl_->machines[node * impl_->num_objects + object]->state_name();
 }
 
 }  // namespace drsm::sim

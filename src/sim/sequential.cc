@@ -55,7 +55,7 @@ class SequentialRuntime::Context final : public fsm::MachineContext {
     rt_.network_.push_back({dest, msg, id});
   }
 
-  void send_except(const std::vector<NodeId>& excluded,
+  void send_except(std::initializer_list<NodeId> excluded,
                    Message msg) override {
     DRSM_CHECK(std::find(excluded.begin(), excluded.end(), self_) !=
                    excluded.end(),

@@ -128,7 +128,7 @@ class ThreadedCtx final : public fsm::MachineContext {
     }
   }
 
-  void send_except(const std::vector<NodeId>& excluded,
+  void send_except(std::initializer_list<NodeId> excluded,
                    Message msg) override {
     for (NodeId node = 0; node < num_nodes(); ++node) {
       bool skip = false;

@@ -113,6 +113,8 @@ ConcurrentDriver::ConcurrentDriver(const WorkloadSpec& spec,
     mix_[n].write_fraction = write_prob[n] / total_prob[n];
     mix_[n].rate = total_prob[n] / mean_think_time_;
   }
+  if (!object_sampler_.has_value() && num_objects_ > 1)
+    object_threshold_ = (~std::uint64_t{num_objects_} + 1) % num_objects_;
 }
 
 std::optional<sim::WorkloadDriver::Op> ConcurrentDriver::next_op(NodeId node) {
@@ -122,11 +124,17 @@ std::optional<sim::WorkloadDriver::Op> ConcurrentDriver::next_op(NodeId node) {
                                                       : OpKind::kRead;
   if (object_sampler_.has_value()) {
     op.object = static_cast<ObjectId>(object_sampler_->sample(rng_));
+  } else if (num_objects_ == 1) {
+    op.object = 0;
   } else {
-    op.object =
-        num_objects_ == 1
-            ? 0
-            : static_cast<ObjectId>(rng_.uniform_index(num_objects_));
+    // Rng::uniform_index(num_objects_) with the precomputed threshold.
+    for (;;) {
+      const std::uint64_t r = rng_();
+      if (r >= object_threshold_) {
+        op.object = static_cast<ObjectId>(r % num_objects_);
+        break;
+      }
+    }
   }
   const double think = rng_.exponential(mix_[node].rate);
   op.think_time = static_cast<SimTime>(std::llround(std::ceil(think)));

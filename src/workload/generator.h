@@ -102,6 +102,10 @@ class ConcurrentDriver final : public sim::WorkloadDriver {
   std::size_t num_objects_;
   double mean_think_time_;
   std::optional<CategoricalSampler> object_sampler_;  // empty = uniform
+  // Rng::uniform_index(num_objects_) with its per-call rejection
+  // threshold hoisted to construction (one object draw per operation;
+  // the draw sequence is bit-identical to the library call).
+  std::uint64_t object_threshold_ = 0;  // (2^64 - num_objects_) mod it
 };
 
 /// Replays a recorded trace through the discrete-event simulator,

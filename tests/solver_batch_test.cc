@@ -1,0 +1,251 @@
+// Differential suite for the batched SoA analytic solver.
+//
+// The contract under test (linalg/batch.h, analytic/chain.h): every lane
+// of a batched solve is bit-for-bit the value the scalar path computes
+// for that lane on a freshly built solver — same reachability, same CSR
+// duplicate summation order, same LU or power-iteration arithmetic, same
+// per-lane convergence cut-off.  "Close" is not good enough here: the
+// bench baselines are gated bit-identically by tools/drsm_bench_diff, so
+// any batched/scalar divergence, however small, is a regression.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analytic/solver.h"
+#include "exec/batched_sweep.h"
+#include "linalg/batch.h"
+#include "linalg/sparse.h"
+#include "linalg/stationary.h"
+#include "protocols/protocol.h"
+#include "support/rng.h"
+#include "workload/spec.h"
+
+namespace drsm {
+namespace {
+
+using protocols::ProtocolKind;
+
+// The Table-6/7 grid: p and sigma in {0.0, 0.2, ..., 1.0}, cells with
+// p + a*sigma > 1 invalid.
+std::vector<std::pair<double, double>> table_grid(std::size_t a) {
+  std::vector<std::pair<double, double>> cells;
+  for (double p = 0.0; p <= 1.0 + 1e-12; p += 0.2)
+    for (double sigma = 0.0; sigma <= 1.0 + 1e-12; sigma += 0.2)
+      if (p + static_cast<double>(a) * sigma <= 1.0 + 1e-12)
+        cells.push_back({p, sigma});
+  return cells;
+}
+
+// Scalar reference: a fresh solver per cell, exactly how the bench's
+// per-cell phases construct theirs (cold solves, no warm-start history).
+double scalar_acc(const sim::SystemConfig& config, ProtocolKind kind,
+                  const workload::WorkloadSpec& spec) {
+  analytic::AccSolver solver(config);
+  return solver.acc(kind, spec);
+}
+
+TEST(SolverBatch, BitIdenticalToScalarAllProtocolsTable7Grid) {
+  const sim::SystemConfig config{3, {100.0, 30.0}, 1};
+  constexpr std::size_t kA = 2;
+  for (ProtocolKind kind : protocols::kAllProtocols) {
+    std::vector<workload::WorkloadSpec> specs;
+    for (const auto& [p, sigma] : table_grid(kA))
+      specs.push_back(workload::read_disturbance(p, sigma, kA));
+
+    analytic::AccSolver solver(config);
+    const std::vector<double> batched = solver.acc_batch(kind, specs);
+    ASSERT_EQ(batched.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const double scalar = scalar_acc(config, kind, specs[i]);
+      EXPECT_EQ(batched[i], scalar)
+          << protocols::to_string(kind) << " cell " << i
+          << ": batched=" << batched[i] << " scalar=" << scalar;
+    }
+  }
+}
+
+TEST(SolverBatch, BitIdenticalOnWriteDisturbanceGrid) {
+  const sim::SystemConfig config{3, {100.0, 30.0}, 1};
+  constexpr std::size_t kA = 2;
+  for (ProtocolKind kind : protocols::kAllProtocols) {
+    std::vector<workload::WorkloadSpec> specs;
+    for (const auto& [p, xi] : table_grid(kA))
+      specs.push_back(workload::write_disturbance(p, xi, kA));
+    analytic::AccSolver solver(config);
+    const std::vector<double> batched = solver.acc_batch(kind, specs);
+    for (std::size_t i = 0; i < specs.size(); ++i)
+      EXPECT_EQ(batched[i], scalar_acc(config, kind, specs[i]))
+          << protocols::to_string(kind) << " cell " << i;
+  }
+}
+
+// Batch results must not depend on cell order (no warm-start coupling):
+// a reversed batch returns the same bits for every cell.
+TEST(SolverBatch, OrderIndependentWithinBatch) {
+  const sim::SystemConfig config{3, {100.0, 30.0}, 1};
+  std::vector<workload::WorkloadSpec> specs;
+  for (const auto& [p, sigma] : table_grid(2))
+    specs.push_back(workload::read_disturbance(p, sigma, 2));
+  std::vector<workload::WorkloadSpec> reversed(specs.rbegin(), specs.rend());
+
+  analytic::AccSolver forward(config);
+  analytic::AccSolver backward(config);
+  const auto f = forward.acc_batch(ProtocolKind::kWriteOnce, specs);
+  const auto b = backward.acc_batch(ProtocolKind::kWriteOnce, reversed);
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    EXPECT_EQ(f[i], b[specs.size() - 1 - i]);
+}
+
+// BatchedSweepRunner fans a mixed-protocol grid and must place each
+// cell's scalar-identical result in its own slot at any thread count.
+TEST(SolverBatch, BatchedSweepRunnerMatchesScalarAtAnyThreadCount) {
+  const sim::SystemConfig config{3, {100.0, 30.0}, 1};
+  std::vector<exec::AnalyticCell> cells;
+  for (ProtocolKind kind :
+       {ProtocolKind::kWriteOnce, ProtocolKind::kWriteThroughV,
+        ProtocolKind::kDragon}) {
+    for (const auto& [p, sigma] : table_grid(2))
+      cells.push_back({kind, workload::read_disturbance(p, sigma, 2)});
+  }
+  std::vector<double> reference;
+  for (const auto& cell : cells)
+    reference.push_back(scalar_acc(config, cell.kind, cell.spec));
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    analytic::AccSolver solver(config);
+    exec::BatchedSweepRunner runner({.threads = threads});
+    const std::vector<double> got = runner.acc_grid(solver, cells);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      EXPECT_EQ(got[i], reference[i]) << "cell " << i;
+  }
+}
+
+// Batch telemetry decomposes the grid: every lane accounted for, masks
+// grouped, and the Table-7 chains small enough for the LU path.
+TEST(SolverBatch, TelemetryAccountsForAllLanes) {
+  const sim::SystemConfig config{3, {100.0, 30.0}, 1};
+  std::vector<workload::WorkloadSpec> specs;
+  for (const auto& [p, sigma] : table_grid(2))
+    specs.push_back(workload::read_disturbance(p, sigma, 2));
+
+  analytic::AccSolver solver(config);
+  const analytic::ProtocolChain& chain =
+      solver.chain(ProtocolKind::kWriteOnce, specs.front());
+  std::vector<std::vector<double>> probs;
+  for (const auto& spec : specs) probs.push_back(spec.probabilities());
+
+  analytic::ProtocolChain::BatchTelemetry tel;
+  chain.average_cost_batch(probs, &tel);
+  EXPECT_EQ(tel.lanes, specs.size());
+  EXPECT_GE(tel.groups, 1u);
+  EXPECT_LE(tel.groups, specs.size());
+  EXPECT_EQ(tel.direct_lanes, specs.size());  // N=3 chains are tiny
+  EXPECT_EQ(tel.power_iterations, 0u);
+  EXPECT_GT(tel.max_states, 0u);
+}
+
+// The linalg kernel itself, power path included: a random batch of
+// row-stochastic matrices above direct_limit must reproduce the scalar
+// power iteration bit-for-bit, each lane frozen at its own convergence.
+TEST(SolverBatch, BatchedStationaryPowerPathBitIdentical) {
+  constexpr std::size_t kStates = 40;
+  constexpr std::size_t kLanes = 7;
+  Rng rng(20260809);
+
+  // One shared ring-plus-self-loop sparsity pattern.
+  linalg::CsrPattern pattern;
+  pattern.rows = pattern.cols = kStates;
+  pattern.row_ptr.push_back(0);
+  for (std::size_t r = 0; r < kStates; ++r) {
+    pattern.col_idx.push_back(r);
+    pattern.col_idx.push_back((r + 1) % kStates);
+    pattern.col_idx.push_back((r + 7) % kStates);
+    pattern.row_ptr.push_back(pattern.col_idx.size());
+  }
+  const std::size_t nnz = pattern.nonzeros();
+
+  // Lane-major SoA values, rows normalized to sum to 1.
+  std::vector<double> values(nnz * kLanes);
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    for (std::size_t r = 0; r < kStates; ++r) {
+      double w[3];
+      double sum = 0.0;
+      for (double& v : w) {
+        v = 0.05 + rng.uniform();
+        sum += v;
+      }
+      for (std::size_t j = 0; j < 3; ++j)
+        values[(pattern.row_ptr[r] + j) * kLanes + lane] = w[j] / sum;
+    }
+  }
+
+  linalg::StationaryOptions options;
+  options.direct_limit = 8;  // force the power path
+  linalg::BatchSolveStats stats;
+  const std::vector<linalg::Vector> batched =
+      linalg::batched_stationary(pattern, values, kLanes, options, &stats);
+  EXPECT_FALSE(stats.direct);
+  EXPECT_GT(stats.total_iterations, 0u);
+  EXPECT_GE(stats.max_iterations, stats.total_iterations / kLanes);
+
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    std::vector<linalg::Triplet> trip;
+    for (std::size_t r = 0; r < kStates; ++r)
+      for (std::size_t k = pattern.row_ptr[r]; k < pattern.row_ptr[r + 1];
+           ++k)
+        trip.push_back({r, pattern.col_idx[k], values[k * kLanes + lane]});
+    const linalg::CsrMatrix m(kStates, kStates, std::move(trip));
+    const linalg::Vector scalar =
+        linalg::stationary_distribution(m, options);
+    ASSERT_EQ(batched[lane].size(), scalar.size());
+    for (std::size_t i = 0; i < scalar.size(); ++i)
+      EXPECT_EQ(batched[lane][i], scalar[i]) << "lane " << lane << " state "
+                                             << i;
+  }
+}
+
+// Direct path of the kernel: small matrices must match the scalar LU
+// solve bit-for-bit.
+TEST(SolverBatch, BatchedStationaryDirectPathBitIdentical) {
+  linalg::CsrPattern pattern;
+  pattern.rows = pattern.cols = 3;
+  pattern.row_ptr = {0, 2, 4, 6};
+  pattern.col_idx = {0, 1, 1, 2, 0, 2};
+  const std::size_t lanes = 3;
+  std::vector<double> values(pattern.nonzeros() * lanes);
+  const double lane_p[lanes] = {0.25, 0.5, 0.75};
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const double p = lane_p[lane];
+    const double row[6] = {1 - p, p, 1 - p, p, p, 1 - p};
+    for (std::size_t k = 0; k < 6; ++k)
+      values[k * lanes + lane] = row[k];
+  }
+  const std::vector<linalg::Vector> batched =
+      linalg::batched_stationary(pattern, values, lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const double p = lane_p[lane];
+    std::vector<linalg::Triplet> trip = {{0, 0, 1 - p}, {0, 1, p},
+                                         {1, 1, 1 - p}, {1, 2, p},
+                                         {2, 0, p},     {2, 2, 1 - p}};
+    const linalg::Vector scalar = linalg::stationary_distribution(
+        linalg::CsrMatrix(3, 3, std::move(trip)), {});
+    for (std::size_t i = 0; i < 3; ++i)
+      EXPECT_EQ(batched[lane][i], scalar[i]);
+  }
+}
+
+TEST(SolverBatch, RejectsNonStochasticBatch) {
+  linalg::CsrPattern pattern;
+  pattern.rows = pattern.cols = 2;
+  pattern.row_ptr = {0, 2, 4};
+  pattern.col_idx = {0, 1, 0, 1};
+  std::vector<double> values = {0.5, 0.9, 0.5, 0.4, 0.5, 0.1, 0.5, 0.2};
+  EXPECT_THROW(linalg::check_stochastic_batch(pattern, values, 2), Error);
+  values = {0.5, 0.9, 0.5, 0.1, 0.5, 0.1, 0.5, 0.9};
+  EXPECT_NO_THROW(linalg::check_stochastic_batch(pattern, values, 2));
+}
+
+}  // namespace
+}  // namespace drsm

@@ -11,15 +11,20 @@
 //  * wall time — the fresh report's total wall_ms must stay within
 //    --max-wall-ratio times the baseline (default 5.0: generous, because
 //    bench hosts vary wildly; the gate catches order-of-magnitude
-//    regressions, not percent-level ones).  Ratio checks are skipped when
-//    either wall_ms is missing or zero.
+//    regressions, not percent-level ones).  The same ratio limit applies
+//    to every phase's wall_ms in the "phases" object, so a regression
+//    confined to one phase can't hide inside an otherwise-fast total.
+//    Ratio checks are skipped when either side's wall_ms is missing or
+//    zero (and, for phases, below --min-phase-ms — sub-millisecond
+//    phases are all scheduler noise).
 //
 // Exit codes: 0 = pass, 1 = usage / I/O / parse error, 2 = accuracy
 // mismatch, 3 = wall-time regression.
 //
 // Usage:
 //   drsm_bench_diff --baseline=OLD.json --fresh=NEW.json
-//                   [--max-wall-ratio=R] [--acc-tol=T] [--quiet]
+//                   [--max-wall-ratio=R] [--acc-tol=T]
+//                   [--min-phase-ms=MS] [--quiet]
 
 #include <algorithm>
 #include <cmath>
@@ -40,14 +45,16 @@ struct Args {
   std::string baseline;
   std::string fresh;
   double max_wall_ratio = 5.0;
-  double acc_tol = 0.0;  // 0 = bit equality
+  double acc_tol = 0.0;       // 0 = bit equality
+  double min_phase_ms = 1.0;  // phases faster than this are not gated
   bool quiet = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --baseline=OLD.json --fresh=NEW.json "
-               "[--max-wall-ratio=R] [--acc-tol=T] [--quiet]\n",
+               "[--max-wall-ratio=R] [--acc-tol=T] [--min-phase-ms=MS] "
+               "[--quiet]\n",
                argv0);
   std::exit(1);
 }
@@ -67,6 +74,8 @@ Args parse(int argc, char** argv) {
       args.max_wall_ratio = std::stod(value("--max-wall-ratio="));
     } else if (arg.rfind("--acc-tol=", 0) == 0) {
       args.acc_tol = std::stod(value("--acc-tol="));
+    } else if (arg.rfind("--min-phase-ms=", 0) == 0) {
+      args.min_phase_ms = std::stod(value("--min-phase-ms="));
     } else if (arg == "--quiet") {
       args.quiet = true;
     } else {
@@ -119,6 +128,44 @@ double wall_ms(const obs::JsonValue& report) {
   return wall == nullptr ? 0.0 : wall->as_number();
 }
 
+/// One phase's wall-time comparison (baseline vs fresh, same phase name).
+struct PhaseWall {
+  std::string name;
+  double base_ms = 0.0;
+  double fresh_ms = 0.0;
+};
+
+/// Pairs up per-phase wall_ms values from both reports' "phases" objects,
+/// in baseline document order.  Phases missing on either side (renamed or
+/// added — a schema change, not a perf regression) are skipped.
+std::vector<PhaseWall> collect_phase_walls(const obs::JsonValue& baseline,
+                                           const obs::JsonValue& fresh) {
+  std::vector<PhaseWall> out;
+  const obs::JsonValue* base_phases = baseline.find("phases");
+  const obs::JsonValue* fresh_phases = fresh.find("phases");
+  if (base_phases == nullptr || !base_phases->is_object() ||
+      fresh_phases == nullptr || !fresh_phases->is_object()) {
+    return out;
+  }
+  for (std::size_t i = 0; i < base_phases->size(); ++i) {
+    const std::string& name = base_phases->key(i);
+    const obs::JsonValue& base_phase = base_phases->at(i);
+    const obs::JsonValue* fresh_phase = fresh_phases->find(name);
+    if (!base_phase.is_object() || fresh_phase == nullptr ||
+        !fresh_phase->is_object()) {
+      continue;
+    }
+    const obs::JsonValue* base_wall = base_phase.find("wall_ms");
+    const obs::JsonValue* fresh_wall = fresh_phase->find("wall_ms");
+    if (base_wall == nullptr || !base_wall->is_number() ||
+        fresh_wall == nullptr || !fresh_wall->is_number()) {
+      continue;
+    }
+    out.push_back({name, base_wall->as_number(), fresh_wall->as_number()});
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -168,7 +215,25 @@ int main(int argc, char** argv) try {
   const double fresh_wall = wall_ms(fresh);
   const double ratio =
       base_wall > 0.0 && fresh_wall > 0.0 ? fresh_wall / base_wall : 0.0;
-  const bool wall_regressed = ratio > args.max_wall_ratio;
+  bool wall_regressed = ratio > args.max_wall_ratio;
+
+  // Per-phase gate: same ratio limit, applied to every phase big enough
+  // to measure on both sides.
+  const std::vector<PhaseWall> phases = collect_phase_walls(baseline, fresh);
+  std::size_t phase_regressions = 0;
+  for (const PhaseWall& phase : phases) {
+    if (phase.base_ms < args.min_phase_ms || phase.fresh_ms <= 0.0) continue;
+    const double phase_ratio = phase.fresh_ms / phase.base_ms;
+    if (phase_ratio > args.max_wall_ratio) {
+      std::fprintf(stderr,
+                   "FAIL: phase %s: baseline %.1f ms, fresh %.1f ms, "
+                   "ratio %.2f > %.2f\n",
+                   phase.name.c_str(), phase.base_ms, phase.fresh_ms,
+                   phase_ratio, args.max_wall_ratio);
+      ++phase_regressions;
+      wall_regressed = true;
+    }
+  }
 
   if (!args.quiet) {
     std::printf("bench diff: %s vs %s\n", args.baseline.c_str(),
@@ -184,6 +249,8 @@ int main(int argc, char** argv) try {
                   base_wall, fresh_wall, ratio, args.max_wall_ratio);
     else
       std::printf("  wall: not comparable (missing wall_ms)\n");
+    std::printf("  phases: %zu compared, %zu regression(s)\n",
+                phases.size(), phase_regressions);
   }
 
   if (mismatches > 0) {
