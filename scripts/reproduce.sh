@@ -29,10 +29,14 @@ fi
 # One verification pass under ThreadSanitizer as well: the checker and
 # oracle share the simulator hot path, so a data race in the tap wiring
 # would surface here.  Reduced configuration — TSan is ~10x slower.
+# --threads=4 forces the parallel frontier (per-depth workers over the
+# lock-free visited set) even on small hosts, so the CAS-claim and
+# snapshot-merge paths run under TSan every time.
 if [ "${DRSM_SKIP_TSAN:-0}" != "1" ]; then
   cmake -B build-tsan -G Ninja -DDRSM_SANITIZE=thread
   cmake --build build-tsan --target drsm_check
-  ./build-tsan/tools/drsm_check --clients=2 --seeds=25 2>&1 | tee -a test_output.txt
+  ./build-tsan/tools/drsm_check --clients=2 --seeds=25 --threads=4 \
+    2>&1 | tee -a test_output.txt
 fi
 
 # The zero-allocation event engine once more under AddressSanitizer +

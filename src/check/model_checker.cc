@@ -1,514 +1,92 @@
+// Two search engines behind one entry point:
+//
+//  * check_full — the exact reference: serial BFS deduplicating on full
+//    state-key bytes, every enabled action expanded at every state.  This
+//    is the engine the reduction-soundness tests compare against.
+//  * check_reduced — the scaled engine: symmetry-canonicalized 64-bit
+//    keys in a lock-free visited set, pure-absorption partial-order
+//    reduction, and per-depth parallel expansion over exec::ThreadPool.
+//    Each BFS depth is a barrier: workers expand frontier entries into
+//    per-entry result buffers, then a serial in-order merge assigns tree
+//    nodes and picks the lowest-index violation, so reported counts and
+//    counterexamples are schedule-independent (the one exception,
+//    symmetry_hits, is documented at its field).
+//
+// The state semantics both engines share — World, step application,
+// invariants, probes, canonicalization, the snapshot codec — live in
+// check/world.h.
 #include "check/model_checker.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <deque>
 #include <set>
-#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
+#include "check/state_store.h"
+#include "check/world.h"
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
 #include "support/error.h"
-#include "support/text.h"
+#include "support/hash.h"
 
 namespace drsm::check {
 namespace {
 
 using fsm::Message;
-using fsm::MsgType;
 using fsm::OpKind;
-using fsm::ParamPresence;
-using fsm::QueueKind;
 
-/// The complete global state of one explored interleaving.  The fields up
-/// to `disabled` are behaviour-relevant and enter the dedup key; the rest
-/// is the path-local write history the serialization checks run against
-/// (values and versions never select a transition, by the same argument
-/// that keeps them out of ProtocolMachine::encode).
-struct World {
-  std::vector<std::unique_ptr<fsm::ProtocolMachine>> machines;  // node 0..N
-  std::vector<std::deque<Message>> channels;  // src * (N+1) + dst
-  std::vector<std::uint8_t> reads_left;       // per client
-  std::vector<std::uint8_t> writes_left;      // per client
-  std::vector<std::uint8_t> pending;          // per client: 0 or op + 1
-  std::vector<std::uint8_t> disabled;         // per node: local queue off
-
-  std::uint64_t version_counter = 0;
-  std::uint64_t issue_counter = 0;
-  std::unordered_map<std::uint64_t, std::uint64_t> commit_log;  // ver -> val
-  std::unordered_map<std::uint64_t, NodeId> issued;  // value -> writer
-  std::uint64_t latest_version = 0;
-  std::uint64_t latest_value = 0;
-  std::vector<std::uint64_t> last_read_version;  // per node
-
-  std::size_t num_nodes() const { return machines.size(); }
-
-  World clone() const {
-    World w;
-    w.machines.reserve(machines.size());
-    for (const auto& m : machines) w.machines.push_back(m->clone());
-    w.channels = channels;
-    w.reads_left = reads_left;
-    w.writes_left = writes_left;
-    w.pending = pending;
-    w.disabled = disabled;
-    w.version_counter = version_counter;
-    w.issue_counter = issue_counter;
-    w.commit_log = commit_log;
-    w.issued = issued;
-    w.latest_version = latest_version;
-    w.latest_value = latest_value;
-    w.last_read_version = last_read_version;
-    return w;
-  }
+struct TreeNode {
+  std::int64_t parent = -1;
+  CheckStep step;
+  std::size_t depth = 0;
 };
 
-/// What happened while applying one step to a World clone.
-struct StepOutcome {
-  const char* invariant = nullptr;  // first violated invariant, if any
-  std::string detail;
-  bool truncated = false;  // a send exceeded channel_capacity
-  bool read_returned = false;
-  std::uint64_t read_value = 0;
-  std::uint64_t read_version = 0;
+std::vector<CheckStep> trace_to(const std::vector<TreeNode>& tree,
+                                std::int64_t parent, const CheckStep* last) {
+  std::vector<CheckStep> steps;
+  if (last != nullptr) steps.push_back(*last);
+  for (std::int64_t at = parent; at > 0; at = tree[at].parent)
+    steps.push_back(tree[at].step);
+  std::reverse(steps.begin(), steps.end());
+  return steps;
+}
 
-  void violate(const char* inv, std::string text) {
-    if (invariant == nullptr) {
-      invariant = inv;
-      detail = std::move(text);
-    }
-  }
+/// Successor candidates at `w`: every issueable (client, op) pair and
+/// every nonempty channel head, in a fixed deterministic order.
+struct Candidate {
+  CheckStep::Kind kind = CheckStep::Kind::kIssue;
+  NodeId node = 0;
+  NodeId src = 0;
+  OpKind op = OpKind::kRead;
 };
 
-/// MachineContext over a World: sends queue into the channels, completions
-/// update the pending bookkeeping, and every oracle-relevant callback is
-/// checked on the spot.
-class Ctx final : public fsm::MachineContext {
- public:
-  Ctx(World& w, NodeId self, std::size_t capacity, StepOutcome& out)
-      : w_(w), self_(self), capacity_(capacity), out_(out) {}
-
-  NodeId self() const override { return self_; }
-  std::size_t num_clients() const override { return w_.num_nodes() - 1; }
-  const fsm::CostModel& costs() const override {
-    static const fsm::CostModel kCosts;
-    return kCosts;
+void enumerate_candidates(const World& w, std::vector<Candidate>& out) {
+  out.clear();
+  const std::size_t nodes = w.num_nodes();
+  const std::size_t clients = nodes - 1;
+  for (NodeId c = 0; c < clients; ++c) {
+    if (w.pending[c] != 0 || w.disabled[c] != 0) continue;
+    if (w.reads_left[c] > 0)
+      out.push_back({CheckStep::Kind::kIssue, c, 0, OpKind::kRead});
+    if (w.writes_left[c] > 0)
+      out.push_back({CheckStep::Kind::kIssue, c, 0, OpKind::kWrite});
   }
-
-  void send(NodeId dest, Message msg) override {
-    if (dest >= w_.num_nodes()) {
-      out_.violate("defined-transition",
-                   strfmt("node %u sent to out-of-range node %u", self_,
-                          dest));
-      return;
-    }
-    msg.sender = self_;
-    auto& channel = w_.channels[self_ * w_.num_nodes() + dest];
-    if (channel.size() >= capacity_) {
-      out_.truncated = true;
-      return;
-    }
-    channel.push_back(msg);
-  }
-
-  void send_except(std::initializer_list<NodeId> excluded,
-                   Message msg) override {
-    for (NodeId node = 0; node < w_.num_nodes(); ++node) {
-      bool skip = false;
-      for (NodeId ex : excluded) skip = skip || ex == node;
-      if (!skip) send(node, msg);
-    }
-  }
-
-  void return_read(std::uint64_t value, std::uint64_t version) override {
-    out_.read_returned = true;
-    out_.read_value = value;
-    out_.read_version = version;
-    if (self_ < num_clients()) {
-      if (w_.pending[self_] ==
-          static_cast<std::uint8_t>(OpKind::kRead) + 1) {
-        w_.pending[self_] = 0;
-      } else {
-        out_.violate("defined-transition",
-                     strfmt("node %u returned read data with no read "
-                            "pending",
-                            self_));
-      }
-    }
-    check_read(value, version);
-  }
-
-  void complete_write(std::uint64_t version) override {
-    (void)version;
-    complete(OpKind::kWrite);
-  }
-
-  void complete_op() override {
-    if (self_ < num_clients() && w_.pending[self_] != 0)
-      w_.pending[self_] = 0;
-  }
-
-  void disable_local_queue() override { w_.disabled[self_] = 1; }
-  void enable_local_queue() override { w_.disabled[self_] = 0; }
-
-  std::uint64_t next_version() override { return ++w_.version_counter; }
-
-  void commit_write(std::uint64_t version, std::uint64_t value) override {
-    if (version == 0 || version > w_.version_counter) {
-      out_.violate("serialization",
-                   strfmt("node %u committed version %llu outside the "
-                          "drawn sequence (counter %llu)",
-                          self_, static_cast<unsigned long long>(version),
-                          static_cast<unsigned long long>(
-                              w_.version_counter)));
-      return;
-    }
-    if (w_.issued.find(value) == w_.issued.end()) {
-      out_.violate("serialization",
-                   strfmt("version %llu committed value %llu that no "
-                          "client issued",
-                          static_cast<unsigned long long>(version),
-                          static_cast<unsigned long long>(value)));
-      return;
-    }
-    const auto [it, inserted] = w_.commit_log.emplace(version, value);
-    if (!inserted && it->second != value) {
-      out_.violate("serialization",
-                   strfmt("version %llu rebound: value %llu then %llu",
-                          static_cast<unsigned long long>(version),
-                          static_cast<unsigned long long>(it->second),
-                          static_cast<unsigned long long>(value)));
-      return;
-    }
-    if (version > w_.latest_version) {
-      w_.latest_version = version;
-      w_.latest_value = value;
-    }
-  }
-
- private:
-  void complete(OpKind op) {
-    if (self_ >= num_clients()) return;
-    if (w_.pending[self_] == static_cast<std::uint8_t>(op) + 1)
-      w_.pending[self_] = 0;
-    else
-      out_.violate("defined-transition",
-                   strfmt("node %u completed a %s with no such operation "
-                          "pending",
-                          self_, fsm::to_string(op)));
-  }
-
-  /// The kConcurrent oracle rules (see check/oracle.h): a read may be
-  /// stale mid-flight, but must return a serialized (version, value) pair
-  /// — or the node's own issued write — and per-node versions never go
-  /// backwards.
-  void check_read(std::uint64_t value, std::uint64_t version) {
-    const auto own = w_.issued.find(value);
-    const bool own_write = own != w_.issued.end() && own->second == self_;
-    if (version == 0) {
-      if (value != 0 && !own_write)
-        out_.violate("read-oracle",
-                     strfmt("node %u read unserialized value %llu", self_,
-                            static_cast<unsigned long long>(value)));
-    } else {
-      const auto it = w_.commit_log.find(version);
-      if (it == w_.commit_log.end()) {
-        if (!own_write)
-          out_.violate("read-oracle",
-                       strfmt("node %u read never-serialized version %llu",
-                              self_,
-                              static_cast<unsigned long long>(version)));
-      } else if (it->second != value && !own_write) {
-        out_.violate("read-oracle",
-                     strfmt("node %u read (value %llu, version %llu) but "
-                            "that version serialized value %llu",
-                            self_, static_cast<unsigned long long>(value),
-                            static_cast<unsigned long long>(version),
-                            static_cast<unsigned long long>(it->second)));
-      }
-    }
-    std::uint64_t& last = w_.last_read_version[self_];
-    if (version < last && !own_write)
-      out_.violate("read-oracle",
-                   strfmt("node %u read version %llu after version %llu",
-                          self_, static_cast<unsigned long long>(version),
-                          static_cast<unsigned long long>(last)));
-    if (version > last) last = version;
-  }
-
-  World& w_;
-  NodeId self_;
-  std::size_t capacity_;
-  StepOutcome& out_;
-};
-
-Message make_request(NodeId client, OpKind op, std::uint64_t value) {
-  Message request;
-  switch (op) {
-    case OpKind::kRead: request.token.type = MsgType::kReadReq; break;
-    case OpKind::kWrite: request.token.type = MsgType::kWriteReq; break;
-    case OpKind::kEject: request.token.type = MsgType::kEject; break;
-    case OpKind::kSync: request.token.type = MsgType::kSyncReq; break;
-  }
-  request.token.initiator = client;
-  request.token.object = 0;
-  request.token.queue = QueueKind::kLocal;
-  request.token.params = op == OpKind::kWrite ? ParamPresence::kWriteParams
-                                              : ParamPresence::kReadParams;
-  request.value = value;
-  request.sender = client;
-  return request;
+  for (NodeId src = 0; src < nodes; ++src)
+    for (NodeId dst = 0; dst < nodes; ++dst)
+      if (!w.channels[src * nodes + dst].empty())
+        out.push_back({CheckStep::Kind::kDeliver, dst, src, OpKind::kRead});
 }
 
-void run_machine(World& w, NodeId node, const Message& msg,
-                 std::size_t capacity, StepOutcome& out) {
-  Ctx ctx(w, node, capacity, out);
-  try {
-    w.machines[node]->on_message(ctx, msg);
-  } catch (const drsm::Error& error) {
-    // A DRSM_CHECK firing inside a machine is the protocol saying "no
-    // transition defined for this (state, token) pair".
-    out.violate("defined-transition", error.what());
-  }
-}
-
-void apply_issue(World& w, NodeId client, OpKind op, std::size_t capacity,
-                 StepOutcome& out, Message& request_out) {
-  std::uint64_t value = 0;
-  if (op == OpKind::kWrite) {
-    value = ++w.issue_counter;
-    w.issued.emplace(value, client);
-    --w.writes_left[client];
-  } else {
-    --w.reads_left[client];
-  }
-  w.pending[client] = static_cast<std::uint8_t>(op) + 1;
-  request_out = make_request(client, op, value);
-  run_machine(w, client, request_out, capacity, out);
-}
-
-void apply_deliver(World& w, NodeId src, NodeId dst, std::size_t capacity,
-                   StepOutcome& out, Message& msg_out) {
-  auto& channel = w.channels[src * w.num_nodes() + dst];
-  msg_out = channel.front();
-  channel.pop_front();
-  run_machine(w, dst, msg_out, capacity, out);
-}
-
-void encode_key(const World& w, std::vector<std::uint8_t>& key) {
-  key.clear();
-  for (const auto& machine : w.machines) machine->encode_full(key);
-  for (const auto& channel : w.channels) {
-    key.push_back(static_cast<std::uint8_t>(channel.size()));
-    for (const Message& msg : channel) {
-      key.push_back(static_cast<std::uint8_t>(msg.token.type));
-      key.push_back(static_cast<std::uint8_t>(msg.token.initiator));
-      key.push_back(static_cast<std::uint8_t>(msg.token.object));
-      key.push_back(static_cast<std::uint8_t>(msg.token.params));
-    }
-  }
-  const std::size_t clients = w.num_nodes() - 1;
-  for (std::size_t c = 0; c < clients; ++c) {
-    key.push_back(w.pending[c]);
-    key.push_back(w.reads_left[c]);
-    key.push_back(w.writes_left[c]);
-  }
-  for (std::size_t n = 0; n < w.num_nodes(); ++n)
-    key.push_back(w.disabled[n]);
-}
-
-bool channels_empty(const World& w) {
-  for (const auto& channel : w.channels)
-    if (!channel.empty()) return false;
-  return true;
-}
-
-bool any_pending(const World& w) {
-  for (std::size_t c = 0; c + 1 < w.num_nodes(); ++c)
-    if (w.pending[c] != 0) return true;
-  return false;
-}
-
-bool fully_spent(const World& w) {
-  for (std::size_t c = 0; c + 1 < w.num_nodes(); ++c)
-    if (w.reads_left[c] != 0 || w.writes_left[c] != 0) return false;
-  return true;
-}
-
-/// State invariants: exclusivity, deadlock, stuck-disable, and (at full
-/// termination) serialization completeness.  Returns the violated
-/// invariant name or nullptr.
-const char* check_state(const World& w, const CheckConfig& cfg,
-                        std::string& detail) {
-  if (cfg.check_exclusivity) {
-    NodeId first_owner = kNoNode;
-    for (NodeId node = 0; node < w.num_nodes(); ++node) {
-      const auto cls = protocols::classify_state(
-          cfg.protocol, w.machines[node]->state_name());
-      if (cls != protocols::CopyClass::kExclusive) continue;
-      if (first_owner == kNoNode) {
-        first_owner = node;
-      } else {
-        detail = strfmt("nodes %u (%s) and %u (%s) both hold exclusive "
-                        "copies",
-                        first_owner,
-                        w.machines[first_owner]->state_name(), node,
-                        w.machines[node]->state_name());
-        return "exclusivity";
-      }
-    }
-  }
-  if (!channels_empty(w)) return nullptr;
-  for (std::size_t c = 0; c + 1 < w.num_nodes(); ++c) {
-    if (w.pending[c] != 0) {
-      detail = strfmt("client %zu has a pending %s but no message is in "
-                      "flight anywhere",
-                      c,
-                      fsm::to_string(static_cast<fsm::OpKind>(
-                          w.pending[c] - 1)));
-      return "deadlock";
-    }
-  }
-  for (std::size_t n = 0; n < w.num_nodes(); ++n) {
-    if (w.disabled[n] != 0) {
-      detail = strfmt("node %zu left its local queue disabled at "
-                      "quiescence",
-                      n);
-      return "stuck-disable";
-    }
-  }
-  if (fully_spent(w)) {
-    for (std::uint64_t v = 1; v <= w.version_counter; ++v) {
-      if (w.commit_log.find(v) == w.commit_log.end()) {
-        detail = strfmt("terminal state: drawn version %llu was never "
-                        "bound to a value",
-                        static_cast<unsigned long long>(v));
-        return "serialization";
-      }
-    }
-    std::unordered_set<std::uint64_t> committed;
-    for (const auto& [version, value] : w.commit_log)
-      committed.insert(value);
-    for (const auto& [value, writer] : w.issued) {
-      if (committed.find(value) == committed.end()) {
-        detail = strfmt("terminal state: client %u's write (value %llu) "
-                        "was never serialized",
-                        writer, static_cast<unsigned long long>(value));
-        return "serialization";
-      }
-    }
-  }
-  return nullptr;
-}
-
-/// Quiescent read-agreement probe: on a clone of a quiescent state, issue
-/// one read at `client` and deterministically drain every channel.  The
-/// read must complete and return the latest serialized write — a copy
-/// that survived an invalidation, or missed an update, fails here.  Under
-/// ConvergenceLevel::kWriterMayLag a client that issued a write is only
-/// held to serialized consistency (checked inside the Ctx callbacks), not
-/// to latest-value agreement.
-const char* probe_read(const World& quiescent, NodeId client,
-                       const CheckConfig& cfg, std::string& detail) {
-  const std::size_t capacity = cfg.channel_capacity;
-  World w = quiescent.clone();
-  StepOutcome out;
-  Message request;
-  ++w.reads_left[client];  // apply_issue debits one read
-  apply_issue(w, client, OpKind::kRead, capacity, out, request);
-  std::size_t steps = 0;
-  while (out.invariant == nullptr) {
-    bool delivered = false;
-    for (std::size_t src = 0; src < w.num_nodes() && !delivered; ++src) {
-      for (std::size_t dst = 0; dst < w.num_nodes() && !delivered; ++dst) {
-        if (w.channels[src * w.num_nodes() + dst].empty()) continue;
-        Message msg;
-        apply_deliver(w, static_cast<NodeId>(src), static_cast<NodeId>(dst),
-                      capacity, out, msg);
-        delivered = true;
-      }
-    }
-    if (!delivered) break;
-    if (++steps > 10000) {
-      detail = strfmt("read probe at client %u did not converge within "
-                      "10000 deliveries",
-                      client);
-      return "read-probe";
-    }
-  }
-  if (out.invariant != nullptr) {
-    detail = strfmt("read probe at client %u: %s", client,
-                    out.detail.c_str());
-    return out.invariant;
-  }
-  if (!out.read_returned) {
-    detail = strfmt("read probe at client %u never returned data", client);
-    return "read-probe";
-  }
-  if (protocols::convergence_level(cfg.protocol) ==
-      protocols::ConvergenceLevel::kWriterMayLag) {
-    for (const auto& [value, writer] : quiescent.issued)
-      if (writer == client) return nullptr;  // lagging writer: consistency
-                                             // was checked per delivery
-  }
-  const auto own = quiescent.issued.find(out.read_value);
-  const bool own_write =
-      own != quiescent.issued.end() && own->second == client;
-  if (out.read_value != quiescent.latest_value) {
-    detail = strfmt("read probe at client %u returned value %llu, latest "
-                    "serialized write is %llu (version %llu)",
-                    client,
-                    static_cast<unsigned long long>(out.read_value),
-                    static_cast<unsigned long long>(quiescent.latest_value),
-                    static_cast<unsigned long long>(
-                        quiescent.latest_version));
-    return "read-probe";
-  }
-  if (out.read_version != quiescent.latest_version && !own_write) {
-    detail = strfmt("read probe at client %u returned version %llu, "
-                    "latest is %llu",
-                    client,
-                    static_cast<unsigned long long>(out.read_version),
-                    static_cast<unsigned long long>(
-                        quiescent.latest_version));
-    return "read-probe";
-  }
-  return nullptr;
-}
-
-}  // namespace
-
-CheckResult check_protocol(const CheckConfig& cfg) {
-  DRSM_CHECK(cfg.num_clients >= 1, "check: need at least one client");
-  DRSM_CHECK(cfg.num_clients <= 250, "check: too many clients");
-  DRSM_CHECK(cfg.channel_capacity >= 1 && cfg.channel_capacity <= 255,
-             "check: channel_capacity must be in [1, 255]");
-  DRSM_CHECK(cfg.reads_per_client <= 255 && cfg.writes_per_client <= 255,
-             "check: per-client budgets must fit a byte");
-
-  const std::size_t nodes = cfg.num_clients + 1;
-  World init;
-  init.machines.reserve(nodes);
-  for (NodeId node = 0; node < nodes; ++node)
-    init.machines.push_back(
-        cfg.machine_factory
-            ? cfg.machine_factory(node)
-            : protocols::make_machine(cfg.protocol, node,
-                                      cfg.num_clients));
-  init.channels.resize(nodes * nodes);
-  init.reads_left.assign(cfg.num_clients,
-                         static_cast<std::uint8_t>(cfg.reads_per_client));
-  init.writes_left.assign(cfg.num_clients,
-                          static_cast<std::uint8_t>(cfg.writes_per_client));
-  init.pending.assign(cfg.num_clients, 0);
-  init.disabled.assign(nodes, 0);
-  init.last_read_version.assign(nodes, 0);
+/// The exact serial reference engine (CheckConfig::Expansion::
+/// kFullExpansion): the pre-reduction checker, kept verbatim in
+/// behaviour — full-key dedup, no reductions, single thread.
+CheckResult check_full(const CheckConfig& cfg) {
+  World init = make_initial_world(cfg);
 
   CheckResult res;
-  struct TreeNode {
-    std::int64_t parent = -1;
-    CheckStep step;
-    std::size_t depth = 0;
-  };
   std::vector<TreeNode> tree;
   std::unordered_set<std::string> visited;
   std::deque<std::pair<World, std::size_t>> frontier;
@@ -517,18 +95,10 @@ CheckResult check_protocol(const CheckConfig& cfg) {
   auto record_names = [&](const World& w) {
     for (const auto& machine : w.machines) names.insert(machine->state_name());
   };
-  auto trace_to = [&](std::int64_t parent, const CheckStep* last) {
-    std::vector<CheckStep> steps;
-    if (last != nullptr) steps.push_back(*last);
-    for (std::int64_t at = parent; at > 0; at = tree[at].parent)
-      steps.push_back(tree[at].step);
-    std::reverse(steps.begin(), steps.end());
-    return steps;
-  };
   auto fail = [&](std::int64_t parent, const CheckStep* last,
                   const char* invariant, std::string detail) {
     res.violations.push_back({invariant, std::move(detail)});
-    res.counterexample = trace_to(parent, last);
+    res.counterexample = trace_to(tree, parent, last);
   };
   auto probe_state = [&](const World& w, std::int64_t parent,
                          const CheckStep* last) {
@@ -561,33 +131,12 @@ CheckResult check_protocol(const CheckConfig& cfg) {
   }
   if (res.violations.empty()) frontier.emplace_back(std::move(init), 0);
 
+  std::vector<Candidate> candidates;
   while (!frontier.empty() && res.violations.empty()) {
     auto [w, index] = std::move(frontier.front());
     frontier.pop_front();
     const std::size_t depth = tree[index].depth;
-
-    // Successor candidates: every issueable (client, op) pair and every
-    // nonempty channel head.
-    struct Candidate {
-      CheckStep::Kind kind;
-      NodeId node = 0;
-      NodeId src = 0;
-      OpKind op = OpKind::kRead;
-    };
-    std::vector<Candidate> candidates;
-    for (NodeId c = 0; c < cfg.num_clients; ++c) {
-      if (w.pending[c] != 0 || w.disabled[c] != 0) continue;
-      if (w.reads_left[c] > 0)
-        candidates.push_back({CheckStep::Kind::kIssue, c, 0, OpKind::kRead});
-      if (w.writes_left[c] > 0)
-        candidates.push_back(
-            {CheckStep::Kind::kIssue, c, 0, OpKind::kWrite});
-    }
-    for (NodeId src = 0; src < nodes; ++src)
-      for (NodeId dst = 0; dst < nodes; ++dst)
-        if (!w.channels[src * nodes + dst].empty())
-          candidates.push_back(
-              {CheckStep::Kind::kDeliver, dst, src, OpKind::kRead});
+    enumerate_candidates(w, candidates);
 
     for (const Candidate& cand : candidates) {
       World s = w.clone();
@@ -631,8 +180,7 @@ CheckResult check_protocol(const CheckConfig& cfg) {
         res.hit_state_cap = true;
         break;
       }
-      tree.push_back(
-          {static_cast<std::int64_t>(index), step, depth + 1});
+      tree.push_back({static_cast<std::int64_t>(index), step, depth + 1});
       res.max_depth = std::max(res.max_depth, depth + 1);
       frontier.emplace_back(std::move(s), tree.size() - 1);
     }
@@ -641,6 +189,347 @@ CheckResult check_protocol(const CheckConfig& cfg) {
 
   res.states = visited.size();
   res.visited_state_names.assign(names.begin(), names.end());
+  return res;
+}
+
+/// One queued frontier state: a byte snapshot when the machines support
+/// the exact codec, a live clone otherwise, plus its search-tree index.
+struct Entry {
+  std::vector<std::uint8_t> bytes;
+  std::unique_ptr<World> world;
+  std::size_t tree = 0;
+};
+
+/// One newly claimed successor produced by a worker, pending the serial
+/// merge that assigns its tree node.
+struct SuccessorOut {
+  CheckStep step;
+  std::vector<std::uint8_t> bytes;
+  std::unique_ptr<World> world;
+};
+
+/// Everything a worker learned expanding one frontier entry.  Workers
+/// write only their own slot; the depth-barrier merge folds the slots in
+/// entry order.
+struct EntryResult {
+  std::vector<SuccessorOut> succs;
+  std::size_t transitions = 0;
+  std::size_t truncated = 0;
+  std::size_t por_pruned = 0;
+  std::size_t symmetry_hits = 0;
+  std::size_t probes = 0;
+  std::set<const char*> names;  // state_name() literals of inserted states
+  const char* invariant = nullptr;  // first violation, candidate order
+  std::string detail;
+  CheckStep bad_step;
+  bool overflow = false;
+};
+
+/// The scaled engine: canonical-hash dedup (lock-free StateStore),
+/// pure-absorption POR, per-depth parallel expansion, compact frontier.
+CheckResult check_reduced(const CheckConfig& cfg) {
+  World init = make_initial_world(cfg);
+
+  // The reductions require trusted state encodings, so both are gated on
+  // the stock protocol machines (a machine_factory can inject fragments
+  // whose default encode_state/encode_relabeled would under-report).
+  const bool symmetry = cfg.symmetry_reduction && !cfg.machine_factory &&
+                        cfg.num_clients >= 2 && supports_relabeling(init);
+  const bool por = cfg.partial_order_reduction && !cfg.machine_factory;
+
+  std::vector<std::vector<NodeId>> perms;
+  if (symmetry) perms = client_permutations(cfg.num_clients);
+
+  // Hash of the dedup key: canonical over the permutation orbit when
+  // symmetry applies, plain behaviour key otherwise.
+  auto state_hash = [&](const World& w, std::vector<std::uint8_t>& scratch,
+                        bool& nontrivial) {
+    if (symmetry) {
+      const CanonicalHash ch = canonical_hash(w, perms, scratch);
+      nontrivial = ch.nontrivial;
+      return ch.hash;
+    }
+    nontrivial = false;
+    encode_key(w, scratch);
+    return hash_bytes(scratch.data(), scratch.size());
+  };
+
+  // Compact frontier only when every machine round-trips through the
+  // exact snapshot codec; otherwise fall back to live clones.
+  std::vector<std::uint8_t> init_bytes;
+  serialize_world(init, init_bytes);
+  bool compact;
+  {
+    World probe;
+    compact = deserialize_world(cfg, init_bytes.data(),
+                                init_bytes.data() + init_bytes.size(),
+                                probe);
+  }
+
+  exec::ThreadPool pool(cfg.threads);
+
+  CheckResult res;
+  res.symmetry_applied = symmetry;
+  res.por_applied = por;
+  res.compact_frontier = compact;
+  res.threads_used = pool.threads();
+
+  // Upper bound on successors of one state: every client issuing plus
+  // every directed channel delivering its head.  reserve()ing for
+  // width * bound before each depth means claim() can never spuriously
+  // overflow mid-depth, while small runs never pay for the full
+  // max_states allocation.
+  const std::size_t succ_bound =
+      cfg.num_clients + (cfg.num_clients + 1) * (cfg.num_clients + 1);
+  StateStore store(std::min<std::size_t>(cfg.max_states, 1u << 15));
+  std::vector<TreeNode> tree;
+  std::set<std::string> names;
+
+  auto record_names = [&](const World& w) {
+    for (const auto& machine : w.machines) names.insert(machine->state_name());
+  };
+  auto fail = [&](std::int64_t parent, const CheckStep* last,
+                  const char* invariant, std::string detail) {
+    res.violations.push_back({invariant, std::move(detail)});
+    res.counterexample = trace_to(tree, parent, last);
+  };
+
+  {
+    std::vector<std::uint8_t> scratch;
+    bool nontrivial = false;
+    store.claim(state_hash(init, scratch, nontrivial));
+  }
+  tree.push_back({});
+  record_names(init);
+  {
+    std::string detail;
+    const char* inv = check_state(init, cfg, detail);
+    if (inv != nullptr) {
+      fail(0, nullptr, inv, std::move(detail));
+    } else if (cfg.probe_quiescent_reads && channels_empty(init) &&
+               !any_pending(init)) {
+      for (NodeId client = 0; client < cfg.num_clients; ++client) {
+        ++res.probes;
+        std::string probe_detail;
+        const char* probe_inv = probe_read(init, client, cfg, probe_detail);
+        if (probe_inv != nullptr) {
+          fail(0, nullptr, probe_inv, std::move(probe_detail));
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Entry> frontier;
+  if (res.violations.empty()) {
+    Entry e;
+    if (compact)
+      e.bytes = std::move(init_bytes);
+    else
+      e.world = std::make_unique<World>(std::move(init));
+    frontier.push_back(std::move(e));
+  }
+
+  // When the pool is one thread, parallel_for degenerates to an in-order
+  // inline loop, so a shared stop flag reproduces the reference engine's
+  // early exit exactly.  With real parallelism the flag is only set on
+  // overflow: every entry still runs to completion on a violation, so
+  // the merge always sees the lowest-(entry, candidate) one regardless
+  // of schedule.
+  const bool serial = pool.threads() == 1;
+
+  std::size_t depth = 0;
+  while (!frontier.empty() && res.violations.empty() &&
+         !res.hit_state_cap) {
+    const std::size_t width = frontier.size();
+    store.reserve(store.size() + width * succ_bound);
+    std::vector<EntryResult> results(width);
+    std::atomic<bool> stop{false};
+
+    auto expand = [&](std::size_t i) {
+      if (stop.load(std::memory_order_relaxed)) return;
+      EntryResult& r = results[i];
+      const Entry& entry = frontier[i];
+
+      World local;
+      if (compact) {
+        const bool ok = deserialize_world(
+            cfg, entry.bytes.data(),
+            entry.bytes.data() + entry.bytes.size(), local);
+        DRSM_CHECK(ok, "check: snapshot round-trip failed mid-search");
+      }
+      const World& w = compact ? local : *entry.world;
+
+      std::vector<Candidate> candidates;
+      enumerate_candidates(w, candidates);
+      if (por && candidates.size() > 1) {
+        for (const Candidate& cand : candidates) {
+          if (cand.kind != CheckStep::Kind::kDeliver) continue;
+          if (!pure_absorption(w, cand.src, cand.node)) continue;
+          r.por_pruned += candidates.size() - 1;
+          const Candidate chosen = cand;
+          candidates.assign(1, chosen);
+          break;
+        }
+      }
+
+      std::vector<std::uint8_t> scratch;
+      for (const Candidate& cand : candidates) {
+        if (stop.load(std::memory_order_relaxed)) return;
+        World s = w.clone();
+        StepOutcome out;
+        CheckStep step;
+        step.kind = cand.kind;
+        step.node = cand.node;
+        ++r.transitions;
+        if (cand.kind == CheckStep::Kind::kIssue) {
+          step.op = cand.op;
+          apply_issue(s, cand.node, cand.op, cfg.channel_capacity, out,
+                      step.msg);
+        } else {
+          step.src = cand.src;
+          apply_deliver(s, cand.src, cand.node, cfg.channel_capacity, out,
+                        step.msg);
+        }
+        if (out.truncated) {
+          ++r.truncated;
+          continue;
+        }
+        if (out.invariant != nullptr) {
+          r.invariant = out.invariant;
+          r.detail = std::move(out.detail);
+          r.bad_step = step;
+          if (serial) stop.store(true, std::memory_order_relaxed);
+          return;
+        }
+        {
+          std::string detail;
+          const char* inv = check_state(s, cfg, detail);
+          if (inv != nullptr) {
+            r.invariant = inv;
+            r.detail = std::move(detail);
+            r.bad_step = step;
+            if (serial) stop.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+        bool nontrivial = false;
+        const std::uint64_t h = state_hash(s, scratch, nontrivial);
+        const StateStore::Claim claim = store.claim(h);
+        if (claim == StateStore::Claim::kOverflow) {
+          r.overflow = true;
+          stop.store(true, std::memory_order_relaxed);
+          return;
+        }
+        if (claim == StateStore::Claim::kPresent) {
+          if (nontrivial) ++r.symmetry_hits;
+          continue;
+        }
+        for (const auto& machine : s.machines)
+          r.names.insert(machine->state_name());
+        if (cfg.probe_quiescent_reads && channels_empty(s) &&
+            !any_pending(s)) {
+          const char* probe_inv = nullptr;
+          std::string probe_detail;
+          for (NodeId client = 0; client < cfg.num_clients; ++client) {
+            ++r.probes;
+            probe_inv = probe_read(s, client, cfg, probe_detail);
+            if (probe_inv != nullptr) break;
+          }
+          if (probe_inv != nullptr) {
+            r.invariant = probe_inv;
+            r.detail = std::move(probe_detail);
+            r.bad_step = step;
+            if (serial) stop.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+        if (store.size() >= cfg.max_states) {
+          r.overflow = true;
+          stop.store(true, std::memory_order_relaxed);
+          // Keep this last successor: it was claimed before the cap hit.
+        }
+        SuccessorOut succ;
+        succ.step = step;
+        if (compact)
+          serialize_world(s, succ.bytes);
+        else
+          succ.world = std::make_unique<World>(std::move(s));
+        r.succs.push_back(std::move(succ));
+        if (r.overflow) return;
+      }
+    };
+    pool.parallel_for(width, expand);
+
+    // Serial in-order merge: fold counters, pick the lowest-index
+    // violation, assign tree nodes and the next frontier.
+    std::vector<Entry> next;
+    bool violated = false;
+    for (std::size_t i = 0; i < width; ++i) {
+      EntryResult& r = results[i];
+      res.transitions += r.transitions;
+      res.truncated += r.truncated;
+      res.por_pruned += r.por_pruned;
+      res.symmetry_hits += r.symmetry_hits;
+      res.probes += r.probes;
+      for (const char* name : r.names) names.insert(name);
+      if (r.overflow) res.hit_state_cap = true;
+      if (r.invariant != nullptr && !violated) {
+        violated = true;
+        fail(static_cast<std::int64_t>(frontier[i].tree), &r.bad_step,
+             r.invariant, std::move(r.detail));
+      }
+      if (violated) continue;
+      for (SuccessorOut& succ : r.succs) {
+        tree.push_back({static_cast<std::int64_t>(frontier[i].tree),
+                        succ.step, depth + 1});
+        res.max_depth = std::max(res.max_depth, depth + 1);
+        Entry e;
+        e.bytes = std::move(succ.bytes);
+        e.world = std::move(succ.world);
+        e.tree = tree.size() - 1;
+        next.push_back(std::move(e));
+      }
+    }
+    frontier = std::move(next);
+    ++depth;
+  }
+
+  res.states = store.size();
+  res.visited_state_names.assign(names.begin(), names.end());
+  return res;
+}
+
+void publish_metrics(const CheckConfig& cfg, const CheckResult& res) {
+  if (cfg.metrics == nullptr) return;
+  obs::MetricsRegistry& m = *cfg.metrics;
+  m.counter("check.states").inc(res.states);
+  m.counter("check.transitions").inc(res.transitions);
+  m.counter("check.symmetry_hits").inc(res.symmetry_hits);
+  m.counter("check.por_pruned").inc(res.por_pruned);
+  m.gauge("check.states_per_sec").set(res.states_per_sec());
+  m.gauge("check.wall_ms").set(res.wall_seconds * 1e3);
+  m.gauge("check.max_depth").set(static_cast<double>(res.max_depth));
+}
+
+}  // namespace
+
+CheckResult check_protocol(const CheckConfig& cfg) {
+  DRSM_CHECK(cfg.num_clients >= 1, "check: need at least one client");
+  DRSM_CHECK(cfg.num_clients <= 250, "check: too many clients");
+  DRSM_CHECK(cfg.channel_capacity >= 1 && cfg.channel_capacity <= 255,
+             "check: channel_capacity must be in [1, 255]");
+  DRSM_CHECK(cfg.reads_per_client <= 255 && cfg.writes_per_client <= 255,
+             "check: per-client budgets must fit a byte");
+
+  const auto start = std::chrono::steady_clock::now();
+  CheckResult res = cfg.expansion == CheckConfig::Expansion::kFullExpansion
+                        ? check_full(cfg)
+                        : check_reduced(cfg);
+  res.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  publish_metrics(cfg, res);
   return res;
 }
 

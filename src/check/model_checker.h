@@ -33,6 +33,27 @@
 // minimal-length trace from the initial state; export_counterexample
 // renders it through the obs trace recorder as one kCheckStep event per
 // step plus a final kViolation event.
+//
+// Scaling (see check/world.h for the correctness arguments):
+//  * symmetry reduction — states are deduplicated on a canonical key
+//    invariant under client permutation, shrinking the space by up to
+//    N! for the protocols whose machines support relabeled encodings;
+//  * partial-order reduction — a delivery that provably changes nothing
+//    (a "pure absorption": redundant invalidation, stale update) is
+//    expanded alone instead of interleaved with every other action;
+//  * parallel frontier — each BFS depth is expanded by an
+//    exec::ThreadPool over a lock-free visited set of canonical keys
+//    (check/state_store.h), with successors merged deterministically at
+//    the depth barrier so counterexamples stay minimal;
+//  * compact frontier — queued states are exact byte snapshots
+//    (serialize_world), not live machine graphs, cutting memory per
+//    state by an order of magnitude.
+// CheckConfig::Expansion::kFullExpansion turns the reductions off; the
+// reduction-soundness tests assert both modes reach identical verdicts.
+// Reduced mode dedups on 64-bit canonical hashes (not full keys): with
+// n reachable states the chance of any collision is about n^2/2^64 —
+// under 10^-7 even at the 1M-state cap — and kFullExpansion remains the
+// exact cross-check.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +66,10 @@
 #include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "protocols/protocol.h"
+
+namespace drsm::obs {
+class MetricsRegistry;
+}  // namespace drsm::obs
 
 namespace drsm::check {
 
@@ -73,8 +98,12 @@ struct CheckConfig {
   /// real protocols stay far below any reasonable bound.
   std::size_t channel_capacity = 8;
 
-  /// Exploration cap; hitting it marks the result truncated.
-  std::size_t max_states = 1'000'000;
+  /// Exploration cap; hitting it marks the result truncated.  The
+  /// default admits the largest acceptance configuration — Berkeley at
+  /// N=4 is exhaustive at ~4.04M canonical states — and costs nothing
+  /// up front: the visited set grows geometrically with demand
+  /// (check/state_store.h), so small runs never allocate for the cap.
+  std::size_t max_states = 8'000'000;
 
   /// Classify state names via protocols::classify_state (disable for
   /// machine_factory machines with non-protocol state names).
@@ -83,6 +112,38 @@ struct CheckConfig {
   /// Run the quiescent read-agreement probe (requires machines that
   /// complete reads; disable for hand-built fragments).
   bool probe_quiescent_reads = true;
+
+  /// kReduced applies the reductions enabled below; kFullExpansion is the
+  /// reference mode — every enabled action expanded at every state, full
+  /// state keys, no reductions — that the soundness tests compare
+  /// against.
+  enum class Expansion : std::uint8_t { kReduced, kFullExpansion };
+  Expansion expansion = Expansion::kReduced;
+
+  /// Dedup on canonical (client-permutation-invariant) keys.  Applies
+  /// only when every machine supports encode_relabeled and no
+  /// machine_factory is set; CheckResult::symmetry_applied reports
+  /// whether it actually ran.
+  bool symmetry_reduction = true;
+
+  /// Expand provably-inert deliveries (pure absorptions) alone instead
+  /// of interleaving them with every other enabled action.  Same
+  /// machine_factory gate as symmetry; see CheckResult::por_applied.
+  /// Note: counterexamples remain minimal within the reduced graph but
+  /// can be longer than kFullExpansion's.
+  bool partial_order_reduction = true;
+
+  /// Worker threads for frontier expansion: 0 picks
+  /// exec::ThreadPool::default_threads() (DRSM_THREADS or hardware
+  /// concurrency).  All reported counts are schedule-independent; only
+  /// cap-truncated runs may vary in which states they kept.
+  std::size_t threads = 0;
+
+  /// When set, check_protocol publishes check.* counters and gauges here
+  /// (states, transitions, symmetry_hits, por_pruned, states_per_sec,
+  /// wall_ms, max_depth).  Not written to concurrently: workers
+  /// aggregate locally and publish once at the end.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One edge of the explored transition system.
@@ -110,6 +171,24 @@ struct CheckResult {
   std::size_t truncated = 0;    // successors cut by channel_capacity
   bool hit_state_cap = false;   // max_states reached: result is partial
   std::size_t max_depth = 0;    // BFS depth of the deepest visited state
+
+  /// Reduction accounting.  symmetry_hits counts dedups where a
+  /// non-identity permutation produced the canonical key — successors
+  /// that full expansion would have explored as distinct states.
+  /// por_pruned counts sibling actions skipped because a pure absorption
+  /// was expanded alone.
+  std::size_t symmetry_hits = 0;
+  std::size_t por_pruned = 0;
+  bool symmetry_applied = false;  // reduction actually ran (machines
+  bool por_applied = false;       // support it, mode allows it)
+  bool compact_frontier = false;  // frontier held byte snapshots
+  std::size_t threads_used = 1;
+
+  double wall_seconds = 0.0;  // exploration wall time
+  double states_per_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(states) / wall_seconds
+                              : 0.0;
+  }
 
   /// Every ProtocolMachine::state_name() observed, sorted and unique —
   /// the coverage tests assert this equals protocols::copy_state_names.

@@ -1,0 +1,182 @@
+// The model checker's global-state representation and the operations the
+// search loop composes: step application, invariant checks, quiescent read
+// probes, symmetry canonicalization and the exact-snapshot codec behind
+// the compact frontier.  Split out of model_checker.cc so the search
+// strategy (serial reference vs reduced parallel BFS) and the state
+// semantics evolve independently, and so the reduction machinery is
+// testable on its own (tests/check_reduction_test.cc).
+//
+// Reduction correctness in one paragraph each:
+//
+// *Symmetry.*  Client nodes run identical machine code and differ only in
+// their id, and every invariant is invariant under client relabeling, so
+// two global states that differ by a client permutation are bisimilar.
+// canonical_hash() therefore keys a state by the minimum, over all client
+// permutations, of the hash of its relabeled behaviour encoding (machines
+// via fsm::ProtocolMachine::encode_relabeled, channels re-indexed, the
+// per-client issue bookkeeping permuted).  The representative that is
+// explored is always a genuinely reachable state (the first one seen), so
+// counterexample traces need no back-translation.
+//
+// *Partial order.*  pure_absorption() detects deliveries that change
+// nothing at all: the receiving machine's exact state bytes are unchanged
+// and no context callback fires (no sends, no completions, no version
+// draws, no queue toggles).  Such a delivery commutes with every other
+// enabled transition — it only pops one message no other transition can
+// observe — so expanding it *alone* (a singleton ample set) preserves
+// every invariant verdict; the full argument lives in docs/TESTING.md.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "check/model_checker.h"
+#include "fsm/mealy.h"
+
+namespace drsm::check {
+
+/// The complete global state of one explored interleaving.  The fields up
+/// to `disabled` are behaviour-relevant and enter the dedup key; the rest
+/// is the path-local write history the serialization checks run against
+/// (values and versions never select a transition, by the same argument
+/// that keeps them out of ProtocolMachine::encode).
+struct World {
+  std::vector<std::unique_ptr<fsm::ProtocolMachine>> machines;  // node 0..N
+  std::vector<std::deque<fsm::Message>> channels;  // src * (N+1) + dst
+  std::vector<std::uint8_t> reads_left;            // per client
+  std::vector<std::uint8_t> writes_left;           // per client
+  std::vector<std::uint8_t> pending;  // per client: 0 or op + 1
+  std::vector<std::uint8_t> disabled;  // per node: local queue off
+
+  std::uint64_t version_counter = 0;
+  std::uint64_t issue_counter = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> commit_log;  // ver -> val
+  std::unordered_map<std::uint64_t, NodeId> issued;  // value -> writer
+  std::uint64_t latest_version = 0;
+  std::uint64_t latest_value = 0;
+  std::vector<std::uint64_t> last_read_version;  // per node
+
+  std::size_t num_nodes() const { return machines.size(); }
+  std::size_t num_clients() const { return machines.size() - 1; }
+
+  World clone() const;
+};
+
+/// What happened while applying one step to a World.
+struct StepOutcome {
+  const char* invariant = nullptr;  // first violated invariant, if any
+  std::string detail;
+  bool truncated = false;  // a send exceeded channel_capacity
+  bool read_returned = false;
+  std::uint64_t read_value = 0;
+  std::uint64_t read_version = 0;
+
+  void violate(const char* inv, std::string text) {
+    if (invariant == nullptr) {
+      invariant = inv;
+      detail = std::move(text);
+    }
+  }
+};
+
+/// The initial state under `cfg`: machines from the factory (or
+/// protocols::make_machine), empty channels, full budgets.
+World make_initial_world(const CheckConfig& cfg);
+
+/// Client `client` issues `op` (drawing a fresh value for writes) and the
+/// issue request runs through its machine.  `request_out` receives the
+/// request message for the trace.
+void apply_issue(World& w, NodeId client, fsm::OpKind op,
+                 std::size_t capacity, StepOutcome& out,
+                 fsm::Message& request_out);
+
+/// Delivers the head of channel src->dst to dst's machine.
+void apply_deliver(World& w, NodeId src, NodeId dst, std::size_t capacity,
+                   StepOutcome& out, fsm::Message& msg_out);
+
+// ---------------------------------------------------------------------------
+// Dedup keys and symmetry canonicalization.
+// ---------------------------------------------------------------------------
+
+/// All num_clients! client relabelings, identity first, each an array
+/// mapping old client id -> new client id.  Built once per check run.
+std::vector<std::vector<NodeId>> client_permutations(std::size_t num_clients);
+
+/// Appends the behaviour key of `w` (the encode_full-based encoding the
+/// checker dedups on) to `key`.  Identity labeling; defined for every
+/// machine.
+void encode_key(const World& w, std::vector<std::uint8_t>& key);
+
+/// encode_key under the client relabeling `map`: machines are emitted in
+/// new-id order via encode_relabeled, channels re-indexed, message
+/// initiators mapped, per-client bookkeeping permuted.  Returns false if
+/// some machine does not support relabeling.
+bool encode_key_relabeled(const World& w, const NodeId* map,
+                          std::vector<std::uint8_t>& key);
+
+/// True when every machine in `w` supports encode_relabeled — the gate
+/// for enabling symmetry reduction.
+bool supports_relabeling(const World& w);
+
+struct CanonicalHash {
+  std::uint64_t hash = 0;  // min over the permutation orbit
+  bool nontrivial = false;  // a non-identity permutation beat the identity
+};
+
+/// The canonical (permutation-invariant) 64-bit key of `w`: the minimum
+/// over `perms` of the hash of the relabeled behaviour key.  `scratch` is
+/// reused between calls to avoid per-state allocation.  `perms` must come
+/// from client_permutations() (identity first).
+CanonicalHash canonical_hash(const World& w,
+                             const std::vector<std::vector<NodeId>>& perms,
+                             std::vector<std::uint8_t>& scratch);
+
+// ---------------------------------------------------------------------------
+// Exact snapshot codec (the compact frontier's storage format).
+// ---------------------------------------------------------------------------
+
+/// Serializes *everything* — machines via encode_state, channels with full
+/// message payloads, budgets, and the write-history the serialization
+/// checks need — so deserialize_world reproduces an indistinguishable
+/// World.
+void serialize_world(const World& w, std::vector<std::uint8_t>& out);
+
+/// Rebuilds a World from serialize_world bytes, constructing fresh
+/// machines under `cfg`.  Returns false when some machine does not
+/// support decode_state (the checker then falls back to cloned Worlds).
+bool deserialize_world(const CheckConfig& cfg, const std::uint8_t* p,
+                       const std::uint8_t* end, World& out);
+
+// ---------------------------------------------------------------------------
+// Invariants, probes, and the POR purity test.
+// ---------------------------------------------------------------------------
+
+bool channels_empty(const World& w);
+bool any_pending(const World& w);
+bool fully_spent(const World& w);
+
+/// State invariants: exclusivity, deadlock, stuck-disable, and (at full
+/// termination) serialization completeness.  Returns the violated
+/// invariant name or nullptr.
+const char* check_state(const World& w, const CheckConfig& cfg,
+                        std::string& detail);
+
+/// Quiescent read-agreement probe: on a clone of a quiescent state, issue
+/// one read at `client` and deterministically drain every channel.  The
+/// read must complete and return the latest serialized write.  Returns
+/// the violated invariant name or nullptr.
+const char* probe_read(const World& quiescent, NodeId client,
+                       const CheckConfig& cfg, std::string& detail);
+
+/// True iff delivering the head of channel src->dst is a *pure
+/// absorption*: a dry run on a clone of dst's machine fires no context
+/// callback and leaves the machine's exact state bytes unchanged.  Such a
+/// delivery is invisible to every invariant and commutes with every other
+/// enabled transition, so the search may expand it alone.
+bool pure_absorption(const World& w, NodeId src, NodeId dst);
+
+}  // namespace drsm::check

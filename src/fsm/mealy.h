@@ -142,6 +142,49 @@ class ProtocolMachine {
     encode(out);
   }
 
+  /// Role-aware variant of encode_full() for the model checker's symmetry
+  /// reduction: appends exactly the bytes encode_full() would, but with
+  /// every NodeId embedded in the machine state (believed owners, per-node
+  /// bitsets, buffered-token initiators) relabeled through `map`.  `map`
+  /// has `num_clients` entries sending client id i to map[i]; the home
+  /// node (id == num_clients) and kNoNode are fixed points and must be
+  /// passed through unchanged.  Two machines whose relabeled encodings
+  /// agree under the same map must behave identically when the whole
+  /// system (peers, channels, in-flight messages) is relabeled the same
+  /// way — this is what lets the checker collapse permutation-equivalent
+  /// global states to one canonical representative.  Returns false when
+  /// the machine does not support relabeling (the default); the checker
+  /// then disables symmetry reduction for the run.
+  virtual bool encode_relabeled(std::vector<std::uint8_t>& out,
+                                const NodeId* map,
+                                std::size_t num_clients) const {
+    (void)out;
+    (void)map;
+    (void)num_clients;
+    return false;
+  }
+
+  /// Exact-snapshot codec, the pair the checker's compact frontier uses to
+  /// re-materialize a machine from bytes instead of holding live clones.
+  /// Unlike encode_full(), which deliberately omits data (values, versions,
+  /// buffered message payloads) because data never selects a transition,
+  /// encode_state() must capture *every* field: decode_state() on a
+  /// freshly constructed machine followed by any message sequence must be
+  /// indistinguishable from the original.  Defaults to encode_full() /
+  /// unsupported — correct only for machines with no data fields at all
+  /// (the hand-built test fragments); every real protocol overrides both.
+  virtual void encode_state(std::vector<std::uint8_t>& out) const {
+    encode_full(out);
+  }
+
+  /// Inverse of encode_state().  Returns false when unsupported (the
+  /// default); the checker then falls back to cloning whole machines.
+  virtual bool decode_state(const std::uint8_t*& p, const std::uint8_t* end) {
+    (void)p;
+    (void)end;
+    return false;
+  }
+
   /// True when the machine holds no in-flight transient state (no pending
   /// retries or buffered requests).  The analytic engine snapshots states
   /// only at quiescence and asserts this.

@@ -109,6 +109,29 @@ class SynapseClient final : public ProtocolMachine {
     return true;
   }
 
+  bool encode_relabeled(std::vector<std::uint8_t>& out, const NodeId*,
+                        std::size_t) const override {
+    encode_full(out);  // no NodeIds in the encoding
+    return true;
+  }
+
+  void encode_state(std::vector<std::uint8_t>& out) const override {
+    out.push_back(static_cast<std::uint8_t>(state_));
+    out.push_back(static_cast<std::uint8_t>(pending_));
+    detail::put_u64(out, value_);
+    detail::put_u64(out, version_);
+    detail::put_u64(out, pending_value_);
+  }
+
+  bool decode_state(const std::uint8_t*& p, const std::uint8_t* end) override {
+    state_ = static_cast<SynState>(detail::take_u8(p, end));
+    pending_ = static_cast<PendingOp>(detail::take_u8(p, end));
+    value_ = detail::take_u64(p, end);
+    version_ = detail::take_u64(p, end);
+    pending_value_ = detail::take_u64(p, end);
+    return true;
+  }
+
   bool quiescent() const override { return pending_ == PendingOp::kNone; }
 
   const char* state_name() const override {
@@ -245,6 +268,51 @@ class SynapseSequencer final : public ProtocolMachine {
     nack_requester_ = false;
     local_op_ = LocalOp::kNone;
     deferred_.clear();
+    return true;
+  }
+
+  bool encode_relabeled(std::vector<std::uint8_t>& out, const NodeId* map,
+                        std::size_t n) const override {
+    out.push_back(owner_ == kNoNode ? 0 : 1);
+    detail::put_u32(out,
+                    owner_ == kNoNode ? 0u : detail::map_node(owner_, map, n));
+    out.push_back(recalling_ ? 1 : 0);
+    out.push_back(nack_requester_ ? 1 : 0);
+    out.push_back(static_cast<std::uint8_t>(local_op_));
+    if (recalling_)
+      detail::encode_token_relabeled(out, recall_cause_, map, n);
+    out.push_back(static_cast<std::uint8_t>(deferred_.size()));
+    for (const Message& msg : deferred_)
+      detail::encode_token_relabeled(out, msg, map, n);
+    return true;
+  }
+
+  void encode_state(std::vector<std::uint8_t>& out) const override {
+    detail::put_u64(out, value_);
+    detail::put_u64(out, version_);
+    detail::put_u64(out, pending_value_);
+    detail::put_u32(out, owner_);
+    out.push_back(recalling_ ? 1 : 0);
+    out.push_back(nack_requester_ ? 1 : 0);
+    out.push_back(static_cast<std::uint8_t>(local_op_));
+    detail::encode_message(out, recall_cause_);
+    out.push_back(static_cast<std::uint8_t>(deferred_.size()));
+    for (const Message& msg : deferred_) detail::encode_message(out, msg);
+  }
+
+  bool decode_state(const std::uint8_t*& p, const std::uint8_t* end) override {
+    value_ = detail::take_u64(p, end);
+    version_ = detail::take_u64(p, end);
+    pending_value_ = detail::take_u64(p, end);
+    owner_ = detail::take_u32(p, end);
+    recalling_ = detail::take_u8(p, end) != 0;
+    nack_requester_ = detail::take_u8(p, end) != 0;
+    local_op_ = static_cast<LocalOp>(detail::take_u8(p, end));
+    recall_cause_ = detail::decode_message(p, end);
+    deferred_.clear();
+    const std::size_t count = detail::take_u8(p, end);
+    for (std::size_t i = 0; i < count; ++i)
+      deferred_.push_back(detail::decode_message(p, end));
     return true;
   }
 

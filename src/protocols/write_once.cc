@@ -141,6 +141,27 @@ class WoClient final : public ProtocolMachine {
     return true;
   }
 
+  bool encode_relabeled(std::vector<std::uint8_t>& out, const NodeId*,
+                        std::size_t) const override {
+    encode_full(out);  // no NodeIds in the encoding
+    return true;
+  }
+
+  void encode_state(std::vector<std::uint8_t>& out) const override {
+    out.push_back(static_cast<std::uint8_t>(state_));
+    detail::put_u64(out, value_);
+    detail::put_u64(out, version_);
+    detail::put_u64(out, pending_value_);
+  }
+
+  bool decode_state(const std::uint8_t*& p, const std::uint8_t* end) override {
+    state_ = static_cast<WoState>(detail::take_u8(p, end));
+    value_ = detail::take_u64(p, end);
+    version_ = detail::take_u64(p, end);
+    pending_value_ = detail::take_u64(p, end);
+    return true;
+  }
+
   const char* state_name() const override {
     switch (state_) {
       case WoState::kInvalid: return "INVALID";
@@ -253,6 +274,45 @@ class WoSequencer final : public ProtocolMachine {
     owner_ = has_owner ? owner : kNoNode;
     pending_ = Pending::kNone;
     deferred_.clear();
+    return true;
+  }
+
+  bool encode_relabeled(std::vector<std::uint8_t>& out, const NodeId* map,
+                        std::size_t n) const override {
+    out.push_back(owner_ == kNoNode ? 0 : 1);
+    detail::put_u32(out,
+                    owner_ == kNoNode ? 0u : detail::map_node(owner_, map, n));
+    out.push_back(static_cast<std::uint8_t>(pending_));
+    if (pending_ != Pending::kNone)
+      detail::encode_token_relabeled(out, pending_msg_, map, n);
+    out.push_back(static_cast<std::uint8_t>(deferred_.size()));
+    for (const Message& msg : deferred_)
+      detail::encode_token_relabeled(out, msg, map, n);
+    return true;
+  }
+
+  void encode_state(std::vector<std::uint8_t>& out) const override {
+    detail::put_u64(out, value_);
+    detail::put_u64(out, version_);
+    detail::put_u64(out, pending_value_);
+    detail::put_u32(out, owner_);
+    out.push_back(static_cast<std::uint8_t>(pending_));
+    detail::encode_message(out, pending_msg_);
+    out.push_back(static_cast<std::uint8_t>(deferred_.size()));
+    for (const Message& msg : deferred_) detail::encode_message(out, msg);
+  }
+
+  bool decode_state(const std::uint8_t*& p, const std::uint8_t* end) override {
+    value_ = detail::take_u64(p, end);
+    version_ = detail::take_u64(p, end);
+    pending_value_ = detail::take_u64(p, end);
+    owner_ = detail::take_u32(p, end);
+    pending_ = static_cast<Pending>(detail::take_u8(p, end));
+    pending_msg_ = detail::decode_message(p, end);
+    deferred_.clear();
+    const std::size_t count = detail::take_u8(p, end);
+    for (std::size_t i = 0; i < count; ++i)
+      deferred_.push_back(detail::decode_message(p, end));
     return true;
   }
 

@@ -90,6 +90,25 @@ class WtClient final : public ProtocolMachine {
     return true;
   }
 
+  bool encode_relabeled(std::vector<std::uint8_t>& out, const NodeId*,
+                        std::size_t) const override {
+    encode_full(out);  // no NodeIds in the encoding
+    return true;
+  }
+
+  void encode_state(std::vector<std::uint8_t>& out) const override {
+    out.push_back(valid_ ? 1 : 0);
+    detail::put_u64(out, value_);
+    detail::put_u64(out, version_);
+  }
+
+  bool decode_state(const std::uint8_t*& p, const std::uint8_t* end) override {
+    valid_ = detail::take_u8(p, end) != 0;
+    value_ = detail::take_u64(p, end);
+    version_ = detail::take_u64(p, end);
+    return true;
+  }
+
   const char* state_name() const override {
     return valid_ ? "VALID" : "INVALID";
   }
@@ -151,6 +170,23 @@ class WtSequencer final : public ProtocolMachine {
 
   bool decode(const std::uint8_t*& p, const std::uint8_t* end) override {
     detail::take_u8(p, end);
+    return true;
+  }
+
+  bool encode_relabeled(std::vector<std::uint8_t>& out, const NodeId*,
+                        std::size_t) const override {
+    encode_full(out);  // no NodeIds in the encoding
+    return true;
+  }
+
+  void encode_state(std::vector<std::uint8_t>& out) const override {
+    detail::put_u64(out, value_);
+    detail::put_u64(out, version_);
+  }
+
+  bool decode_state(const std::uint8_t*& p, const std::uint8_t* end) override {
+    value_ = detail::take_u64(p, end);
+    version_ = detail::take_u64(p, end);
     return true;
   }
 

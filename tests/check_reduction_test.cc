@@ -1,0 +1,382 @@
+// Soundness of the model checker's reductions (src/check/world.h,
+// src/check/model_checker.cc):
+//
+//  * reduction soundness — the default (symmetry + POR, canonical-hash
+//    dedup) exploration reaches the same verdict and the same state-name
+//    coverage as the exact kFullExpansion reference on every protocol,
+//    while visiting no more (and usually far fewer) states;
+//  * permutation equivariance — relabeling the clients of a reachable
+//    state permutes its behaviour key exactly and never changes its
+//    canonical hash, established by driving a random walk and a
+//    π-relabeled twin walk in lockstep;
+//  * snapshot codec — serialize_world/deserialize_world round-trips
+//    every field the search can observe;
+//  * StateStore — first-claim semantics hold, including under
+//    concurrent claimers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "check/model_checker.h"
+#include "check/state_store.h"
+#include "check/world.h"
+#include "exec/thread_pool.h"
+#include "protocols/protocol.h"
+#include "support/rng.h"
+
+namespace drsm {
+namespace {
+
+using check::CheckConfig;
+using check::CheckResult;
+using check::StateStore;
+using check::StepOutcome;
+using check::World;
+using protocols::ProtocolKind;
+
+// ---------------------------------------------------------------------------
+// Reduced vs full expansion: same verdict, same coverage, fewer states.
+// ---------------------------------------------------------------------------
+
+class ReductionSoundnessTest
+    : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(ReductionSoundnessTest, ReducedMatchesFullExpansionVerdict) {
+  CheckConfig reduced;
+  reduced.protocol = GetParam();
+  reduced.num_clients = 2;
+  const CheckResult r = check::check_protocol(reduced);
+
+  CheckConfig full = reduced;
+  full.expansion = CheckConfig::Expansion::kFullExpansion;
+  const CheckResult f = check::check_protocol(full);
+
+  ASSERT_TRUE(f.ok()) << f.violations.front().detail;
+  ASSERT_TRUE(r.ok()) << r.violations.front().detail;
+  EXPECT_FALSE(f.hit_state_cap);
+  EXPECT_FALSE(r.hit_state_cap);
+
+  // The reductions must not invent or lose machine-state coverage: every
+  // orbit representative carries the same state-name multiset, and pure
+  // absorptions change no machine at all.
+  EXPECT_EQ(r.visited_state_names, f.visited_state_names);
+
+  // Reduction, not inflation.
+  EXPECT_LE(r.states, f.states);
+  EXPECT_LE(r.transitions, f.transitions);
+  EXPECT_TRUE(r.symmetry_applied);
+  EXPECT_TRUE(r.por_applied);
+  EXPECT_TRUE(r.compact_frontier);
+  EXPECT_FALSE(f.symmetry_applied);
+  EXPECT_FALSE(f.por_applied);
+
+  // With two interchangeable clients the orbit quotient must actually
+  // bite: strictly fewer canonical states than raw states.
+  EXPECT_LT(r.states, f.states);
+  EXPECT_GT(r.symmetry_hits, 0u);
+}
+
+TEST_P(ReductionSoundnessTest, EachReductionAloneIsAlsoSound) {
+  CheckConfig base;
+  base.protocol = GetParam();
+  base.num_clients = 2;
+
+  CheckConfig sym_only = base;
+  sym_only.partial_order_reduction = false;
+  const CheckResult s = check::check_protocol(sym_only);
+  ASSERT_TRUE(s.ok()) << s.violations.front().detail;
+  EXPECT_TRUE(s.symmetry_applied);
+  EXPECT_FALSE(s.por_applied);
+  EXPECT_EQ(s.por_pruned, 0u);
+
+  CheckConfig por_only = base;
+  por_only.symmetry_reduction = false;
+  const CheckResult p = check::check_protocol(por_only);
+  ASSERT_TRUE(p.ok()) << p.violations.front().detail;
+  EXPECT_FALSE(p.symmetry_applied);
+  EXPECT_TRUE(p.por_applied);
+  EXPECT_EQ(p.symmetry_hits, 0u);
+
+  CheckConfig full = base;
+  full.expansion = CheckConfig::Expansion::kFullExpansion;
+  const CheckResult f = check::check_protocol(full);
+
+  EXPECT_EQ(s.visited_state_names, f.visited_state_names);
+  EXPECT_EQ(p.visited_state_names, f.visited_state_names);
+  EXPECT_LE(s.states, f.states);
+  // POR explores a subgraph: never more states than the full expansion
+  // (skipped siblings recur behind the absorbed delivery, minus the
+  // already-absorbed message).
+  EXPECT_LE(p.states, f.states);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ReductionSoundnessTest,
+                         ::testing::ValuesIn(protocols::kAllProtocols),
+                         [](const auto& info) {
+                           std::string name =
+                               protocols::to_string(info.param);
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Permutation equivariance along random walks.
+// ---------------------------------------------------------------------------
+
+struct WalkAction {
+  bool issue = false;
+  NodeId node = 0;  // issue: client.  deliver: destination.
+  NodeId src = 0;   // deliver: channel source
+  fsm::OpKind op = fsm::OpKind::kRead;
+};
+
+/// Enabled actions at `w`, in a fixed order (mirrors the checker's
+/// candidate enumeration).
+std::vector<WalkAction> enabled_actions(const World& w) {
+  std::vector<WalkAction> out;
+  const std::size_t nodes = w.num_nodes();
+  for (NodeId c = 0; c + 1 < nodes; ++c) {
+    if (w.pending[c] != 0 || w.disabled[c] != 0) continue;
+    if (w.reads_left[c] > 0)
+      out.push_back({true, c, 0, fsm::OpKind::kRead});
+    if (w.writes_left[c] > 0)
+      out.push_back({true, c, 0, fsm::OpKind::kWrite});
+  }
+  for (NodeId src = 0; src < nodes; ++src)
+    for (NodeId dst = 0; dst < nodes; ++dst)
+      if (!w.channels[src * nodes + dst].empty())
+        out.push_back({false, dst, src, fsm::OpKind::kRead});
+  return out;
+}
+
+void apply_action(World& w, const WalkAction& a, std::size_t capacity) {
+  StepOutcome out;
+  fsm::Message msg;
+  if (a.issue)
+    check::apply_issue(w, a.node, a.op, capacity, out, msg);
+  else
+    check::apply_deliver(w, a.src, a.node, capacity, out, msg);
+  ASSERT_EQ(out.invariant, nullptr) << out.invariant << ": " << out.detail;
+}
+
+NodeId mapped(NodeId id, const std::vector<NodeId>& pi) {
+  return id < pi.size() ? pi[id] : id;
+}
+
+class PermutationInvarianceTest
+    : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(PermutationInvarianceTest, RelabeledTwinWalksShareCanonicalHashes) {
+  CheckConfig cfg;
+  cfg.protocol = GetParam();
+  cfg.num_clients = 3;
+  cfg.reads_per_client = 2;
+  cfg.writes_per_client = 2;
+  const auto perms = check::client_permutations(cfg.num_clients);
+
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed * 77);
+    // A non-identity permutation pi, applied to every client id the twin
+    // walk touches.
+    const std::vector<NodeId>& pi = perms[1 + rng.uniform_index(
+                                        perms.size() - 1)];
+
+    World a = check::make_initial_world(cfg);
+    World b = check::make_initial_world(cfg);
+    std::vector<std::uint8_t> key_a, key_b, scratch;
+
+    for (int step = 0; step < 60; ++step) {
+      const auto actions = enabled_actions(a);
+      if (actions.empty()) break;
+      WalkAction act = actions[rng.uniform_index(actions.size())];
+      apply_action(a, act, cfg.channel_capacity);
+
+      WalkAction twin = act;
+      twin.node = mapped(act.node, pi);
+      twin.src = mapped(act.src, pi);
+      apply_action(b, twin, cfg.channel_capacity);
+
+      // The twin's identity key is the original's key relabeled by pi...
+      ASSERT_TRUE(check::encode_key_relabeled(a, pi.data(), key_a));
+      ASSERT_TRUE(check::encode_key_relabeled(b, perms[0].data(), key_b));
+      ASSERT_EQ(key_a, key_b) << "protocol "
+                              << protocols::to_string(GetParam())
+                              << " seed " << seed << " step " << step;
+
+      // ...and both walks canonicalize to the same hash at every step.
+      const auto ca = check::canonical_hash(a, perms, scratch);
+      const auto cb = check::canonical_hash(b, perms, scratch);
+      ASSERT_EQ(ca.hash, cb.hash);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, PermutationInvarianceTest,
+                         ::testing::ValuesIn(protocols::kAllProtocols),
+                         [](const auto& info) {
+                           std::string name =
+                               protocols::to_string(info.param);
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Exact snapshot codec.
+// ---------------------------------------------------------------------------
+
+class SnapshotCodecTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(SnapshotCodecTest, RoundTripsEveryObservableField) {
+  CheckConfig cfg;
+  cfg.protocol = GetParam();
+  cfg.num_clients = 3;
+  cfg.reads_per_client = 2;
+  cfg.writes_per_client = 2;
+
+  Rng rng(4242);
+  World w = check::make_initial_world(cfg);
+  std::vector<std::uint8_t> bytes, bytes2, key, key2;
+  for (int step = 0; step < 80; ++step) {
+    const auto actions = enabled_actions(w);
+    if (actions.empty()) break;
+    apply_action(w, actions[rng.uniform_index(actions.size())],
+                 cfg.channel_capacity);
+
+    check::serialize_world(w, bytes);
+    World back;
+    ASSERT_TRUE(check::deserialize_world(
+        cfg, bytes.data(), bytes.data() + bytes.size(), back));
+
+    // Bytes fix-point, behaviour key equal, and the path-local oracle
+    // history intact.
+    check::serialize_world(back, bytes2);
+    EXPECT_EQ(bytes, bytes2);
+    check::encode_key(w, key);
+    check::encode_key(back, key2);
+    EXPECT_EQ(key, key2);
+    EXPECT_EQ(back.version_counter, w.version_counter);
+    EXPECT_EQ(back.issue_counter, w.issue_counter);
+    EXPECT_EQ(back.latest_version, w.latest_version);
+    EXPECT_EQ(back.latest_value, w.latest_value);
+    EXPECT_EQ(back.commit_log, w.commit_log);
+    EXPECT_EQ(back.issued, w.issued);
+    EXPECT_EQ(back.last_read_version, w.last_read_version);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, SnapshotCodecTest,
+                         ::testing::ValuesIn(protocols::kAllProtocols),
+                         [](const auto& info) {
+                           std::string name =
+                               protocols::to_string(info.param);
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// StateStore.
+// ---------------------------------------------------------------------------
+
+TEST(StateStoreTest, FirstClaimWinsExactlyOnce) {
+  StateStore store(1000);
+  Rng rng(7);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 500; ++i) keys.push_back(rng.next());
+  for (std::uint64_t k : keys)
+    EXPECT_EQ(store.claim(k), StateStore::Claim::kInserted);
+  for (std::uint64_t k : keys)
+    EXPECT_EQ(store.claim(k), StateStore::Claim::kPresent);
+  EXPECT_EQ(store.size(), keys.size());
+}
+
+TEST(StateStoreTest, ZeroKeyIsClaimable) {
+  StateStore store(16);
+  EXPECT_EQ(store.claim(0), StateStore::Claim::kInserted);
+  EXPECT_EQ(store.claim(0), StateStore::Claim::kPresent);
+}
+
+TEST(StateStoreTest, SkewedKeysStillSpread) {
+  // Canonical keys are orbit minima: heavily biased toward small values.
+  // The store must absorb far more such keys than a naive top-bit shard
+  // split would allow.
+  StateStore store(20000);
+  for (std::uint64_t k = 1; k <= 20000; ++k)
+    ASSERT_EQ(store.claim(k), StateStore::Claim::kInserted) << k;
+}
+
+TEST(StateStoreTest, ReserveKeepsEveryClaimedKey) {
+  // The checker grows the store at depth barriers; a grown store must
+  // still report every previously claimed key as present (a key lost in
+  // the rehash would let BFS revisit — and re-expand — a whole subtree).
+  StateStore store(16);
+  Rng rng(11);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 40000; ++i) keys.push_back(rng.next());
+  std::size_t grown = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (i == store.capacity()) {  // about to outgrow: barrier-style grow
+      store.reserve(2 * store.capacity());
+      ++grown;
+    }
+    ASSERT_EQ(store.claim(keys[i]), StateStore::Claim::kInserted) << i;
+    if (i % 97 == 0) {
+      ASSERT_EQ(store.claim(keys[i / 2]), StateStore::Claim::kPresent);
+    }
+  }
+  EXPECT_GT(grown, 5u);
+  EXPECT_EQ(store.size(), keys.size());
+  for (std::uint64_t k : keys)
+    ASSERT_EQ(store.claim(k), StateStore::Claim::kPresent) << k;
+}
+
+TEST(StateStoreTest, ConcurrentClaimersInsertEachKeyExactlyOnce) {
+  const std::size_t kKeys = 20000;
+  StateStore store(kKeys);
+  exec::ThreadPool pool(4);
+  std::atomic<std::size_t> inserted{0};
+  // Every key offered by two workers: exactly one wins.
+  pool.parallel_for(8, [&](std::size_t) {
+    Rng rng(99);  // same stream in every task: all claim the same keys
+    for (std::size_t i = 0; i < kKeys; ++i) {
+      if (store.claim(rng.next()) == StateStore::Claim::kInserted)
+        inserted.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(inserted.load(), kKeys);
+  EXPECT_EQ(store.size(), kKeys);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel exploration equivalence.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelCheckTest, ThreadCountDoesNotChangeResults) {
+  for (const auto kind :
+       {ProtocolKind::kWriteThrough, ProtocolKind::kBerkeley}) {
+    CheckConfig cfg;
+    cfg.protocol = kind;
+    cfg.num_clients = 2;
+    cfg.threads = 1;
+    const CheckResult serial = check::check_protocol(cfg);
+    cfg.threads = 4;
+    const CheckResult parallel = check::check_protocol(cfg);
+    ASSERT_TRUE(serial.ok());
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(parallel.threads_used, 4u);
+    EXPECT_EQ(serial.states, parallel.states);
+    EXPECT_EQ(serial.transitions, parallel.transitions);
+    EXPECT_EQ(serial.probes, parallel.probes);
+    EXPECT_EQ(serial.max_depth, parallel.max_depth);
+    EXPECT_EQ(serial.por_pruned, parallel.por_pruned);
+    EXPECT_EQ(serial.visited_state_names, parallel.visited_state_names);
+  }
+}
+
+}  // namespace
+}  // namespace drsm

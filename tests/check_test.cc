@@ -89,9 +89,13 @@ INSTANTIATE_TEST_SUITE_P(AllProtocols, ExhaustiveCheckTest,
                            return name;
                          });
 
-// N = 3 blows the state space up by two orders of magnitude; the
+// N = 3 blows the full state space up by two orders of magnitude; the
 // acceptance bar requires it for the fixed-sequencer write-through and the
-// migrating-owner Berkeley, the two structurally extreme protocols.
+// migrating-owner Berkeley, the two structurally extreme protocols.  The
+// default (reduced) mode must both stay exhaustive — symmetry and POR
+// applied, no cap — and actually earn its keep: at least a 10x shrink of
+// the canonical space versus the full expansion's known counts (33,897
+// states for WT, 296,634 for Berkeley).
 TEST(ExhaustiveCheckLarge, WriteThroughThreeClients) {
   CheckConfig config;
   config.protocol = ProtocolKind::kWriteThrough;
@@ -99,7 +103,12 @@ TEST(ExhaustiveCheckLarge, WriteThroughThreeClients) {
   const CheckResult result = check::check_protocol(config);
   ASSERT_TRUE(result.ok()) << result.violations.front().detail;
   EXPECT_FALSE(result.hit_state_cap);
-  EXPECT_GT(result.states, 10'000u);
+  EXPECT_TRUE(result.symmetry_applied);
+  EXPECT_TRUE(result.por_applied);
+  EXPECT_TRUE(result.compact_frontier);
+  EXPECT_GT(result.states, 1'000u);
+  EXPECT_LT(result.states, 33'897u / 10);
+  EXPECT_GT(result.symmetry_hits, 0u);
 }
 
 TEST(ExhaustiveCheckLarge, BerkeleyThreeClients) {
@@ -109,7 +118,22 @@ TEST(ExhaustiveCheckLarge, BerkeleyThreeClients) {
   const CheckResult result = check::check_protocol(config);
   ASSERT_TRUE(result.ok()) << result.violations.front().detail;
   EXPECT_FALSE(result.hit_state_cap);
-  EXPECT_GT(result.states, 100'000u);
+  EXPECT_GT(result.states, 10'000u);
+  EXPECT_LT(result.states, 296'634u / 10);
+}
+
+// Full expansion of the same configuration is the reference the reduced
+// counts above are measured against.
+TEST(ExhaustiveCheckLarge, WriteThroughThreeClientsFullExpansion) {
+  CheckConfig config;
+  config.protocol = ProtocolKind::kWriteThrough;
+  config.num_clients = 3;
+  config.expansion = CheckConfig::Expansion::kFullExpansion;
+  const CheckResult result = check::check_protocol(config);
+  ASSERT_TRUE(result.ok()) << result.violations.front().detail;
+  EXPECT_FALSE(result.symmetry_applied);
+  EXPECT_FALSE(result.por_applied);
+  EXPECT_EQ(result.states, 33'897u);
 }
 
 // ---------------------------------------------------------------------------

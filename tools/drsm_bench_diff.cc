@@ -3,8 +3,9 @@
 // Compares a freshly generated report against a committed baseline:
 //
 //  * accuracy — every numeric acc field (acc, acc_analytic, acc_mean,
-//    discrepancy_percent) in the "results" array must match the baseline
-//    bit for bit, in order.  The sweeps are deterministic by contract, so
+//    discrepancy_percent, plus the model checker's "states" counts) in
+//    the "results" array must match the baseline bit for bit, in order.
+//    The sweeps are deterministic by contract, so
 //    any difference is a real behaviour change, not noise.  --acc-tol
 //    relaxes this to a relative tolerance when comparing across
 //    configurations that are allowed to differ.
@@ -93,8 +94,11 @@ struct AccSample {
 };
 
 bool is_acc_key(const std::string& key) {
+  // "states" is the model checker's exhaustive visited-state count
+  // (BENCH_check.json): schedule-independent by design, so it is held to
+  // the same bit-exact standard as the analytic accuracy figures.
   return key == "acc" || key == "acc_analytic" || key == "acc_mean" ||
-         key == "discrepancy_percent";
+         key == "discrepancy_percent" || key == "states";
 }
 
 /// Collects the accuracy fields of every object in the report's "results"

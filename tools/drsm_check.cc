@@ -10,12 +10,19 @@
 //   drsm_check [--protocol=all|wt|wtv|wo|syn|ill|ber|drg|ff]
 //              [--clients=N] [--reads=K] [--writes=K]
 //              [--seeds=S] [--ops=OPS] [--no-probes] [--trace=FILE]
-//              [--postmortem=FILE]
+//              [--postmortem=FILE] [--threads=T] [--max-states=M]
+//              [--full-expansion] [--no-symmetry] [--no-por]
 //
 // Defaults: all protocols, 2 clients, 1 read + 1 write per client, 25
-// property seeds of 150 operations each.  --postmortem dumps the first
+// property seeds of 150 operations each, reduced exploration (symmetry +
+// partial-order reduction) with --threads=0 (auto).  --full-expansion
+// switches to the exact reference mode.  --postmortem dumps the first
 // violation's counterexample through the flight recorder as a JSONL
 // post-mortem (header line + events; see docs/OBSERVABILITY.md).
+//
+// Exit status: 0 all checks passed and complete, 1 violation found, 2 bad
+// invocation, 3 exploration hit the state cap (the verdict is PARTIAL —
+// raise --max-states or shrink the configuration).
 
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +50,11 @@ struct Args {
   std::size_t seeds = 25;
   std::size_t ops = 150;
   bool probes = true;
+  std::size_t threads = 0;  // 0 = ThreadPool::default_threads()
+  std::size_t max_states = 0;  // 0 = CheckConfig default
+  bool full_expansion = false;
+  bool symmetry = true;
+  bool por = true;
   std::string trace_path;
   std::string postmortem_path;
 };
@@ -51,7 +63,9 @@ struct Args {
   std::fprintf(stderr,
                "usage: %s [--protocol=all|NAME] [--clients=N] [--reads=K] "
                "[--writes=K] [--seeds=S] [--ops=OPS] [--no-probes] "
-               "[--trace=FILE] [--postmortem=FILE]\n",
+               "[--trace=FILE] [--postmortem=FILE] [--threads=T] "
+               "[--max-states=M] [--full-expansion] [--no-symmetry] "
+               "[--no-por]\n",
                argv0);
   std::exit(2);
 }
@@ -79,6 +93,16 @@ Args parse(int argc, char** argv) {
       args.ops = std::stoul(value("--ops="));
     } else if (arg == "--no-probes") {
       args.probes = false;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      args.threads = std::stoul(value("--threads="));
+    } else if (arg.rfind("--max-states=", 0) == 0) {
+      args.max_states = std::stoul(value("--max-states="));
+    } else if (arg == "--full-expansion") {
+      args.full_expansion = true;
+    } else if (arg == "--no-symmetry") {
+      args.symmetry = false;
+    } else if (arg == "--no-por") {
+      args.por = false;
     } else if (arg.rfind("--trace=", 0) == 0) {
       args.trace_path = value("--trace=");
     } else if (arg.rfind("--postmortem=", 0) == 0) {
@@ -104,11 +128,14 @@ void dump_counterexample(const check::CheckResult& result,
 int main(int argc, char** argv) try {
   const Args args = parse(argc, argv);
   bool failed = false;
+  bool capped = false;
 
   std::printf("model checker: %zu clients, %zu read(s) + %zu write(s) per "
-              "client, probes %s\n",
+              "client, probes %s, %s\n",
               args.clients, args.reads, args.writes,
-              args.probes ? "on" : "off");
+              args.probes ? "on" : "off",
+              args.full_expansion ? "full expansion (reference mode)"
+                                  : "reduced (symmetry + POR)");
   for (const auto kind : args.kinds) {
     check::CheckConfig config;
     config.protocol = kind;
@@ -116,13 +143,34 @@ int main(int argc, char** argv) try {
     config.reads_per_client = args.reads;
     config.writes_per_client = args.writes;
     config.probe_quiescent_reads = args.probes;
+    config.threads = args.threads;
+    if (args.max_states > 0) config.max_states = args.max_states;
+    if (args.full_expansion)
+      config.expansion = check::CheckConfig::Expansion::kFullExpansion;
+    config.symmetry_reduction = args.symmetry;
+    config.partial_order_reduction = args.por;
     const check::CheckResult result = check::check_protocol(config);
     std::printf("  %-16s %8zu states %9zu transitions %6zu probes "
-                "depth %3zu  %s\n",
+                "depth %3zu %8.0f st/s  %s\n",
                 protocols::to_string(kind), result.states,
                 result.transitions, result.probes, result.max_depth,
+                result.states_per_sec(),
                 result.ok() ? (result.hit_state_cap ? "PARTIAL" : "ok")
                             : "VIOLATION");
+    if (result.symmetry_applied || result.por_applied)
+      std::printf("    reductions: %zu symmetry hits, %zu POR-pruned "
+                  "siblings, %zu threads%s\n",
+                  result.symmetry_hits, result.por_pruned,
+                  result.threads_used,
+                  result.compact_frontier ? ", compact frontier" : "");
+    if (result.hit_state_cap) {
+      capped = true;
+      std::printf("    *** STATE CAP HIT: exploration stopped at %zu "
+                  "states — the verdict above is PARTIAL, not a proof. "
+                  "Raise --max-states (current cap %zu) or shrink the "
+                  "configuration. ***\n",
+                  result.states, config.max_states);
+    }
     if (!result.ok()) {
       failed = true;
       for (const auto& v : result.violations)
@@ -170,7 +218,13 @@ int main(int argc, char** argv) try {
     }
   }
 
-  return failed ? 1 : 0;
+  if (failed) return 1;
+  if (capped) {
+    std::printf("RESULT: PARTIAL — at least one exploration hit its state "
+                "cap; nothing was proved for those configurations.\n");
+    return 3;
+  }
+  return 0;
 } catch (const drsm::Error& e) {
   std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
   return 2;
