@@ -12,12 +12,16 @@ cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 
 # The concurrency label (threaded runtime, MPSC ring, sharded concurrent
-# runtime, protocol race suite) once more under ThreadSanitizer (skipped
-# with DRSM_SKIP_TSAN=1, e.g. on hosts without TSan runtime support).
+# runtime, protocol race suite, live-migration stress) once more under
+# ThreadSanitizer (skipped with DRSM_SKIP_TSAN=1, e.g. on hosts without
+# TSan runtime support).  migration_stress_test exercises the
+# drain/fence/switch/seed handoff and the OnlineController's ring + stats
+# pipeline with real client threads — the racy half of the migration
+# world (tests labeled both `migration` and `concurrency`).
 if [ "${DRSM_SKIP_TSAN:-0}" != "1" ]; then
   cmake -B build-tsan -G Ninja -DDRSM_SANITIZE=thread
   cmake --build build-tsan --target threaded_test race_test \
-    mpsc_ring_test concurrent_runtime_test
+    mpsc_ring_test concurrent_runtime_test migration_stress_test
   ctest --test-dir build-tsan -L concurrency 2>&1 | tee -a test_output.txt
 fi
 
@@ -25,6 +29,14 @@ fi
 # the property-based coherence harness (see docs/TESTING.md).  N=3 covers
 # the acceptance configurations; the tests' N=2 sweep already ran in ctest.
 ./build/tools/drsm_check --clients=3 --seeds=200 2>&1 | tee -a test_output.txt
+
+# Migration worlds: every ordered protocol pair's live handoff
+# (drain -> fence -> flush -> switch -> seed -> release) checked
+# exhaustively at N=2 — all 64 pairs in under a second with the reduced
+# frontier.  The `migration` ctest label (already run above) carries the
+# N=3 acceptance pairs and the reduced-vs-full equivalence proof.
+./build/tools/drsm_check --migration=all --clients=2 2>&1 \
+  | tee -a test_output.txt
 
 # One verification pass under ThreadSanitizer as well: the checker and
 # oracle share the simulator hot path, so a data race in the tap wiring

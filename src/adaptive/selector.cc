@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 
 #include "support/error.h"
 
@@ -98,19 +99,26 @@ AdaptiveSelector::Classification AdaptiveSelector::classify_object(
   return classify(spec_from_telemetry(stats, object, num_clients_));
 }
 
+namespace {
+
+// Telemetry windows are half the requested recent-mix span: node_mix sums
+// the last closed window plus the current partial one.
+obs::AccessStatsOptions telemetry_options(std::size_t window) {
+  obs::AccessStatsOptions options;
+  options.window_ops = std::max<std::size_t>(1, window / 2);
+  return options;
+}
+
+}  // namespace
+
 AdaptiveSharedMemory::AdaptiveSharedMemory(const Options& options)
     : options_(options),
       memory_(options.memory),
+      telemetry_(telemetry_options(options.window)),
       selector_(
           sim::SystemConfig{options.memory.num_clients, options.memory.costs,
                             1},
-          options.candidates) {
-  const std::size_t estimator_count =
-      options_.per_object ? options_.memory.num_objects : 1;
-  estimators_.reserve(estimator_count);
-  for (std::size_t i = 0; i < estimator_count; ++i)
-    estimators_.emplace_back(options_.memory.num_clients, options_.window);
-}
+          options.candidates) {}
 
 std::uint64_t AdaptiveSharedMemory::read(NodeId node, ObjectId object) {
   const std::uint64_t value = memory_.read(node, object);
@@ -128,33 +136,95 @@ void AdaptiveSharedMemory::observe(NodeId node, ObjectId object,
                                    OpKind op) {
   telemetry_.on_access(node, object, op);
   if (node >= options_.memory.num_clients) return;
-  estimators_[options_.per_object ? object : 0].observe(node, op);
   maybe_reclassify();
+}
+
+namespace {
+
+// A recent per-node mix as an empirical spec; false when the window holds
+// no client accesses (nothing to classify from).
+bool spec_from_mix(const std::vector<obs::AccessStats::NodeMix>& mix,
+                   workload::WorkloadSpec& out) {
+  double total = 0.0;
+  for (const auto& m : mix)
+    total += static_cast<double>(m.reads + m.writes);
+  if (total == 0.0) return false;
+  out.name = "telemetry";
+  out.events.clear();
+  for (std::size_t node = 0; node < mix.size(); ++node) {
+    const double reads = static_cast<double>(mix[node].reads);
+    const double writes = static_cast<double>(mix[node].writes);
+    if (reads == 0.0 && writes == 0.0) continue;
+    out.events.push_back(
+        {static_cast<NodeId>(node), OpKind::kRead, reads / total});
+    out.events.push_back(
+        {static_cast<NodeId>(node), OpKind::kWrite, writes / total});
+  }
+  out.validate();
+  return true;
+}
+
+}  // namespace
+
+ProtocolKind AdaptiveSharedMemory::pick(ProtocolKind current,
+                                        const workload::WorkloadSpec& spec) {
+  const auto best = selector_.classify(spec);
+  if (best.protocol == current) return current;
+  // The incumbent is priced on the same spec; a challenger must clear the
+  // hysteresis band, so near-breakeven epochs keep the incumbent.
+  const double current_acc = selector_.solver().acc(current, spec);
+  return best.predicted_acc < (1.0 - options_.hysteresis) * current_acc
+             ? best.protocol
+             : current;
 }
 
 void AdaptiveSharedMemory::maybe_reclassify() {
   if (++ops_in_epoch_ < options_.epoch_ops) return;
   ops_in_epoch_ = 0;
   ++epochs_;
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t clients = options_.memory.num_clients;
   if (!options_.per_object) {
-    if (estimators_[0].observations() < options_.min_observations) return;
-    const auto decision =
-        selector_.classify(estimators_[0].empirical_spec());
-    if (decision.protocol != memory_.protocol()) {
-      memory_.switch_protocol(decision.protocol);
-      ++switches_;
+    if (telemetry_.accesses() < options_.min_observations) return;
+    // The memory-wide recent mix: every object's window, client rows only.
+    std::vector<obs::AccessStats::NodeMix> mix(clients);
+    for (std::size_t j = 0; j < telemetry_.num_objects(); ++j) {
+      const auto object_mix =
+          telemetry_.node_mix(static_cast<ObjectId>(j));
+      for (std::size_t n = 0; n < object_mix.size() && n < clients; ++n) {
+        mix[n].reads += object_mix[n].reads;
+        mix[n].writes += object_mix[n].writes;
+      }
     }
-    return;
-  }
-  for (ObjectId j = 0; j < options_.memory.num_objects; ++j) {
-    if (estimators_[j].observations() < options_.min_observations) continue;
-    const auto decision =
-        selector_.classify(estimators_[j].empirical_spec());
-    if (decision.protocol != memory_.object_protocol(j)) {
-      memory_.switch_protocol(j, decision.protocol);
-      ++switches_;
+    workload::WorkloadSpec spec;
+    if (spec_from_mix(mix, spec)) {
+      const ProtocolKind next = pick(memory_.protocol(), spec);
+      if (next != memory_.protocol()) {
+        memory_.switch_protocol(next);
+        ++switches_;
+      }
+    }
+  } else {
+    const std::size_t objects =
+        std::min(telemetry_.num_objects(), options_.memory.num_objects);
+    for (std::size_t j = 0; j < objects; ++j) {
+      const ObjectId object = static_cast<ObjectId>(j);
+      const auto& stats = telemetry_.object(object);
+      if (stats.reads + stats.writes < options_.min_observations) continue;
+      auto mix = telemetry_.node_mix(object);
+      if (mix.size() > clients) mix.resize(clients);
+      workload::WorkloadSpec spec;
+      if (!spec_from_mix(mix, spec)) continue;
+      const ProtocolKind next = pick(memory_.object_protocol(object), spec);
+      if (next != memory_.object_protocol(object)) {
+        memory_.switch_protocol(object, next);
+        ++switches_;
+      }
     }
   }
+  reclassify_ms_ += std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
 }
 
 }  // namespace drsm::adaptive

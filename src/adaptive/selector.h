@@ -80,19 +80,30 @@ class AdaptiveSelector {
 };
 
 /// A SharedMemory that re-selects its protocol every `epoch_ops`
-/// operations based on the estimated workload — either one protocol for
-/// the whole memory, or (per_object mode) one per shared object, since
-/// the paper's analysis treats objects independently.
+/// operations — either one protocol for the whole memory, or (per_object
+/// mode) one per shared object, since the paper's analysis treats objects
+/// independently.  Decisions are driven by the live obs::AccessStats
+/// telemetry (the windowed per-node mix each object is *currently*
+/// experiencing), not by a separate estimator: the same sensor that
+/// reports hot sets and activity-center drift feeds the classifier.  A
+/// hysteresis band keeps the selection stable: the incumbent protocol is
+/// re-priced on every epoch's spec, and a challenger wins only by beating
+/// it by the configured margin — near-breakeven workloads do not flap.
 class AdaptiveSharedMemory {
  public:
   struct Options {
     dsm::SharedMemory::Options memory;
     std::size_t epoch_ops = 512;       // re-classify this often
     std::size_t min_observations = 64; // do not switch before this many ops
-    std::size_t window = 1024;         // estimator window
+    /// Recent-mix span, in accesses: the telemetry window is sized so
+    /// that "last closed + current window" covers about this many.
+    std::size_t window = 1024;
     std::vector<protocols::ProtocolKind> candidates;  // empty = all eight
     /// Estimate and select per object instead of globally.
     bool per_object = false;
+    /// Relative acc improvement a challenger must show over the incumbent
+    /// before a switch happens (0 still demands a strict improvement).
+    double hysteresis = 0.05;
   };
 
   explicit AdaptiveSharedMemory(const Options& options);
@@ -114,19 +125,26 @@ class AdaptiveSharedMemory {
   }
   std::size_t switches() const { return switches_; }
   std::size_t epochs() const { return epochs_; }
+  /// Wall time spent inside epoch-boundary reclassification (the price of
+  /// self-tuning; benches report it as adaptive.reclassify_ms).
+  double reclassify_ms() const { return reclassify_ms_; }
 
  private:
   void observe(NodeId node, ObjectId object, fsm::OpKind op);
   void maybe_reclassify();
+  /// The hysteresis gate: best candidate for `spec`, unless the incumbent
+  /// is within the band — then the incumbent stays.
+  protocols::ProtocolKind pick(protocols::ProtocolKind current,
+                               const workload::WorkloadSpec& spec);
 
   Options options_;
   dsm::SharedMemory memory_;
   obs::AccessStats telemetry_;
-  std::vector<WorkloadEstimator> estimators_;  // one, or one per object
   AdaptiveSelector selector_;
   std::size_t ops_in_epoch_ = 0;
   std::size_t switches_ = 0;
   std::size_t epochs_ = 0;
+  double reclassify_ms_ = 0.0;
 };
 
 }  // namespace drsm::adaptive

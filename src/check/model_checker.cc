@@ -233,9 +233,12 @@ CheckResult check_reduced(const CheckConfig& cfg) {
   // The reductions require trusted state encodings, so both are gated on
   // the stock protocol machines (a machine_factory can inject fragments
   // whose default encode_state/encode_relabeled would under-report).
-  const bool symmetry = cfg.symmetry_reduction && !cfg.machine_factory &&
+  // trust_factory_encodings lifts the gate for factories whose machines
+  // implement the full codec contract (the migration wrappers).
+  const bool trusted = !cfg.machine_factory || cfg.trust_factory_encodings;
+  const bool symmetry = cfg.symmetry_reduction && trusted &&
                         cfg.num_clients >= 2 && supports_relabeling(init);
-  const bool por = cfg.partial_order_reduction && !cfg.machine_factory;
+  const bool por = cfg.partial_order_reduction && trusted;
 
   std::vector<std::vector<NodeId>> perms;
   if (symmetry) perms = client_permutations(cfg.num_clients);

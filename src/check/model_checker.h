@@ -109,6 +109,17 @@ struct CheckConfig {
   /// machine_factory machines with non-protocol state names).
   bool check_exclusivity = true;
 
+  /// Symmetry and partial-order reduction are normally disabled when a
+  /// machine_factory is set, because a hand-built fragment's default
+  /// encode_state/encode_relabeled would under-report its state.  Set this
+  /// when every factory-built machine implements the full codec contract
+  /// (encode_full, encode_relabeled, encode_state/decode_state) — e.g. the
+  /// dsm migration wrappers — so the reductions apply to factory worlds
+  /// too.  The reduction-soundness gate is still the kFullExpansion
+  /// cross-check; asserting reduced == full for the factory world is the
+  /// caller's responsibility (tests/migration_test.cc does).
+  bool trust_factory_encodings = false;
+
   /// Run the quiescent read-agreement probe (requires machines that
   /// complete reads; disable for hand-built fragments).
   bool probe_quiescent_reads = true;

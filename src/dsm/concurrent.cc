@@ -194,6 +194,25 @@ ConcurrentSharedMemory::Session& ConcurrentSharedMemory::session(
   return *sessions_[client];
 }
 
+void ConcurrentSharedMemory::migrate(ObjectId object,
+                                     protocols::ProtocolKind to) {
+  DRSM_CHECK(object < options_.num_objects, "object id out of range");
+  sim::ShardRequest request;
+  request.kind = sim::ShardRequest::Kind::kMigrate;
+  request.object = object;
+  request.migrate_to = to;
+  sim::SequencerShard& shard =
+      *shards_[sim::shard_of(object, shards_.size())];
+  while (!shard.try_submit(request)) std::this_thread::yield();
+}
+
+protocols::ProtocolKind ConcurrentSharedMemory::object_protocol(
+    ObjectId object) const {
+  DRSM_CHECK(object < options_.num_objects, "object id out of range");
+  return shards_[sim::shard_of(object, shards_.size())]->object_protocol(
+      object);
+}
+
 void ConcurrentSharedMemory::stop() {
   if (stopped_) return;
   stopped_ = true;
@@ -207,6 +226,7 @@ void ConcurrentSharedMemory::stop() {
   obs::MetricsRegistry& m = *options_.metrics;
   m.counter("runtime.runs").inc();
   m.counter("runtime.ops").inc(s.ops);
+  m.counter("runtime.migrations").inc(s.migrations);
   m.counter("runtime.messages").inc(s.messages);
   m.counter("runtime.batches").inc(s.batches);
   m.counter("runtime.shard_parks").inc(s.shard_parks);
@@ -247,6 +267,7 @@ ConcurrentSharedMemory::Stats ConcurrentSharedMemory::stats() const {
   for (const auto& shard : shards_) {
     const sim::SequencerShard::Stats& ss = shard->stats();
     s.ops += ss.ops;
+    s.migrations += ss.migrations;
     s.cost += ss.cost;
     s.messages += ss.messages;
     s.batches += ss.batches;

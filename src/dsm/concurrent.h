@@ -147,6 +147,22 @@ class ConcurrentSharedMemory {
 
   Session& session(NodeId client);
 
+  /// Live-migrates `object` to `to`: enqueues a migration request on the
+  /// owning shard's ring from any thread (typically an
+  /// adaptive::OnlineController).  The shard executes it in ring order —
+  /// operations already queued ahead of it complete under the old
+  /// protocol, later ones under the new — and the object's serialized
+  /// history stays contiguous across the switch
+  /// (sim::SequentialRuntime::migrate re-seeds the latest write), so an
+  /// attached coherence oracle referees straight through the migration.
+  /// Spins (yielding) while the ring is full; holds no grants, so the
+  /// shard can always drain toward it.
+  void migrate(ObjectId object, protocols::ProtocolKind to);
+
+  /// The protocol `object` currently runs.  Only stable after stop() or
+  /// while no migration of this object is in flight.
+  protocols::ProtocolKind object_protocol(ObjectId object) const;
+
   /// Stops the shard event loops (sessions must be drained first) and
   /// publishes runtime.* metrics.  Idempotent; the destructor calls it.
   void stop();
@@ -158,6 +174,7 @@ class ConcurrentSharedMemory {
   // -- aggregate statistics (stable after stop()) ---------------------------
   struct Stats {
     std::uint64_t ops = 0;
+    std::uint64_t migrations = 0;  // live protocol switches executed
     Cost cost = 0.0;
     std::uint64_t messages = 0;
     std::uint64_t batches = 0;

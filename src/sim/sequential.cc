@@ -235,6 +235,38 @@ OpResult SequentialRuntime::execute(NodeId node, OpKind op,
   return result;
 }
 
+OpResult SequentialRuntime::migrate(protocols::ProtocolKind to) {
+  DRSM_CHECK(!custom_machines_, "migrate: factory-built runtimes are fixed");
+  DRSM_CHECK(network_.empty(), "migrate: network not quiescent");
+  if (to == kind_) return {};
+  kind_ = to;
+  machines_.clear();
+  for (NodeId node : roster_)
+    machines_.push_back(
+        protocols::make_machine(kind_, node, config_.num_clients));
+  if (version_counter_ == 0) return {};  // never written: nothing to seed
+
+  // Re-commit the latest write under the new protocol, silently: the
+  // referees already saw this (value, version) pair sequenced once.
+  const std::uint64_t version = version_counter_;
+  const std::uint64_t value = latest_value_;
+  Observer observer = std::move(observer_);
+  obs::EventSink* sink = sink_;
+  CoherenceTap* tap = tap_;
+  observer_ = nullptr;
+  sink_ = nullptr;
+  tap_ = nullptr;
+  version_counter_ = version - 1;
+  const NodeId home = static_cast<NodeId>(config_.num_clients);
+  const OpResult seed = execute(home, OpKind::kWrite, value);
+  DRSM_CHECK(version_counter_ == version,
+             "migrate: seed write drew an unexpected version");
+  observer_ = std::move(observer);
+  sink_ = sink;
+  tap_ = tap;
+  return seed;
+}
+
 void SequentialRuntime::drain(Context& ctx) {
   while (!network_.empty()) {
     auto [dest, msg, id] = network_.front();

@@ -64,6 +64,21 @@ class SequentialRuntime {
   /// the operation kind.
   OpResult execute(NodeId node, fsm::OpKind op, std::uint64_t value = 0);
 
+  /// Switches the object to protocol `to` at quiescence (always, between
+  /// execute() calls): replaces every live machine with a fresh one of the
+  /// new protocol, then re-seeds the new machines with the latest
+  /// serialized write by re-committing the same (value, version) pair
+  /// through a home write — the version counter is rewound by one so the
+  /// seed draws the *same* version, keeping the serialization history
+  /// contiguous (the oracle accepts duplicate reports of an identical
+  /// pair).  The observer, sink, and coherence tap are detached for the
+  /// seed, so referees see one unbroken per-object history across the
+  /// switch.  Returns the seed's communication cost (the runtime-level
+  /// price of the migration; zero when the object was never written).
+  /// No-op when `to` is the current protocol.  Not available on
+  /// factory-built runtimes.
+  OpResult migrate(protocols::ProtocolKind to);
+
   /// Protocol-relevant state of all live machines, usable as a Markov-state
   /// key.  Only valid at quiescence (always, between execute() calls).
   std::vector<std::uint8_t> encode_state() const;

@@ -90,6 +90,22 @@ void SequencerShard::stop() {
 }
 
 void SequencerShard::handle(const ShardRequest& request) {
+  if (request.kind == ShardRequest::Kind::kMigrate) {
+    SequentialRuntime& runtime = *runtimes_[local_index(request.object)];
+    if (failed_.load(std::memory_order_relaxed) ||
+        runtime.protocol() == request.migrate_to)
+      return;
+    try {
+      const OpResult seed = runtime.migrate(request.migrate_to);
+      ++stats_.migrations;
+      stats_.cost += seed.cost;
+      stats_.messages += seed.messages;
+    } catch (const Error& e) {
+      if (!failed_.exchange(true, std::memory_order_acq_rel))
+        error_ = e.what();
+    }
+    return;
+  }
   ShardGrant grant;
   grant.object = request.object;
   grant.op = request.op;
@@ -154,7 +170,8 @@ void SequencerShard::run() {
     for (std::size_t i = 0; i < n; ++i) {
       handle(batch[i]);
       EventGate* gate = batch[i].reply_gate;
-      if (std::find(dirty.begin(), dirty.end(), gate) == dirty.end())
+      if (gate != nullptr &&
+          std::find(dirty.begin(), dirty.end(), gate) == dirty.end())
         dirty.push_back(gate);
     }
     // One wake per session per batch, after all its grants are published.
@@ -171,6 +188,11 @@ std::uint64_t SequencerShard::object_version(ObjectId object) const {
 
 const char* SequencerShard::state_name(ObjectId object, NodeId node) const {
   return runtimes_[local_index(object)]->state_name(node);
+}
+
+protocols::ProtocolKind SequencerShard::object_protocol(
+    ObjectId object) const {
+  return runtimes_[local_index(object)]->protocol();
 }
 
 }  // namespace drsm::sim

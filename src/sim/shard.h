@@ -56,12 +56,22 @@ struct ShardGrant {
 using GrantRing = MpscRing<ShardGrant>;
 
 struct ShardRequest {
+  /// kOp is an application operation; kMigrate switches the object's
+  /// runtime to `migrate_to` (SequentialRuntime::migrate) in ring order —
+  /// requests ahead of it run under the old protocol, requests behind it
+  /// under the new one, and the per-object history stays sequential across
+  /// the switch.  Migrations carry no reply: `reply`/`reply_gate` stay
+  /// null and no grant is published.
+  enum class Kind : std::uint8_t { kOp, kMigrate };
+  Kind kind = Kind::kOp;
   fsm::OpKind op = fsm::OpKind::kRead;
   NodeId node = 0;            // issuing DSM node (protocol client id)
   ObjectId object = 0;        // global object id
   std::uint64_t value = 0;    // write payload
   std::uint64_t ticket = 0;
   std::uint64_t issue_ns = 0;
+  protocols::ProtocolKind migrate_to =
+      protocols::ProtocolKind::kWriteThrough;  // kMigrate only
   GrantRing* reply = nullptr;       // session grant ring (never full: the
                                     // session window bounds occupancy)
   EventGate* reply_gate = nullptr;  // session park gate, woken per batch
@@ -111,7 +121,8 @@ class SequencerShard {
   // -- post-join statistics (stable after stop()) ---------------------------
   struct Stats {
     std::uint64_t ops = 0;
-    Cost cost = 0.0;
+    std::uint64_t migrations = 0;    // protocol switches executed
+    Cost cost = 0.0;                 // includes migration seed-write costs
     std::uint64_t messages = 0;
     std::uint64_t batches = 0;       // non-empty wakeup drains
     std::uint64_t max_batch = 0;     // largest single drain
@@ -124,6 +135,9 @@ class SequencerShard {
   /// Latest write sequence number of a hosted object (diagnostics/tests).
   std::uint64_t object_version(ObjectId object) const;
   const char* state_name(ObjectId object, NodeId node) const;
+  /// The protocol a hosted object currently runs (post-join diagnostics:
+  /// reflects executed migrations, not ones still queued in the ring).
+  protocols::ProtocolKind object_protocol(ObjectId object) const;
 
  private:
   class Relabel;

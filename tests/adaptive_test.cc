@@ -230,6 +230,67 @@ TEST(AdaptiveSharedMemory, PerObjectModeSpecializesEachObject) {
   EXPECT_NE(memory.object_protocol(0), memory.object_protocol(1));
 }
 
+TEST(AdaptiveSharedMemory, HysteresisHoldsIncumbentOnStationaryWorkload) {
+  // A stationary workload with two closely-priced update candidates
+  // (Dragon and Firefly differ only by the completion token): after the
+  // first decisive switch, epoch-to-epoch sampling noise inside the
+  // hysteresis band must never flap the protocol back and forth.
+  AdaptiveSharedMemory::Options options;
+  options.memory.protocol = ProtocolKind::kWriteThrough;
+  options.memory.num_clients = 3;
+  options.memory.num_objects = 1;
+  options.memory.costs.s = 10000.0;
+  options.memory.costs.p = 1.0;
+  options.epoch_ops = 128;
+  options.window = 256;
+  options.hysteresis = 0.05;
+  options.candidates = {ProtocolKind::kDragon, ProtocolKind::kFirefly};
+  AdaptiveSharedMemory memory(options);
+
+  workload::GlobalSequenceGenerator gen(
+      workload::read_disturbance(0.05, 0.3, 2), 23);
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8000; ++i) {
+    const auto op = gen.next();
+    if (op.op == OpKind::kWrite)
+      memory.write(op.node, 0, ++value);
+    else
+      memory.read(op.node, 0);
+  }
+  EXPECT_GT(memory.epochs(), 10u);  // plenty of chances to flap
+  EXPECT_LE(memory.switches(), 1u)
+      << "flapped to " << protocols::to_string(memory.current_protocol());
+}
+
+TEST(AdaptiveSharedMemory, FullHysteresisPinsTheInitialProtocol) {
+  // hysteresis = 1.0 demands a challenger with negative predicted acc —
+  // impossible — so the memory must never leave its initial protocol no
+  // matter how lopsided the workload is.
+  AdaptiveSharedMemory::Options options;
+  options.memory.protocol = ProtocolKind::kWriteThrough;
+  options.memory.num_clients = 3;
+  options.memory.num_objects = 1;
+  options.memory.costs.s = 10000.0;
+  options.memory.costs.p = 1.0;
+  options.epoch_ops = 64;
+  options.hysteresis = 1.0;
+  AdaptiveSharedMemory memory(options);
+
+  workload::GlobalSequenceGenerator gen(
+      workload::read_disturbance(0.05, 0.3, 2), 29);
+  std::uint64_t value = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto op = gen.next();
+    if (op.op == OpKind::kWrite)
+      memory.write(op.node, 0, ++value);
+    else
+      memory.read(op.node, 0);
+  }
+  EXPECT_EQ(memory.switches(), 0u);
+  EXPECT_EQ(memory.current_protocol(), ProtocolKind::kWriteThrough);
+  EXPECT_GT(memory.reclassify_ms(), 0.0);  // epochs did run and price
+}
+
 TEST(AdaptiveSharedMemory, ValuesSurviveSwitches) {
   AdaptiveSharedMemory::Options options;
   options.memory.protocol = ProtocolKind::kWriteThrough;

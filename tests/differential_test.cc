@@ -10,6 +10,7 @@
 // program order, so the runtimes are directly comparable.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <sstream>
@@ -17,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "analytic/solver.h"
 #include "check/oracle.h"
 #include "check/property.h"
 #include "protocols/protocol.h"
@@ -217,6 +219,125 @@ INSTANTIATE_TEST_SUITE_P(AllProtocols, SimVsSequentialTest,
                              if (c == '-') c = '_';
                            return name;
                          });
+
+// ---------------------------------------------------------------------------
+// Phase-changing workloads across live migrations.
+// ---------------------------------------------------------------------------
+
+// A fixed two-phase operation sequence: a read-disturbance phase flipping
+// into a write-disturbance phase, same three-client roster throughout.
+std::vector<workload::TraceEntry> phase_change_trace(std::size_t phase_ops,
+                                                     std::uint64_t seed) {
+  const auto phase_a = workload::read_disturbance(0.2, 0.1, 2);
+  const auto phase_b = workload::write_disturbance(0.5, 0.1, 2);
+  std::vector<workload::TraceEntry> trace;
+  workload::GlobalSequenceGenerator gen_a(phase_a, seed);
+  for (std::size_t i = 0; i < phase_ops; ++i) trace.push_back(gen_a.next());
+  workload::GlobalSequenceGenerator gen_b(phase_b, seed ^ 0x5EED);
+  for (std::size_t i = 0; i < phase_ops; ++i) trace.push_back(gen_b.next());
+  return trace;
+}
+
+TEST(CrossProtocol, MigratingRuntimeMatchesStaticReadSequences) {
+  // The same phase-changing trace, executed (a) statically on every
+  // protocol, (b) on a runtime that live-migrates at the phase boundary
+  // and twice more mid-phase.  Migration is a performance decision, never
+  // a semantic one: every execution must return the identical read-value
+  // sequence, and the oracle must stay clean across every switch.
+  constexpr std::size_t kPhaseOps = 300;
+  const auto trace = phase_change_trace(kPhaseOps, 20260809);
+  sim::SystemConfig system;
+  system.num_clients = 3;
+
+  ReadSequence reference;
+  for (const ProtocolKind kind : protocols::kAllProtocols) {
+    sim::SequentialRuntime runtime(kind, system, {0, 1, 2});
+    CoherenceOracle oracle(OracleMode::kSequential);
+    runtime.set_coherence_tap(&oracle);
+    std::uint64_t value_counter = 0;
+    for (const auto& entry : trace) {
+      const std::uint64_t value =
+          entry.op == fsm::OpKind::kWrite ? ++value_counter : 0;
+      runtime.execute(entry.node, entry.op, value);
+    }
+    oracle.finish();
+    ASSERT_TRUE(oracle.ok()) << protocols::to_string(kind) << ": "
+                             << oracle.violations().front();
+    ReadSequence reads;
+    for (const auto& r : oracle.reads()) reads.emplace_back(r.node, r.value);
+    ASSERT_FALSE(reads.empty());
+    if (kind == ProtocolKind::kWriteThrough)
+      reference = std::move(reads);
+    else
+      EXPECT_EQ(reads, reference) << protocols::to_string(kind);
+  }
+
+  // The migrating execution: write-through for the read phase, Dragon
+  // mid-way through it, Berkeley at the phase flip, Illinois mid-write.
+  sim::SequentialRuntime runtime(ProtocolKind::kWriteThrough, system,
+                                 {0, 1, 2});
+  CoherenceOracle oracle(OracleMode::kSequential);
+  runtime.set_coherence_tap(&oracle);
+  std::uint64_t value_counter = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i == kPhaseOps / 2) runtime.migrate(ProtocolKind::kDragon);
+    if (i == kPhaseOps) runtime.migrate(ProtocolKind::kBerkeley);
+    if (i == kPhaseOps + kPhaseOps / 2)
+      runtime.migrate(ProtocolKind::kIllinois);
+    const std::uint64_t value =
+        trace[i].op == fsm::OpKind::kWrite ? ++value_counter : 0;
+    runtime.execute(trace[i].node, trace[i].op, value);
+  }
+  oracle.finish();
+  ASSERT_TRUE(oracle.ok()) << "migrating: " << oracle.violations().front();
+  ReadSequence migrating;
+  for (const auto& r : oracle.reads())
+    migrating.emplace_back(r.node, r.value);
+  EXPECT_EQ(migrating, reference)
+      << "mig " << render(migrating) << "\nref " << render(reference);
+}
+
+TEST(CrossProtocol, PerPhaseAccMatchesAnalyticAcrossMigration) {
+  // On the migrating runtime, each phase's measured mean cost must agree
+  // with the analytic acc of (phase protocol, phase workload) — migrating
+  // between phases does not distort either phase's steady-state economics.
+  // Sampling one sequential trajectory (no replications), so the bound is
+  // looser than agreement_test's replicated 8%.
+  constexpr std::size_t kPhaseOps = 20'000;
+  const auto phase_a = workload::read_disturbance(0.2, 0.1, 2);
+  const auto phase_b = workload::write_disturbance(0.5, 0.1, 2);
+  sim::SystemConfig system;
+  system.num_clients = 3;
+  analytic::AccSolver solver(system);
+
+  sim::SequentialRuntime runtime(ProtocolKind::kDragon, system, {0, 1, 2});
+  std::uint64_t value_counter = 0;
+  const auto run_phase = [&](const workload::WorkloadSpec& spec,
+                             std::uint64_t seed) {
+    workload::GlobalSequenceGenerator generator(spec, seed);
+    double cost = 0.0;
+    for (std::size_t i = 0; i < kPhaseOps; ++i) {
+      const workload::TraceEntry entry = generator.next();
+      const std::uint64_t value =
+          entry.op == fsm::OpKind::kWrite ? ++value_counter : 0;
+      cost += runtime.execute(entry.node, entry.op, value).cost;
+    }
+    return cost / static_cast<double>(kPhaseOps);
+  };
+
+  const double measured_a = run_phase(phase_a, 99);
+  const double predicted_a = solver.acc(ProtocolKind::kDragon, phase_a);
+  EXPECT_LT(std::fabs(measured_a - predicted_a) / predicted_a, 0.10)
+      << "phase A: measured " << measured_a << " vs analytic "
+      << predicted_a;
+
+  runtime.migrate(ProtocolKind::kBerkeley);
+  const double measured_b = run_phase(phase_b, 77);
+  const double predicted_b = solver.acc(ProtocolKind::kBerkeley, phase_b);
+  EXPECT_LT(std::fabs(measured_b - predicted_b) / predicted_b, 0.10)
+      << "phase B: measured " << measured_b << " vs analytic "
+      << predicted_b;
+}
 
 }  // namespace
 }  // namespace drsm

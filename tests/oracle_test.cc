@@ -10,6 +10,8 @@
 #include "check/oracle.h"
 #include "check/property.h"
 #include "protocols/protocol.h"
+#include "sim/sequential.h"
+#include "support/rng.h"
 
 namespace drsm {
 namespace {
@@ -159,6 +161,73 @@ TEST(Oracle, FinishFlagsVersionGaps) {
   oracle.finish();
   ASSERT_FALSE(oracle.ok());
   EXPECT_NE(oracle.violations().front().find("gap"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Histories that cross a live protocol migration.
+// ---------------------------------------------------------------------------
+
+TEST(Oracle, DuplicateSeedCommitAcrossMigrationSeamIsClean) {
+  // A live migration re-commits the latest (version, value) pair through
+  // the new protocol's machines (SequentialRuntime::migrate).  The oracle
+  // treats the identical duplicate as a benign re-report — reads on both
+  // sides of the seam still referee against one contiguous history.
+  CoherenceOracle oracle(OracleMode::kSequential);
+  oracle.on_write_issue(0, 0, 0, 10);
+  oracle.on_commit(1, 2, 0, 1, 10);
+  oracle.on_read(2, 1, 0, 10, 1);
+  oracle.on_commit(3, 2, 0, 1, 10);  // the migration seed
+  oracle.on_read(4, 1, 0, 10, 1);    // post-switch read, same version
+  oracle.on_write_issue(5, 1, 0, 20);
+  oracle.on_commit(6, 2, 0, 2, 20);  // history continues contiguously
+  oracle.on_read(7, 0, 0, 20, 2);
+  oracle.finish();
+  EXPECT_TRUE(oracle.ok()) << oracle.violations().front();
+}
+
+TEST(Oracle, MigratingPhaseChangeHistoryIsClean) {
+  // A phase-changing workload with migrations at the phase boundaries:
+  // read-heavy under write-through, flip to write-heavy under Dragon,
+  // then single-writer runs under Berkeley.  The sequential referee sees
+  // one unbroken serialized history across both switches.
+  sim::SystemConfig config;
+  config.num_clients = 3;
+  sim::SequentialRuntime runtime(ProtocolKind::kWriteThrough, config,
+                                 {0, 1, 2});
+  CoherenceOracle oracle(OracleMode::kSequential);
+  runtime.set_coherence_tap(&oracle);
+  Rng rng(2026);
+  std::uint64_t value = 0;
+
+  for (std::size_t i = 0; i < 200; ++i) {  // read-heavy, sparse writes
+    const NodeId node = static_cast<NodeId>(rng.uniform_index(3));
+    if (rng.bernoulli(0.1))
+      runtime.execute(node, fsm::OpKind::kWrite, ++value);
+    else
+      runtime.execute(node, fsm::OpKind::kRead);
+  }
+  runtime.migrate(ProtocolKind::kDragon);
+  for (std::size_t i = 0; i < 200; ++i) {  // write-heavy, shared
+    const NodeId node = static_cast<NodeId>(rng.uniform_index(3));
+    if (rng.bernoulli(0.7))
+      runtime.execute(node, fsm::OpKind::kWrite, ++value);
+    else
+      runtime.execute(node, fsm::OpKind::kRead);
+  }
+  runtime.migrate(ProtocolKind::kBerkeley);
+  for (std::size_t i = 0; i < 200; ++i) {  // single-writer runs
+    if (rng.bernoulli(0.8))
+      runtime.execute(0, fsm::OpKind::kWrite, ++value);
+    else
+      runtime.execute(static_cast<NodeId>(1 + rng.uniform_index(2)),
+                      fsm::OpKind::kRead);
+  }
+
+  oracle.finish();
+  EXPECT_TRUE(oracle.ok()) << oracle.violations().front();
+  EXPECT_EQ(runtime.latest_version(), value);  // contiguous, no gaps
+  EXPECT_EQ(runtime.latest_value(),
+            oracle.value_at(0, runtime.latest_version()));
 }
 
 // ---------------------------------------------------------------------------

@@ -31,6 +31,7 @@
 
 #include "check/model_checker.h"
 #include "check/property.h"
+#include "dsm/migration.h"
 #include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "protocols/protocol.h"
@@ -57,6 +58,11 @@ struct Args {
   bool por = true;
   std::string trace_path;
   std::string postmortem_path;
+  // --migration: check drain/handoff worlds instead of single protocols.
+  bool migration = false;
+  std::vector<std::pair<protocols::ProtocolKind, protocols::ProtocolKind>>
+      pairs;  // empty = the acceptance pairs (wt<->ber, wt<->drg)
+  std::size_t trigger = 1;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -65,7 +71,7 @@ struct Args {
                "[--writes=K] [--seeds=S] [--ops=OPS] [--no-probes] "
                "[--trace=FILE] [--postmortem=FILE] [--threads=T] "
                "[--max-states=M] [--full-expansion] [--no-symmetry] "
-               "[--no-por]\n",
+               "[--no-por] [--migration[=FROM:TO|all]] [--trigger=T]\n",
                argv0);
   std::exit(2);
 }
@@ -107,6 +113,24 @@ Args parse(int argc, char** argv) {
       args.trace_path = value("--trace=");
     } else if (arg.rfind("--postmortem=", 0) == 0) {
       args.postmortem_path = value("--postmortem=");
+    } else if (arg == "--migration") {
+      args.migration = true;
+    } else if (arg.rfind("--migration=", 0) == 0) {
+      args.migration = true;
+      const std::string spec = value("--migration=");
+      if (spec == "all") {
+        for (const auto from : protocols::kAllProtocols)
+          for (const auto to : protocols::kAllProtocols)
+            args.pairs.emplace_back(from, to);
+      } else {
+        const auto colon = spec.find(':');
+        if (colon == std::string::npos) usage(argv[0]);
+        args.pairs.emplace_back(
+            protocols::protocol_from_string(spec.substr(0, colon)),
+            protocols::protocol_from_string(spec.substr(colon + 1)));
+      }
+    } else if (arg.rfind("--trigger=", 0) == 0) {
+      args.trigger = std::stoul(value("--trigger="));
     } else {
       usage(argv[0]);
     }
@@ -129,6 +153,76 @@ int main(int argc, char** argv) try {
   const Args args = parse(argc, argv);
   bool failed = false;
   bool capped = false;
+
+  if (args.migration) {
+    auto pairs = args.pairs;
+    if (pairs.empty()) {
+      using PK = protocols::ProtocolKind;
+      pairs = {{PK::kWriteThrough, PK::kBerkeley},
+               {PK::kBerkeley, PK::kWriteThrough},
+               {PK::kWriteThrough, PK::kDragon},
+               {PK::kDragon, PK::kWriteThrough}};
+    }
+    std::printf("migration checker: %zu clients, %zu read(s) + %zu "
+                "write(s) per client, trigger %zu, %s\n",
+                args.clients, args.reads, args.writes, args.trigger,
+                args.full_expansion ? "full expansion (reference mode)"
+                                    : "reduced (symmetry + POR)");
+    for (const auto& [from, to] : pairs) {
+      dsm::MigrationWorldOptions opts;
+      opts.from = from;
+      opts.to = to;
+      opts.num_clients = args.clients;
+      opts.trigger = args.trigger;
+      check::CheckConfig config = dsm::migration_check_config(opts);
+      config.reads_per_client = args.reads;
+      config.writes_per_client = args.writes;
+      config.probe_quiescent_reads = args.probes;
+      config.threads = args.threads;
+      if (args.max_states > 0) config.max_states = args.max_states;
+      if (args.full_expansion)
+        config.expansion = check::CheckConfig::Expansion::kFullExpansion;
+      config.symmetry_reduction = args.symmetry;
+      config.partial_order_reduction = args.por;
+      const check::CheckResult result = check::check_protocol(config);
+      std::printf("  %-13s-> %-13s %8zu states %9zu transitions depth "
+                  "%3zu %8.0f st/s  %s\n",
+                  protocols::to_string(from), protocols::to_string(to),
+                  result.states, result.transitions, result.max_depth,
+                  result.states_per_sec(),
+                  result.ok() ? (result.hit_state_cap ? "PARTIAL" : "ok")
+                              : "VIOLATION");
+      if (result.hit_state_cap) {
+        capped = true;
+        std::printf("    *** STATE CAP HIT: exploration stopped at %zu "
+                    "states — the verdict above is PARTIAL, not a proof. "
+                    "***\n",
+                    result.states);
+      }
+      if (!result.ok()) {
+        failed = true;
+        for (const auto& v : result.violations)
+          std::printf("    %s: %s\n", v.invariant, v.detail.c_str());
+        if (!args.trace_path.empty())
+          dump_counterexample(result, args.trace_path);
+        if (!args.postmortem_path.empty()) {
+          obs::FlightRecorder recorder;
+          check::dump_counterexample(result, recorder,
+                                     args.postmortem_path);
+          std::printf("  post-mortem written to %s\n",
+                      args.postmortem_path.c_str());
+        }
+      }
+    }
+    if (failed) return 1;
+    if (capped) {
+      std::printf("RESULT: PARTIAL — at least one exploration hit its "
+                  "state cap; nothing was proved for those "
+                  "configurations.\n");
+      return 3;
+    }
+    return 0;
+  }
 
   std::printf("model checker: %zu clients, %zu read(s) + %zu write(s) per "
               "client, probes %s, %s\n",
